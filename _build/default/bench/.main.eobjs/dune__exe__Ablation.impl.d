@@ -1,0 +1,1 @@
+bench/ablation.ml: Bytes Genie List Machine Net Printf Simcore Stats Vm Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Float Format Genie Lazy List Machine Micro_bench Mixed Net Printf Related Stats String Sys Workload

@@ -1,0 +1,1 @@
+bench/micro_bench.ml: Analyze Bechamel Benchmark Bytes Char Float Genie Hashtbl Instance List Machine Measure Net Printf Proto Simcore Staged Stats Test Time Toolkit Vm Workload

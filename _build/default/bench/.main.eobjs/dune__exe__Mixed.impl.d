@@ -1,0 +1,1 @@
+bench/mixed.ml: Float Genie List Machine Net Printf Stats Vm Workload

@@ -1,0 +1,1 @@
+bench/related.ml: List Machine Printf Simcore Stats

@@ -1,0 +1,111 @@
+(* Bechamel micro-benchmarks of the simulator's hot paths: these measure
+   real wall-clock cost of the reproduction itself (not simulated time),
+   one Test.make per substrate primitive plus one end-to-end ping-pong
+   per experiment family. *)
+
+open Bechamel
+open Toolkit
+
+let payload = Bytes.init 61440 (fun i -> Char.chr (i land 0xFF))
+
+let test_crc32 =
+  Test.make ~name:"crc32 60KB" (Staged.stage (fun () -> Net.Crc32.digest payload))
+
+let test_aal5 =
+  Test.make ~name:"aal5 encode+decode 60KB"
+    (Staged.stage (fun () ->
+         match Net.Aal5.decode (Net.Aal5.encode payload) with
+         | Ok _ -> ()
+         | Error _ -> assert false))
+
+let test_checksum =
+  Test.make ~name:"inet checksum 60KB"
+    (Staged.stage (fun () ->
+         ignore (Proto.Checksum.compute payload ~off:0 ~len:(Bytes.length payload))))
+
+let test_heap =
+  Test.make ~name:"event heap push+pop 1k"
+    (Staged.stage (fun () ->
+         let h = Simcore.Heap.create () in
+         for i = 0 to 999 do
+           Simcore.Heap.push h ~key:((i * 7919) land 0xFFFF) i
+         done;
+         while not (Simcore.Heap.is_empty h) do
+           ignore (Simcore.Heap.pop h)
+         done))
+
+let probe_test name sem mode =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let cfg =
+           {
+             (Workload.Latency_probe.default ~sem ~len:16384) with
+             Workload.Latency_probe.mode;
+             runs = 1;
+             warmup = 1;
+             spec = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166;
+           }
+         in
+         ignore (Workload.Latency_probe.run cfg)))
+
+let test_fig3 = probe_test "fig3 probe (emulated copy, early demux)"
+    Genie.Semantics.emulated_copy Net.Adapter.Early_demux
+
+let test_fig6 = probe_test "fig6 probe (emulated copy, pooled)"
+    Genie.Semantics.emulated_copy Net.Adapter.Pooled
+
+let test_move = probe_test "fig3 probe (move, early demux)"
+    Genie.Semantics.move Net.Adapter.Early_demux
+
+let test_vm_fault =
+  Test.make ~name:"vm write fault (demand zero page)"
+    (Staged.stage
+       (let vm = Vm.Vm_sys.create (Workload.Experiments.light_spec Machine.Machine_spec.micron_p166) in
+        let space = Vm.Address_space.create vm in
+        let region = Vm.Address_space.map_region space ~npages:64 ~populate:false in
+        let base = Vm.Address_space.base_addr region ~page_size:4096 in
+        let i = ref 0 in
+        fun () ->
+          let addr = base + (!i mod 64 * 4096) in
+          incr i;
+          Vm.Address_space.write space ~addr (Bytes.make 8 'x')))
+
+let run () =
+  Printf.printf "\nBechamel micro-benchmarks (real wall-clock time)\n";
+  Printf.printf "================================================\n";
+  let tests =
+    Test.make_grouped ~name:"genie" ~fmt:"%s %s"
+      [ test_crc32; test_aal5; test_checksum; test_heap; test_vm_fault;
+        test_fig3; test_fig6; test_move ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let t = Stats.Text_table.create ~header:[ "benchmark"; "per run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Stats.Text_table.add_row t [ name; pretty ])
+    (List.sort compare !rows);
+  Stats.Text_table.print t

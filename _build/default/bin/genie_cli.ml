@@ -1,0 +1,184 @@
+(* Command-line driver for single experiments.
+
+   Examples:
+     genie_cli latency --sem "emulated copy" --len 61440
+     genie_cli sweep --sem copy --mode pooled --offset 16
+     genie_cli estimate --sem share --scheme early --len 8192
+     genie_cli ops --machine alpha *)
+
+open Cmdliner
+
+let sem_conv =
+  let parse s =
+    match Genie.Semantics.of_name s with
+    | Some sem -> Ok sem
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown semantics %S (one of: %s)" s
+             (String.concat ", " (List.map Genie.Semantics.name Genie.Semantics.all))))
+  in
+  Arg.conv (parse, Genie.Semantics.pp)
+
+let mode_conv =
+  let parse = function
+    | "early" | "early-demux" -> Ok Net.Adapter.Early_demux
+    | "pooled" -> Ok Net.Adapter.Pooled
+    | "outboard" -> Ok Net.Adapter.Outboard
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (early|pooled|outboard)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Net.Adapter.Early_demux -> "early"
+      | Net.Adapter.Pooled -> "pooled"
+      | Net.Adapter.Outboard -> "outboard")
+  in
+  Arg.conv (parse, print)
+
+let machine_conv =
+  let parse = function
+    | "p166" | "micron" -> Ok Machine.Machine_spec.micron_p166
+    | "p90" | "gateway" -> Ok Machine.Machine_spec.gateway_p5_90
+    | "alpha" | "alphastation" -> Ok Machine.Machine_spec.alphastation_255
+    | s -> Error (`Msg (Printf.sprintf "unknown machine %S (p166|p90|alpha)" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Machine.Machine_spec.name)
+
+let sem_arg =
+  Arg.(value & opt sem_conv Genie.Semantics.emulated_copy
+       & info [ "sem"; "s" ] ~docv:"SEMANTICS" ~doc:"Data-passing semantics.")
+
+let mode_arg =
+  Arg.(value & opt mode_conv Net.Adapter.Early_demux
+       & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"Device input buffering.")
+
+let len_arg =
+  Arg.(value & opt int 61440
+       & info [ "len"; "l" ] ~docv:"BYTES" ~doc:"Datagram payload length.")
+
+let offset_arg =
+  Arg.(value & opt int 0
+       & info [ "offset"; "o" ] ~docv:"BYTES"
+           ~doc:"Page offset of application buffers (alignment).")
+
+let oc12_arg =
+  Arg.(value & flag & info [ "oc12" ] ~doc:"Use a 622 Mbps (OC-12) link.")
+
+let machine_arg =
+  Arg.(value & opt machine_conv Machine.Machine_spec.micron_p166
+       & info [ "machine" ] ~docv:"MACHINE" ~doc:"Host machine (p166|p90|alpha).")
+
+let make_config sem mode len offset oc12 machine =
+  {
+    (Workload.Latency_probe.default ~sem ~len) with
+    Workload.Latency_probe.mode;
+    recv_offset = offset;
+    params = (if oc12 then Net.Net_params.oc12 else Net.Net_params.oc3);
+    spec = Workload.Experiments.light_spec machine;
+  }
+
+let latency_cmd =
+  let run sem mode len offset oc12 machine =
+    let o = Workload.Latency_probe.run (make_config sem mode len offset oc12 machine) in
+    Printf.printf "%s, %d bytes on %s:\n" (Genie.Semantics.name sem) len
+      machine.Machine.Machine_spec.name;
+    Printf.printf "  one-way latency : %.1f usec\n" o.Workload.Latency_probe.one_way_us;
+    Printf.printf "  round trip      : %.1f usec\n" o.Workload.Latency_probe.rtt_us;
+    Printf.printf "  throughput      : %.1f Mbps\n" o.Workload.Latency_probe.throughput_mbps;
+    Printf.printf "  CPU utilization : %.1f%% (incl. %.1f%% background)\n"
+      (Workload.Cpu_monitor.utilization_pct
+         ~busy_fraction:o.Workload.Latency_probe.cpu_busy_fraction)
+      (100. *. Workload.Cpu_monitor.background_fraction)
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"Measure one configuration.")
+    Term.(const run $ sem_arg $ mode_arg $ len_arg $ offset_arg $ oc12_arg $ machine_arg)
+
+let sweep_cmd =
+  let run sem mode offset oc12 machine =
+    Printf.printf "%8s %12s %12s %8s\n" "bytes" "latency(us)" "Mbps" "cpu%";
+    List.iter
+      (fun len ->
+        let o =
+          Workload.Latency_probe.run (make_config sem mode len offset oc12 machine)
+        in
+        Printf.printf "%8d %12.1f %12.1f %8.1f\n" len
+          o.Workload.Latency_probe.one_way_us
+          o.Workload.Latency_probe.throughput_mbps
+          (Workload.Cpu_monitor.utilization_pct
+             ~busy_fraction:o.Workload.Latency_probe.cpu_busy_fraction))
+      Workload.Experiments.page_multiples
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep datagram sizes for one semantics.")
+    Term.(const run $ sem_arg $ mode_arg $ offset_arg $ oc12_arg $ machine_arg)
+
+let estimate_cmd =
+  let scheme_conv =
+    let parse = function
+      | "early" -> Ok Workload.Estimate.Early_demux
+      | "pooled-aligned" -> Ok Workload.Estimate.Pooled_aligned
+      | "pooled-unaligned" -> Ok Workload.Estimate.Pooled_unaligned
+      | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    Arg.conv
+      (parse, fun fmt s -> Format.pp_print_string fmt (Workload.Estimate.scheme_name s))
+  in
+  let scheme_arg =
+    Arg.(value & opt scheme_conv Workload.Estimate.Early_demux
+         & info [ "scheme" ] ~docv:"SCHEME"
+             ~doc:"early | pooled-aligned | pooled-unaligned")
+  in
+  let run sem scheme len machine =
+    let costs = Machine.Cost_model.create machine in
+    Printf.printf
+      "breakdown-model estimate: %s, %s, %d bytes -> %.1f usec one-way\n"
+      (Genie.Semantics.name sem)
+      (Workload.Estimate.scheme_name scheme)
+      len
+      (Workload.Estimate.latency_us costs Net.Net_params.oc3 ~scheme ~sem ~len)
+  in
+  Cmd.v (Cmd.info "estimate" ~doc:"Analytic latency from the breakdown model.")
+    Term.(const run $ sem_arg $ scheme_arg $ len_arg $ machine_arg)
+
+let ops_cmd =
+  let run machine =
+    Format.printf "%a" Machine.Cost_model.pp_op_table (Machine.Cost_model.create machine)
+  in
+  Cmd.v (Cmd.info "ops" ~doc:"Print the primitive-operation cost table.")
+    Term.(const run $ machine_arg)
+
+let taxonomy_cmd =
+  let run () =
+    Printf.printf
+      "The taxonomy of I/O data passing semantics (Figure 1 of the paper)\n\n";
+    Printf.printf "%-20s %-12s %-10s %-9s\n" "semantics" "allocation" "integrity"
+      "emulated";
+    print_endline (String.make 54 '-');
+    List.iter
+      (fun sem ->
+        Printf.printf "%-20s %-12s %-10s %-9b\n" (Genie.Semantics.name sem)
+          (match sem.Genie.Semantics.alloc with
+          | Genie.Semantics.Application -> "application"
+          | Genie.Semantics.System -> "system")
+          (match sem.Genie.Semantics.integrity with
+          | Genie.Semantics.Strong -> "strong"
+          | Genie.Semantics.Weak -> "weak")
+          sem.Genie.Semantics.emulated)
+      Genie.Semantics.all;
+    print_newline ();
+    print_endline
+      "Emulated copy offers the API and integrity guarantees of copy and can";
+    print_endline "replace it transparently (the paper's main conclusion)."
+  in
+  Cmd.v (Cmd.info "taxonomy" ~doc:"Print the semantics taxonomy.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "genie_cli" ~version:"1.0"
+      ~doc:"Single experiments on the Genie I/O buffering reproduction."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd ]))

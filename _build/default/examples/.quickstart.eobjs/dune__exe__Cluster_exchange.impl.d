@@ -1,0 +1,1 @@
+examples/cluster_exchange.ml: Bytes Genie List Net Printf Proto String Vm

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Bytes Genie List Machine Net Printf Simcore String Vm Workload

@@ -1,0 +1,1 @@
+examples/integrity_tour.ml: Bytes Genie List Net Printf Vm

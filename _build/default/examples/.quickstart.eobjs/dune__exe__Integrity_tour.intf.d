@@ -1,0 +1,1 @@
+examples/integrity_tour.mli:

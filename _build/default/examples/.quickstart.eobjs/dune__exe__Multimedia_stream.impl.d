@@ -1,0 +1,1 @@
+examples/multimedia_stream.ml: Array Genie List Net Printf Simcore String Vm

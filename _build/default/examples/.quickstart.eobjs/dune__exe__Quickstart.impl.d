@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Genie Net Printf Vm Workload

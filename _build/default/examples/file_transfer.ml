@@ -1,0 +1,61 @@
+(* Bulk file transfer: ship a 2 MB file over the 155 Mbps link using the
+   message channel (segmentation + reassembly over Genie datagrams) and
+   compare buffering semantics on transfer time and sender CPU cost.
+
+   This is the "parallel file system" motivation of the paper's
+   introduction in miniature: big, pipelined, layout-sensitive data.
+
+   Run with: dune exec examples/file_transfer.exe *)
+
+module As = Vm.Address_space
+module Sem = Genie.Semantics
+
+let file_bytes = 2 * 1024 * 1024
+let psize = 4096
+
+let transfer sem =
+  let spec = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166 in
+  let spec = { spec with Machine.Machine_spec.memory_mb = 32 } in
+  let w = Genie.World.create ~spec_a:spec ~spec_b:spec () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let tx = Genie.Msg_channel.create ea ~sem in
+  let rx = Genie.Msg_channel.create eb ~sem in
+  let mk host =
+    let space = Genie.Host.new_space host in
+    let region = As.map_region space ~npages:(file_bytes / psize) in
+    Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len:file_bytes
+  in
+  let src = mk w.Genie.World.a and dst = mk w.Genie.World.b in
+  Genie.Buf.fill_pattern src ~seed:7;
+  let t0 = Genie.Host.now_us w.Genie.World.a in
+  Simcore.Cpu.reset_busy w.Genie.World.a.Genie.Host.cpu;
+  let t_done = ref 0. in
+  Genie.Msg_channel.recv rx ~buf:dst ~on_complete:(fun ~ok ->
+      if not ok then failwith "file transfer failed";
+      t_done := Genie.Host.now_us w.Genie.World.b);
+  Genie.Msg_channel.send tx ~buf:src ~on_complete:(fun () -> ());
+  Genie.World.run w;
+  if not (Bytes.equal (Genie.Buf.read dst) (Genie.Buf.expected_pattern ~len:file_bytes ~seed:7))
+  then failwith "file corrupted in transit";
+  let elapsed_us = !t_done -. t0 in
+  let mbps = 8. *. float_of_int file_bytes /. elapsed_us in
+  let cpu_ms =
+    Simcore.Sim_time.to_us (Simcore.Cpu.busy_time w.Genie.World.a.Genie.Host.cpu)
+    /. 1000.
+  in
+  (elapsed_us /. 1000., mbps, cpu_ms)
+
+let () =
+  Printf.printf "Transferring a %d KB file in %d KB chunks over 155 Mbps ATM\n"
+    (file_bytes / 1024) 60;
+  Printf.printf "%-20s %12s %10s %16s\n" "semantics" "time (ms)" "Mbps" "sender CPU (ms)";
+  print_endline (String.make 62 '-');
+  List.iter
+    (fun sem ->
+      let ms, mbps, cpu = transfer sem in
+      Printf.printf "%-20s %12.1f %10.0f %16.1f\n" (Sem.name sem) ms mbps cpu)
+    [ Sem.copy; Sem.emulated_copy; Sem.share; Sem.emulated_share ];
+  print_newline ();
+  print_endline "Pipelined chunks keep the wire busy, so all semantics approach";
+  print_endline "line rate on elapsed time - but the copies still burn the";
+  print_endline "sender's CPU, which is the paper's Figure 4 in file-transfer form."

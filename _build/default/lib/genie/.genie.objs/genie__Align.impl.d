@@ -1,0 +1,1 @@
+lib/genie/align.ml: Array Buf Bytes Machine Memory Ops Vm

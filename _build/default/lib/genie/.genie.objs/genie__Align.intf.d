@@ -1,0 +1,1 @@
+lib/genie/align.mli: Buf Memory Ops

@@ -1,0 +1,1 @@
+lib/genie/buf.mli: Vm

@@ -1,0 +1,1 @@
+lib/genie/endpoint.ml: Host Input_path List Net Output_path Queue

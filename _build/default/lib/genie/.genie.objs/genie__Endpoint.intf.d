@@ -1,0 +1,1 @@
+lib/genie/endpoint.mli: Buf Host Input_path Net Output_path Semantics

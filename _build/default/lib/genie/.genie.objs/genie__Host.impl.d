@@ -1,0 +1,1 @@
+lib/genie/host.ml: Hashtbl List Machine Memory Net Ops Queue Simcore Thresholds Vm

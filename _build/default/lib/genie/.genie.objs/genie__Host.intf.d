@@ -1,0 +1,1 @@
+lib/genie/host.mli: Hashtbl Machine Memory Net Ops Queue Simcore Thresholds Vm

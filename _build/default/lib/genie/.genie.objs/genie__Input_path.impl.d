@@ -1,0 +1,1 @@
+lib/genie/input_path.ml: Align Array Buf Bytes Float Host List Machine Memory Net Ops Option Printf Proto Semantics Simcore Thresholds Vm

@@ -1,0 +1,1 @@
+lib/genie/input_path.mli: Buf Host Net Semantics Vm

@@ -1,0 +1,1 @@
+lib/genie/msg_channel.ml: Buf Endpoint Input_path List Net Proto Semantics Vm

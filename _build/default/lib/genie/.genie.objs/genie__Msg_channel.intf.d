@@ -1,0 +1,1 @@
+lib/genie/msg_channel.mli: Buf Endpoint Semantics

@@ -1,0 +1,1 @@
+lib/genie/op_recorder.ml: Hashtbl List Machine

@@ -1,0 +1,1 @@
+lib/genie/ops.ml: Machine Op_recorder Simcore

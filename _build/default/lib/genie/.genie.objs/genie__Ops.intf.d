@@ -1,0 +1,1 @@
+lib/genie/ops.mli: Machine Op_recorder Simcore

@@ -1,0 +1,1 @@
+lib/genie/output_path.ml: Buf Host List Machine Memory Net Ops Printf Proto Semantics Simcore Thresholds Vm

@@ -1,0 +1,1 @@
+lib/genie/output_path.mli: Buf Host Semantics Simcore

@@ -1,0 +1,1 @@
+lib/genie/rel_channel.ml: Array Buf Bytes Endpoint Host Input_path Net Proto Semantics Simcore Vm

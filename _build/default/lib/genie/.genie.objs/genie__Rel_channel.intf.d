@@ -1,0 +1,1 @@
+lib/genie/rel_channel.mli: Buf Endpoint Semantics

@@ -1,0 +1,1 @@
+lib/genie/semantics.ml: Format List String

@@ -1,0 +1,1 @@
+lib/genie/semantics.mli: Format

@@ -1,0 +1,1 @@
+lib/genie/sys_buffers.ml: Buf Host Machine Ops Vm

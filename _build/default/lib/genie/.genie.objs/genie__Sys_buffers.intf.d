@@ -1,0 +1,1 @@
+lib/genie/sys_buffers.mli: Buf Host Vm

@@ -1,0 +1,1 @@
+lib/genie/thresholds.mli:

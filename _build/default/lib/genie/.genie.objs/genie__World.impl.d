@@ -1,0 +1,1 @@
+lib/genie/world.ml: Endpoint Host Machine Net Simcore

@@ -1,0 +1,1 @@
+lib/genie/world.mli: Endpoint Host Machine Net Simcore Thresholds

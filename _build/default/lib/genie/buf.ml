@@ -1,0 +1,20 @@
+type t = { space : Vm.Address_space.t; addr : int; len : int }
+
+let make space ~addr ~len =
+  if addr < 0 || len < 0 then invalid_arg "Buf.make";
+  { space; addr; len }
+
+let page_offset t = t.addr mod Vm.Address_space.page_size t.space
+
+let pages t =
+  let psize = Vm.Address_space.page_size t.space in
+  let first = t.addr / psize and last = (t.addr + t.len - 1) / psize in
+  if t.len = 0 then 0 else last - first + 1
+
+let read t = Vm.Address_space.read t.space ~addr:t.addr ~len:t.len
+let write t data = Vm.Address_space.write t.space ~addr:t.addr data
+
+let expected_pattern ~len ~seed =
+  Bytes.init len (fun i -> Char.chr ((i * 131 + seed * 89 + i / 4096) land 0xFF))
+
+let fill_pattern t ~seed = write t (expected_pattern ~len:t.len ~seed)

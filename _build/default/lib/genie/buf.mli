@@ -1,0 +1,19 @@
+(** Application buffer descriptors: a byte range in an address space. *)
+
+type t = { space : Vm.Address_space.t; addr : int; len : int }
+
+val make : Vm.Address_space.t -> addr:int -> len:int -> t
+val page_offset : t -> int
+(** Offset of the buffer start within its first page. *)
+
+val pages : t -> int
+(** Number of pages the buffer touches. *)
+
+val read : t -> bytes
+(** Read the buffer contents through the application's mappings. *)
+
+val write : t -> bytes -> unit
+val fill_pattern : t -> seed:int -> unit
+(** Fill with a deterministic pattern (for tests and examples). *)
+
+val expected_pattern : len:int -> seed:int -> bytes

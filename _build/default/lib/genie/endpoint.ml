@@ -1,0 +1,92 @@
+type t = {
+  host : Host.t;
+  vc : int;
+  mode : Net.Adapter.rx_mode;
+  mutable next_token : int;
+  mutable pendings : Input_path.pending list;  (* oldest first *)
+  unclaimed : Net.Adapter.rx_result Queue.t;
+}
+
+let host t = t.host
+let vc t = t.vc
+let mode t = t.mode
+let pending_inputs t = List.length t.pendings
+
+let take_pending t p = t.pendings <- List.filter (fun q -> q != p) t.pendings
+
+let on_rx t (result : Net.Adapter.rx_result) =
+  match result.Net.Adapter.completion with
+  | Net.Adapter.Demuxed { posted; _ } -> begin
+    match
+      List.find_opt
+        (fun p -> Input_path.token p = posted.Net.Adapter.token)
+        t.pendings
+    with
+    | Some p ->
+      take_pending t p;
+      Input_path.handle_completion t.host p result
+    | None -> () (* posted input was cancelled under us; drop *)
+  end
+  | Net.Adapter.Pooled_chain _ | Net.Adapter.Outboard_stored _ -> begin
+    match t.pendings with
+    | p :: _ ->
+      take_pending t p;
+      (* If this pending had posted an early-demux descriptor (the PDU
+         started arriving before we posted), retire the stale entry. *)
+      ignore
+        (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc
+           ~token:(Input_path.token p));
+      Input_path.handle_completion t.host p result
+    | [] -> Queue.add result t.unclaimed
+  end
+
+let create host ~vc ~mode =
+  let t =
+    { host; vc; mode; next_token = 0; pendings = []; unclaimed = Queue.create () }
+  in
+  Net.Adapter.set_rx_mode host.Host.adapter ~vc mode;
+  Host.set_handler host ~vc (on_rx t);
+  t
+
+let output t ~sem ~buf ?seq ?(on_complete = fun () -> ()) () =
+  let seq =
+    match seq with
+    | Some s -> s
+    | None ->
+      let s = t.next_token in
+      t.next_token <- t.next_token + 1;
+      s
+  in
+  Output_path.output t.host ~vc:t.vc ~sem ~buf ~seq ~on_complete
+
+let input t ~sem ~spec ~on_complete =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  let p, posted =
+    Input_path.prepare t.host ~mode:t.mode ~sem ~spec ~vc:t.vc ~token
+      ~on_complete
+  in
+  t.pendings <- t.pendings @ [ p ];
+  (match posted with
+  | Some posted -> Net.Adapter.post_input t.host.Host.adapter posted
+  | None -> ());
+  (* Synchronous input: data may already be waiting (pooled/outboard). *)
+  match Queue.take_opt t.unclaimed with
+  | Some result ->
+    take_pending t p;
+    (match posted with
+    | Some _ ->
+      ignore (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc ~token)
+    | None -> ());
+    Input_path.handle_completion t.host p result
+  | None -> ()
+
+let drain t =
+  List.iter
+    (fun p ->
+      ignore
+        (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc
+           ~token:(Input_path.token p));
+      Input_path.abandon t.host p)
+    t.pendings;
+  t.pendings <- []

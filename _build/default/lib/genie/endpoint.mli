@@ -1,0 +1,43 @@
+(** Genie endpoints: the application-facing API.
+
+    An endpoint binds a virtual circuit on a host's adapter to a device
+    input-buffering mode and carries the bookkeeping that matches arrived
+    PDUs to pending input operations.  Applications perform datagram I/O
+    with any semantics of the taxonomy through {!output} and {!input};
+    the semantics may differ per call and between the two ends. *)
+
+type t
+
+val create : Host.t -> vc:int -> mode:Net.Adapter.rx_mode -> t
+val host : t -> Host.t
+val vc : t -> int
+val mode : t -> Net.Adapter.rx_mode
+
+val output :
+  t ->
+  sem:Semantics.t ->
+  buf:Buf.t ->
+  ?seq:int ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  Output_path.outcome
+(** Send one datagram.  Returns after the prepare stage is charged; the
+    callback fires when the dispose stage retires.  [seq] overrides the
+    header sequence number (endpoint-assigned by default) — transport
+    protocols above Genie use it to identify retransmissions. *)
+
+val input :
+  t ->
+  sem:Semantics.t ->
+  spec:Input_path.spec ->
+  on_complete:(Input_path.result -> unit) ->
+  unit
+(** Post an input.  With early demultiplexing this preposts the buffer
+    descriptors to the adapter; with pooled or outboard buffering the
+    input matches arrivals in FIFO order (including PDUs that arrived
+    before the call). *)
+
+val pending_inputs : t -> int
+
+val drain : t -> unit
+(** Abandon all pending inputs (test teardown). *)

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  engine : Simcore.Engine.t;
+  spec : Machine.Machine_spec.t;
+  costs : Machine.Cost_model.t;
+  cpu : Simcore.Cpu.t;
+  vm : Vm.Vm_sys.t;
+  adapter : Net.Adapter.t;
+  ops : Ops.t;
+  thresholds : Thresholds.t;
+  pool : Memory.Frame.t Queue.t;
+  handlers : (int, Net.Adapter.rx_result -> unit) Hashtbl.t;
+  mutable align_input : bool;
+  tracer : Simcore.Tracer.t;
+}
+
+let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
+  let costs = Machine.Cost_model.create spec in
+  let cpu = Simcore.Cpu.create engine in
+  let vm = Vm.Vm_sys.create spec in
+  let adapter =
+    Net.Adapter.create engine params ~page_size:spec.Machine.Machine_spec.page_size
+      ~name
+  in
+  let thresholds =
+    match thresholds with
+    | Some t -> t
+    | None -> Thresholds.for_page_size spec.Machine.Machine_spec.page_size
+  in
+  let t =
+    {
+      name;
+      engine;
+      spec;
+      costs;
+      cpu;
+      vm;
+      adapter;
+      ops = Ops.create cpu costs;
+      thresholds;
+      pool = Queue.create ();
+      handlers = Hashtbl.create 8;
+      align_input = true;
+      tracer = Simcore.Tracer.create ();
+    }
+  in
+  for _ = 1 to pool_frames do
+    Queue.add (Memory.Phys_mem.alloc t.vm.Vm.Vm_sys.phys) t.pool
+  done;
+  Net.Adapter.set_pool_supply adapter (fun () ->
+      match Queue.take_opt t.pool with
+      | Some frame -> frame
+      | None -> failwith (name ^ ": overlay pool exhausted"));
+  Net.Adapter.set_rx_complete adapter (fun result ->
+      match Hashtbl.find_opt t.handlers result.Net.Adapter.vc with
+      | Some handler -> handler result
+      | None -> ());
+  t
+
+let page_size t = t.spec.Machine.Machine_spec.page_size
+let new_space t = Vm.Address_space.create t.vm
+let pool_take t =
+  match Queue.take_opt t.pool with
+  | Some frame -> frame
+  | None -> failwith (t.name ^ ": overlay pool exhausted")
+
+let pool_put t frame = Queue.add frame t.pool
+let pool_level t = Queue.length t.pool
+
+let alloc_sys_frames t n = Memory.Phys_mem.alloc_many t.vm.Vm.Vm_sys.phys n
+
+let free_sys_frames t frames =
+  List.iter (fun f -> Memory.Phys_mem.deallocate t.vm.Vm.Vm_sys.phys f) frames
+
+let set_handler t ~vc handler = Hashtbl.replace t.handlers vc handler
+let trace t label = Simcore.Tracer.record t.tracer (Simcore.Engine.now t.engine) label
+let now_us t = Simcore.Sim_time.to_us (Simcore.Engine.now t.engine)

@@ -1,0 +1,56 @@
+(** A simulated host: machine spec, CPU, VM system, network adapter, and
+    the I/O module's private pool of overlay pages.
+
+    The host also owns the Genie instance's plumbing between the adapter
+    receive path and per-VC endpoints. *)
+
+type t = {
+  name : string;
+  engine : Simcore.Engine.t;
+  spec : Machine.Machine_spec.t;
+  costs : Machine.Cost_model.t;
+  cpu : Simcore.Cpu.t;
+  vm : Vm.Vm_sys.t;
+  adapter : Net.Adapter.t;
+  ops : Ops.t;
+  thresholds : Thresholds.t;
+  pool : Memory.Frame.t Queue.t;
+  handlers : (int, Net.Adapter.rx_result -> unit) Hashtbl.t;
+  mutable align_input : bool;
+      (** system input alignment (Section 5.2); disable for the ablation
+          benchmark — system buffers are then allocated page-aligned
+          regardless of the application buffer's offset *)
+  tracer : Simcore.Tracer.t;
+      (** stage-level event trace of the data-passing paths (disabled by
+          default; enable with [Simcore.Tracer.enable]) *)
+}
+
+val create :
+  ?pool_frames:int ->
+  ?thresholds:Thresholds.t ->
+  Simcore.Engine.t ->
+  Net.Net_params.t ->
+  Machine.Machine_spec.t ->
+  name:string ->
+  t
+(** [pool_frames] (default 512) sizes the I/O module's overlay pool. *)
+
+val page_size : t -> int
+val new_space : t -> Vm.Address_space.t
+
+val pool_take : t -> Memory.Frame.t
+val pool_put : t -> Memory.Frame.t -> unit
+val pool_level : t -> int
+
+val alloc_sys_frames : t -> int -> Memory.Frame.t list
+(** Kernel system-buffer pages (not pageable, not pooled). *)
+
+val free_sys_frames : t -> Memory.Frame.t list -> unit
+
+val set_handler : t -> vc:int -> (Net.Adapter.rx_result -> unit) -> unit
+
+val now_us : t -> float
+
+val trace : t -> string -> unit
+(** Record a trace event at the current simulated instant (cheap no-op
+    while the tracer is disabled). *)

@@ -1,0 +1,49 @@
+type t = { ep : Endpoint.t; sem : Semantics.t; chunk : int }
+
+let create ?(chunk = 61440) ep ~sem =
+  if chunk <= 0 then invalid_arg "Msg_channel.create: chunk must be positive";
+  if chunk + Proto.Dgram_header.length > Net.Aal5.max_pdu then
+    invalid_arg "Msg_channel.create: chunk too large for AAL5";
+  if Semantics.system_allocated sem then
+    Vm.Vm_error.semantics
+      "Msg_channel requires an application-allocated semantics, not %s"
+      (Semantics.name sem);
+  { ep; sem; chunk }
+
+let chunk_size t = t.chunk
+
+let chunks t len =
+  let n = (len + t.chunk - 1) / t.chunk in
+  List.init n (fun i ->
+      let off = i * t.chunk in
+      (off, min t.chunk (len - off)))
+
+let send t ~buf ~on_complete =
+  let pieces = chunks t buf.Buf.len in
+  let remaining = ref (List.length pieces) in
+  List.iter
+    (fun (off, len) ->
+      let piece =
+        Buf.make buf.Buf.space ~addr:(buf.Buf.addr + off) ~len
+      in
+      ignore
+        (Endpoint.output t.ep ~sem:t.sem ~buf:piece
+           ~on_complete:(fun () ->
+             decr remaining;
+             if !remaining = 0 then on_complete ())
+           ()))
+    pieces
+
+let recv t ~buf ~on_complete =
+  let pieces = chunks t buf.Buf.len in
+  let remaining = ref (List.length pieces) in
+  let all_ok = ref true in
+  List.iter
+    (fun (off, len) ->
+      let piece = Buf.make buf.Buf.space ~addr:(buf.Buf.addr + off) ~len in
+      Endpoint.input t.ep ~sem:t.sem ~spec:(Input_path.App_buffer piece)
+        ~on_complete:(fun r ->
+          if not r.Input_path.ok then all_ok := false;
+          decr remaining;
+          if !remaining = 0 then on_complete ~ok:!all_ok))
+    pieces

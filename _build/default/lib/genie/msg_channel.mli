@@ -1,0 +1,28 @@
+(** Message transport over Genie endpoints.
+
+    AAL5 caps a PDU at 65535 bytes; larger application messages are
+    segmented into page-multiple datagram chunks and reassembled at the
+    receiver.  Chunks are posted back to back, so transmission pipelines
+    chunk [i+1]'s prepare stage with chunk [i]'s wire time.
+
+    The channel requires an application-allocated semantics: receive
+    chunks are preposted at their final offsets inside the destination
+    buffer, so in-place and swap-based semantics deliver the message
+    without any reassembly copy.  (System-allocated semantics would
+    scatter the message across separate regions — the data-layout
+    sensitivity argument of the paper's Section 2.1.) *)
+
+type t
+
+val create : ?chunk:int -> Endpoint.t -> sem:Semantics.t -> t
+(** [chunk] defaults to 61440 bytes and must be positive.
+    @raise Vm_error.Semantics_error for system-allocated semantics. *)
+
+val chunk_size : t -> int
+
+val send : t -> buf:Buf.t -> on_complete:(unit -> unit) -> unit
+(** Transmit the whole buffer as a sequence of chunks. *)
+
+val recv : t -> buf:Buf.t -> on_complete:(ok:bool -> unit) -> unit
+(** Prepost inputs for a message of exactly [buf.len] bytes arriving
+    into [buf].  [ok] is false if any chunk failed. *)

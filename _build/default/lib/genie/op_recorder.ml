@@ -1,0 +1,17 @@
+type sample = { bytes : int; us : float }
+type t = { table : (Machine.Cost_model.op, sample list ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let record t op ~bytes ~us =
+  match Hashtbl.find_opt t.table op with
+  | Some l -> l := { bytes; us } :: !l
+  | None -> Hashtbl.add t.table op (ref [ { bytes; us } ])
+
+let samples t op =
+  match Hashtbl.find_opt t.table op with Some l -> List.rev !l | None -> []
+
+let ops_seen t =
+  List.filter (fun op -> Hashtbl.mem t.table op) Machine.Cost_model.all_ops
+
+let clear t = Hashtbl.reset t.table

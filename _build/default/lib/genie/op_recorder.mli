@@ -1,0 +1,16 @@
+(** Instrumentation of primitive data-passing operations.
+
+    The paper measured each primitive operation by reading the CPU cycle
+    counter around it and least-squares fitting latency against datagram
+    length (Table 6).  The recorder collects the same (operation, bytes,
+    latency) samples from the simulator's charging path so the benchmark
+    harness can redo the fits. *)
+
+type sample = { bytes : int; us : float }
+type t
+
+val create : unit -> t
+val record : t -> Machine.Cost_model.op -> bytes:int -> us:float -> unit
+val samples : t -> Machine.Cost_model.op -> sample list
+val ops_seen : t -> Machine.Cost_model.op list
+val clear : t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  cpu : Simcore.Cpu.t;
+  costs : Machine.Cost_model.t;
+  mutable recorder : Op_recorder.t option;
+}
+
+let create cpu costs = { cpu; costs; recorder = None }
+
+let charge t op ~bytes =
+  let cost = Machine.Cost_model.cost t.costs op ~bytes in
+  ignore (Simcore.Cpu.charge t.cpu ~cost);
+  match t.recorder with
+  | Some r -> Op_recorder.record r op ~bytes ~us:(Simcore.Sim_time.to_us cost)
+  | None -> ()
+
+let page_size t = (Machine.Cost_model.spec t.costs).Machine.Machine_spec.page_size
+let charge_pages t op ~pages = charge t op ~bytes:(pages * page_size t)
+let completion_time t = Simcore.Cpu.busy_until t.cpu

@@ -1,0 +1,20 @@
+(** Charging context for primitive data-passing operations.
+
+    Every Genie data-passing step performs its real manipulation on the
+    simulated substrate {e and} charges the operation's modeled latency
+    to the host CPU through this context, optionally recording the sample
+    for the Table 6 reproduction.  Operations queue sequentially on the
+    CPU; [completion_time] is when everything charged so far retires. *)
+
+type t = {
+  cpu : Simcore.Cpu.t;
+  costs : Machine.Cost_model.t;
+  mutable recorder : Op_recorder.t option;
+}
+
+val create : Simcore.Cpu.t -> Machine.Cost_model.t -> t
+
+val charge : t -> Machine.Cost_model.op -> bytes:int -> unit
+val charge_pages : t -> Machine.Cost_model.op -> pages:int -> unit
+val completion_time : t -> Simcore.Sim_time.t
+val page_size : t -> int

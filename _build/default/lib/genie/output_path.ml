@@ -1,0 +1,178 @@
+module C = Machine.Cost_model
+
+type outcome = {
+  semantics_used : Semantics.t;
+  prepared_at : Simcore.Sim_time.t;
+}
+
+let effective_semantics (host : Host.t) sem len =
+  let th = host.Host.thresholds in
+  if Semantics.equal sem Semantics.emulated_copy
+     && len < th.Thresholds.copy_out_emulated_copy
+  then Semantics.copy
+  else if Semantics.equal sem Semantics.emulated_share
+          && len < th.Thresholds.copy_out_emulated_share
+  then Semantics.copy
+  else sem
+
+(* Build a kernel system buffer holding a copy of the application data. *)
+let copyin_to_system_buffer (host : Host.t) (buf : Buf.t) =
+  let ops = host.Host.ops in
+  let psize = Host.page_size host in
+  let npages = (buf.Buf.len + psize - 1) / psize in
+  Ops.charge ops C.Sysbuf_allocate ~bytes:0;
+  let frames = Host.alloc_sys_frames host npages in
+  let data = Buf.read buf in
+  let segs =
+    List.mapi
+      (fun i frame ->
+        let off = i * psize in
+        let len = min psize (buf.Buf.len - off) in
+        Memory.Frame.blit_in frame ~dst_off:0 ~src:data ~src_off:off ~len;
+        { Memory.Io_desc.frame; off = 0; len })
+      frames
+  in
+  Ops.charge ops C.Copyin ~bytes:buf.Buf.len;
+  (Memory.Io_desc.of_segs segs, frames)
+
+let check_system_allocated (buf : Buf.t) sem =
+  let region = Vm.Address_space.region_of_addr buf.Buf.space ~vaddr:buf.Buf.addr in
+  if region.Vm.Region.state <> Vm.Region.Moved_in then
+    Vm.Vm_error.semantics
+      "output with %s semantics requires a moved-in region, found %s"
+      (Semantics.name sem)
+      (Vm.Region.movability_name region.Vm.Region.state);
+  region
+
+let buffer_region (buf : Buf.t) =
+  Vm.Address_space.region_of_addr buf.Buf.space ~vaddr:buf.Buf.addr
+
+let buffer_page_range (host : Host.t) (buf : Buf.t) (region : Vm.Region.t) =
+  let psize = Host.page_size host in
+  let first = (buf.Buf.addr / psize) - region.Vm.Region.start_vpn in
+  (first, Buf.pages buf)
+
+let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
+  let ops = host.Host.ops in
+  let engine = host.Host.engine in
+  let len = buf.Buf.len in
+  if len <= 0 then invalid_arg "Output_path.output: empty buffer";
+  if len + Proto.Dgram_header.length > Net.Aal5.max_pdu then
+    invalid_arg "Output_path.output: datagram too large for AAL5";
+  (* The system-allocation constraint applies to the semantics the caller
+     asked for, before any threshold conversion. *)
+  if Semantics.system_allocated sem then ignore (check_system_allocated buf sem);
+  Ops.charge ops C.Syscall_entry ~bytes:0;
+  let sem_eff = effective_semantics host sem len in
+  Host.trace host
+    (Printf.sprintf "output.prepare %s len=%d" (Semantics.name sem_eff) len);
+  let hdr =
+    Proto.Dgram_header.encode
+      { Proto.Dgram_header.src_vc = vc; dst_vc = vc; seq; payload_len = len }
+  in
+  let desc, dispose =
+    if not (Semantics.in_place sem_eff) then begin
+      (* Plain copy: data leaves through a system buffer. *)
+      let desc, frames = copyin_to_system_buffer host buf in
+      ( desc,
+        fun () ->
+          Ops.charge ops C.Sysbuf_deallocate ~bytes:0;
+          Host.free_sys_frames host frames )
+    end
+    else begin
+      let space = buf.Buf.space in
+      let region = buffer_region buf in
+      let first, pages = buffer_page_range host buf region in
+      let handle = Vm.Page_ref.reference space ~addr:buf.Buf.addr ~len
+          Vm.Page_ref.For_output
+      in
+      Ops.charge_pages ops C.Reference ~pages;
+      let unref () =
+        Ops.charge_pages ops C.Unreference ~pages;
+        Vm.Page_ref.unreference handle
+      in
+      (* Wiring covers the buffer's pages (Table 6's wire cost is linear
+         in the data length), nesting with any other wirings. *)
+      let wire () =
+        Ops.charge_pages ops C.Wire ~pages;
+        Vm.Address_space.wire_range space region ~first ~pages
+      and unwire () =
+        Ops.charge_pages ops C.Unwire ~pages;
+        Vm.Address_space.unwire_range space region ~first ~pages
+      in
+      let mark state op =
+        Ops.charge ops op ~bytes:0;
+        region.Vm.Region.state <- state
+      in
+      let invalidate_region () =
+        Ops.charge_pages ops C.Invalidate ~pages:region.Vm.Region.npages;
+        Vm.Address_space.invalidate space region ~first:0
+          ~pages:region.Vm.Region.npages
+      in
+      let dispose =
+        match (sem_eff.Semantics.alloc, sem_eff.Semantics.integrity,
+               sem_eff.Semantics.emulated)
+        with
+        | (Semantics.Application, Semantics.Strong, true) ->
+          (* Emulated copy: arm TCOW on the buffer's pages. *)
+          Ops.charge_pages ops C.Read_only ~pages;
+          Vm.Address_space.make_readonly space region ~first ~pages;
+          fun () -> unref ()
+        | (Semantics.Application, Semantics.Weak, false) ->
+          (* Share: in-place, wired for the duration of the output. *)
+          wire ();
+          fun () ->
+            unwire ();
+            unref ()
+        | (Semantics.Application, Semantics.Weak, true) ->
+          (* Emulated share: page referencing alone; input-disabled
+             pageout makes wiring unnecessary. *)
+          fun () -> unref ()
+        | (Semantics.System, Semantics.Strong, false) ->
+          (* Move: wire, hide, and remove the region at dispose. *)
+          wire ();
+          mark Vm.Region.Moving_out C.Region_mark_out;
+          invalidate_region ();
+          fun () ->
+            unwire ();
+            unref ();
+            Ops.charge_pages ops C.Region_remove ~pages:region.Vm.Region.npages;
+            Vm.Address_space.remove_region space region
+        | (Semantics.System, Semantics.Strong, true) ->
+          (* Emulated move: region hiding instead of removal. *)
+          mark Vm.Region.Moving_out C.Region_mark_out;
+          invalidate_region ();
+          fun () ->
+            unref ();
+            mark Vm.Region.Moved_out C.Region_mark_out;
+            Vm.Address_space.cache_region space region
+        | (Semantics.System, Semantics.Weak, false) ->
+          (* Weak move: pages stay mapped; region cached for reuse. *)
+          wire ();
+          mark Vm.Region.Moving_out C.Region_mark_out;
+          fun () ->
+            unwire ();
+            unref ();
+            mark Vm.Region.Weakly_moved_out C.Region_mark_out;
+            Vm.Address_space.cache_region space region
+        | (Semantics.System, Semantics.Weak, true) ->
+          (* Emulated weak move. *)
+          mark Vm.Region.Moving_out C.Region_mark_out;
+          fun () ->
+            unref ();
+            mark Vm.Region.Weakly_moved_out C.Region_mark_out;
+            Vm.Address_space.cache_region space region
+        | (Semantics.Application, Semantics.Strong, false) ->
+          assert false (* plain copy handled above *)
+      in
+      (handle.Vm.Page_ref.desc, dispose)
+    end
+  in
+  let prepared_at = Ops.completion_time ops in
+  Simcore.Engine.at engine ~time:prepared_at (fun () ->
+      Net.Adapter.transmit host.Host.adapter ~vc ~hdr ~desc
+        ~on_tx_complete:(fun () ->
+          Host.trace host (Printf.sprintf "output.dispose %s" (Semantics.name sem_eff));
+          dispose ();
+          Simcore.Engine.at engine ~time:(Ops.completion_time ops) on_complete));
+  { semantics_used = sem_eff; prepared_at }

@@ -1,0 +1,28 @@
+(** The output data-passing path (paper Table 2).
+
+    Output has two stages: {e prepare}, run synchronously when the
+    application invokes the operation (only these costs contribute to
+    end-to-end latency), and {e dispose}, run when the adapter finishes
+    transmitting (overlapped with network and receiver latencies).
+
+    Emulated copy and emulated share outputs shorter than the conversion
+    thresholds automatically use plain copy semantics. *)
+
+type outcome = {
+  semantics_used : Semantics.t;  (** after threshold conversion *)
+  prepared_at : Simcore.Sim_time.t;  (** when prepare-stage CPU work retired *)
+}
+
+val output :
+  Host.t ->
+  vc:int ->
+  sem:Semantics.t ->
+  buf:Buf.t ->
+  seq:int ->
+  on_complete:(unit -> unit) ->
+  outcome
+(** Start an output.  [on_complete] fires when dispose-stage work retires
+    (the application's send has fully completed).
+
+    @raise Vm_error.Semantics_error if a system-allocated semantics is
+    used on a buffer that is not within a moved-in region. *)

@@ -1,0 +1,124 @@
+type t = {
+  data : Endpoint.t;
+  ack : Endpoint.t;
+  sem : Semantics.t;
+  chunk : int;
+  window : int;
+  ack_timeout : Simcore.Sim_time.t;
+}
+
+let create ?(chunk = 61440) ?(window = 4) ?(ack_timeout_us = 20_000.) ~data ~ack
+    sem =
+  if chunk <= 0 || chunk + Proto.Dgram_header.length > Net.Aal5.max_pdu then
+    invalid_arg "Rel_channel.create: bad chunk size";
+  if window <= 0 then invalid_arg "Rel_channel.create: window must be positive";
+  if Semantics.system_allocated sem then
+    Vm.Vm_error.semantics "Rel_channel requires an application-allocated semantics";
+  if Endpoint.host data != Endpoint.host ack then
+    invalid_arg "Rel_channel.create: endpoints on different hosts";
+  if Endpoint.vc data = Endpoint.vc ack then
+    invalid_arg "Rel_channel.create: data and ack VCs must differ";
+  { data; ack; sem; chunk; window;
+    ack_timeout = Simcore.Sim_time.of_us ack_timeout_us }
+
+let nchunks t len = (len + t.chunk - 1) / t.chunk
+
+let chunk_buf t (buf : Buf.t) i =
+  let off = i * t.chunk in
+  Buf.make buf.Buf.space ~addr:(buf.Buf.addr + off)
+    ~len:(min t.chunk (buf.Buf.len - off))
+
+(* Acknowledgements are one-byte datagrams whose header sequence field
+   carries the cumulative "next expected chunk" value. *)
+let ack_scratch host =
+  let space = Host.new_space host in
+  let region = Vm.Address_space.map_region space ~npages:1 in
+  Buf.make space
+    ~addr:(Vm.Address_space.base_addr region ~page_size:(Host.page_size host))
+    ~len:1
+
+let send t ~buf ~on_complete =
+  let host = Endpoint.host t.data in
+  let engine = host.Host.engine in
+  let n = nchunks t buf.Buf.len in
+  let base = ref 0 in
+  let next = ref 0 in
+  let retransmissions = ref 0 in
+  let timer_generation = ref 0 in
+  let finished = ref false in
+  let ack_bufs = Array.init 2 (fun _ -> ack_scratch host) in
+  let rec fill_window () =
+    while !next < n && !next < !base + t.window do
+      let i = !next in
+      incr next;
+      ignore (Endpoint.output t.data ~sem:t.sem ~buf:(chunk_buf t buf i) ~seq:i ())
+    done
+  and arm_timer () =
+    if not !finished then begin
+      incr timer_generation;
+      let generation = !timer_generation in
+      Simcore.Engine.schedule engine ~delay:t.ack_timeout (fun () ->
+          if (not !finished) && generation = !timer_generation then begin
+            (* Timeout: go back to the window base and resend. *)
+            retransmissions := !retransmissions + (!next - !base);
+            next := !base;
+            fill_window ();
+            arm_timer ()
+          end)
+    end
+  and on_ack (r : Input_path.result) =
+    if (not !finished) && r.Input_path.ok then begin
+      let expected = r.Input_path.seq in
+      if expected > !base then begin
+        base := expected;
+        if !base >= n then begin
+          finished := true;
+          incr timer_generation;
+          on_complete ~retransmissions:!retransmissions
+        end
+        else begin
+          arm_timer ();
+          fill_window ()
+        end
+      end
+    end;
+    if not !finished then post_ack_input ()
+  and post_ack_input () =
+    Endpoint.input t.ack ~sem:Semantics.copy
+      ~spec:(Input_path.App_buffer ack_bufs.(0))
+      ~on_complete:on_ack
+  in
+  post_ack_input ();
+  ignore ack_bufs;
+  fill_window ();
+  arm_timer ()
+
+let recv t ~buf ~on_complete =
+  let host = Endpoint.host t.data in
+  let n = nchunks t buf.Buf.len in
+  let expected = ref 0 in
+  let ack_buf = ack_scratch host in
+  Buf.write ack_buf (Bytes.of_string "A");
+  let send_ack () =
+    ignore (Endpoint.output t.ack ~sem:Semantics.copy ~buf:ack_buf ~seq:!expected ())
+  in
+  let rec post_expected () =
+    if !expected < n then
+      Endpoint.input t.data ~sem:t.sem
+        ~spec:(Input_path.App_buffer (chunk_buf t buf !expected))
+        ~on_complete:(fun r ->
+          if r.Input_path.ok && r.Input_path.seq = !expected then begin
+            incr expected;
+            send_ack ();
+            if !expected = n then on_complete ~ok:true else post_expected ()
+          end
+          else begin
+            (* Corrupt chunk, or a stale retransmission landed in the
+               buffer; re-ack the current expectation and keep waiting —
+               the real chunk will overwrite it. *)
+            send_ack ();
+            post_expected ()
+          end)
+    else on_complete ~ok:true
+  in
+  post_expected ()

@@ -1,0 +1,37 @@
+(** Reliable message transport: go-back-N ARQ over Genie datagrams.
+
+    The paper's experiments run over a reliable local ATM network, but a
+    production I/O framework needs a transport that survives corrupted
+    PDUs (which the AAL5 CRC detects and Genie reports as failed
+    inputs).  This module implements a classic go-back-N sender over a
+    data VC with cumulative acknowledgements on a reverse VC:
+
+    - chunks carry their index in the datagram header sequence field;
+    - the receiver accepts only the next expected chunk, acknowledging
+      cumulatively, and reposts its buffer until the expected chunk
+      arrives intact (stale retransmissions are simply overwritten);
+    - the sender keeps a window of unacknowledged chunks in flight and
+      retransmits the whole window when the acknowledgement timer fires.
+
+    Requires an application-allocated semantics (see {!Msg_channel}).
+    A retransmitted chunk must still hold its original data, so the
+    sender's semantics must also be strong-integrity unless the
+    application refrains from touching the buffer until completion. *)
+
+type t
+
+val create :
+  ?chunk:int ->
+  ?window:int ->
+  ?ack_timeout_us:float ->
+  data:Endpoint.t ->
+  ack:Endpoint.t ->
+  Semantics.t ->
+  t
+(** [data] carries chunks, [ack] the reverse acknowledgements; the two
+    endpoints must be on the same host and use distinct VCs.  Defaults:
+    60 KB chunks, window 4, 20 ms acknowledgement timeout. *)
+
+val send : t -> buf:Buf.t -> on_complete:(retransmissions:int -> unit) -> unit
+val recv : t -> buf:Buf.t -> on_complete:(ok:bool -> unit) -> unit
+(** The receive side completes when every chunk has arrived intact. *)

@@ -1,0 +1,34 @@
+type alloc = Application | System
+type integrity = Strong | Weak
+type t = { alloc : alloc; integrity : integrity; emulated : bool }
+
+let copy = { alloc = Application; integrity = Strong; emulated = false }
+let emulated_copy = { copy with emulated = true }
+let share = { alloc = Application; integrity = Weak; emulated = false }
+let emulated_share = { share with emulated = true }
+let move = { alloc = System; integrity = Strong; emulated = false }
+let emulated_move = { move with emulated = true }
+let weak_move = { alloc = System; integrity = Weak; emulated = false }
+let emulated_weak_move = { weak_move with emulated = true }
+
+let all =
+  [ copy; emulated_copy; share; emulated_share; move; emulated_move;
+    weak_move; emulated_weak_move ]
+
+let name t =
+  let base =
+    match (t.alloc, t.integrity) with
+    | Application, Strong -> "copy"
+    | Application, Weak -> "share"
+    | System, Strong -> "move"
+    | System, Weak -> "weak move"
+  in
+  if t.emulated then "emulated " ^ base else base
+
+let of_name s =
+  List.find_opt (fun t -> String.equal (name t) (String.lowercase_ascii (String.trim s))) all
+
+let system_allocated t = t.alloc = System
+let in_place t = not (t.alloc = Application && t.integrity = Strong && not t.emulated)
+let pp fmt t = Format.pp_print_string fmt (name t)
+let equal a b = a = b

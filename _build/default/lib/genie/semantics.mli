@@ -1,0 +1,42 @@
+(** The paper's taxonomy of data-passing semantics (Section 2, Figure 1).
+
+    Three orthogonal dimensions:
+    - {e buffer allocation}: does the application choose where its I/O
+      buffers are ([Application]) or does the system ([System])?
+    - {e guaranteed integrity}: is output immune to later overwriting and
+      input never observable in inconsistent states ([Strong]), or may
+      the application corrupt/observe in-flight data ([Weak])?
+    - {e level of optimization}: the basic semantics, or Genie's emulated
+      (transparently optimized) variant.
+
+    The 2 x 2 x 2 corners give the eight semantics the paper evaluates:
+    copy, share, move, weak move, and their emulated forms. *)
+
+type alloc = Application | System
+type integrity = Strong | Weak
+
+type t = { alloc : alloc; integrity : integrity; emulated : bool }
+
+val copy : t
+val emulated_copy : t
+val share : t
+val emulated_share : t
+val move : t
+val emulated_move : t
+val weak_move : t
+val emulated_weak_move : t
+
+val all : t list
+(** All eight, in the paper's customary order: copy, emulated copy,
+    share, emulated share, move, emulated move, weak move, emulated weak
+    move. *)
+
+val name : t -> string
+val of_name : string -> t option
+val system_allocated : t -> bool
+val in_place : t -> bool
+(** Does output transmit directly from application pages (everything but
+    copy)? *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,17 @@
+(** The system-allocated buffer API (paper Section 2.1).
+
+    "The system-allocated API also includes calls to allocate or
+    deallocate I/O buffers."  Applications with balanced input and
+    output can avoid these by recycling buffers implicitly allocated by
+    input operations; explicit allocation covers senders that originate
+    data.  Buffers are moved-in regions, eligible for output with any
+    system-allocated semantics. *)
+
+val alloc : Host.t -> Vm.Address_space.t -> len:int -> Buf.t
+(** Allocate a moved-in region holding [len] bytes (rounded up to whole
+    pages) and return the buffer at its base. *)
+
+val dealloc : Host.t -> Buf.t -> unit
+(** Release a buffer previously obtained from {!alloc} or returned by a
+    system-allocated input.  @raise Vm_error.Semantics_error if the
+    buffer's region is not moved-in (e.g. already output). *)

@@ -1,0 +1,19 @@
+type t = {
+  copy_out_emulated_copy : int;
+  copy_out_emulated_share : int;
+  reverse_copyout : int;
+}
+
+let default =
+  { copy_out_emulated_copy = 1666; copy_out_emulated_share = 280; reverse_copyout = 2178 }
+
+let for_page_size page_size =
+  let scale v = v * page_size / 4096 in
+  {
+    copy_out_emulated_copy = scale default.copy_out_emulated_copy;
+    copy_out_emulated_share = scale default.copy_out_emulated_share;
+    reverse_copyout = (page_size / 2) + scale (default.reverse_copyout - 2048);
+  }
+
+let no_conversion =
+  { copy_out_emulated_copy = 0; copy_out_emulated_share = 0; reverse_copyout = 0 }

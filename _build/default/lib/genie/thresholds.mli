@@ -1,0 +1,30 @@
+(** Genie's copy-conversion and reverse-copyout thresholds (Section 6).
+
+    Copy semantics is very efficient for short data, so Genie converts
+    emulated copy and emulated share {e output} to plain copy below
+    configurable lengths.  On emulated-copy input, partially filled
+    system-buffer pages are either copied out or completed-and-swapped
+    depending on the reverse-copyout threshold (Section 5.2), which is
+    set just above half a page to minimize the bytes copied.  The values
+    are the paper's empirically determined settings for 4 KB pages. *)
+
+type t = {
+  copy_out_emulated_copy : int;
+      (** output shorter than this under emulated copy uses copy (1666) *)
+  copy_out_emulated_share : int;  (** likewise for emulated share (280) *)
+  reverse_copyout : int;
+      (** partial page data shorter than this is copied out rather than
+          completed and swapped (2178) *)
+}
+
+val default : t
+(** The paper's settings: 1666 / 280 / 2178 bytes. *)
+
+val for_page_size : int -> t
+(** Scale the defaults to a machine's page size (the AlphaStation uses
+    8 KB pages); the reverse-copyout threshold stays just above half a
+    page. *)
+
+val no_conversion : t
+(** Disable copy conversion and force reverse copyout to always complete
+    and swap (for ablation benches). *)

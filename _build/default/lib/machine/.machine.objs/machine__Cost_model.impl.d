@@ -1,0 +1,1 @@
+lib/machine/cost_model.ml: Array Float Format Hashtbl List Machine_spec Simcore

@@ -1,0 +1,72 @@
+type architecture = Pentium | Alpha_21064a
+
+type t = {
+  name : string;
+  architecture : architecture;
+  cpu_mhz : int;
+  specint95 : float;
+  l1_kb : int;
+  l1_bw_mbps : float;
+  l2_kb : int;
+  l2_bw_mbps : float;
+  memory_mb : int;
+  memory_bw_mbps : float;
+  page_size : int;
+}
+
+let micron_p166 =
+  {
+    name = "Micron P166";
+    architecture = Pentium;
+    cpu_mhz = 166;
+    specint95 = 4.52;
+    l1_kb = 8;
+    l1_bw_mbps = 3560.;
+    l2_kb = 256;
+    l2_bw_mbps = 486.;
+    memory_mb = 32;
+    memory_bw_mbps = 351.;
+    page_size = 4096;
+  }
+
+let gateway_p5_90 =
+  {
+    name = "Gateway P5-90";
+    architecture = Pentium;
+    cpu_mhz = 90;
+    specint95 = 2.88;
+    l1_kb = 8;
+    l1_bw_mbps = 1910.;
+    l2_kb = 256;
+    l2_bw_mbps = 244.;
+    memory_mb = 32;
+    memory_bw_mbps = 146.;
+    page_size = 4096;
+  }
+
+let alphastation_255 =
+  {
+    name = "AlphaStation 255/233";
+    architecture = Alpha_21064a;
+    cpu_mhz = 233;
+    specint95 = 3.48;
+    l1_kb = 16;
+    l1_bw_mbps = 2860.;
+    l2_kb = 1024;
+    l2_bw_mbps = 1366.;
+    memory_mb = 64;
+    memory_bw_mbps = 350.;
+    page_size = 8192;
+  }
+
+let all = [ micron_p166; gateway_p5_90; alphastation_255 ]
+
+let pages_of_bytes t bytes = (bytes + t.page_size - 1) / t.page_size
+let frame_count t = t.memory_mb * 1024 * 1024 / t.page_size
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: %d MHz (SPECint95 %.2f), L1 %dKB @%.0fMbps, L2 %dKB @%.0fMbps, mem \
+     %dMB @%.0fMbps, page %dB"
+    t.name t.cpu_mhz t.specint95 t.l1_kb t.l1_bw_mbps t.l2_kb t.l2_bw_mbps
+    t.memory_mb t.memory_bw_mbps t.page_size

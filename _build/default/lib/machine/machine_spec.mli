@@ -1,0 +1,40 @@
+(** Descriptions of the machines used in the paper's testbed (Table 5).
+
+    A spec carries everything the cost model and the memory substrate need:
+    CPU integer rating, cache and memory copy bandwidths, memory size and
+    page size.  Bandwidths are in Mbps as printed in the paper (peak values
+    of a user-level [bcopy] benchmark). *)
+
+type architecture =
+  | Pentium  (** Intel P5 microarchitecture (Micron P166, Gateway P5-90) *)
+  | Alpha_21064a  (** DEC AlphaStation 255/233 *)
+
+type t = {
+  name : string;
+  architecture : architecture;
+  cpu_mhz : int;
+  specint95 : float;  (** integer rating used for CPU-cost scaling *)
+  l1_kb : int;  (** per-side (I+D are equal in Table 5) *)
+  l1_bw_mbps : float;
+  l2_kb : int;
+  l2_bw_mbps : float;
+  memory_mb : int;
+  memory_bw_mbps : float;
+  page_size : int;  (** bytes *)
+}
+
+val micron_p166 : t
+(** The reference platform: all figures in the paper refer to it. *)
+
+val gateway_p5_90 : t
+val alphastation_255 : t
+
+val all : t list
+
+val pages_of_bytes : t -> int -> int
+(** Number of pages needed to hold the given byte count (ceiling). *)
+
+val frame_count : t -> int
+(** Number of physical page frames ([memory_mb] worth of pages). *)
+
+val pp : Format.formatter -> t -> unit

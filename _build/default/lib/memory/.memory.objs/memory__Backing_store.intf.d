@@ -1,0 +1,1 @@
+lib/memory/backing_store.mli:

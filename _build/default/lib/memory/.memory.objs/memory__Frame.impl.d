@@ -1,0 +1,1 @@
+lib/memory/frame.ml: Bytes Format

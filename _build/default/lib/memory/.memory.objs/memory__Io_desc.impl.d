@@ -1,0 +1,1 @@
+lib/memory/io_desc.ml: Bytes Format Frame Hashtbl List

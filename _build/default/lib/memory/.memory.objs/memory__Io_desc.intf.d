@@ -1,0 +1,1 @@
+lib/memory/io_desc.mli: Format Frame

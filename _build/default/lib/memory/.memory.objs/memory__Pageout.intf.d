@@ -1,0 +1,1 @@
+lib/memory/pageout.mli: Frame

@@ -1,0 +1,1 @@
+lib/memory/phys_mem.ml: Array Bytes Frame List Machine Queue

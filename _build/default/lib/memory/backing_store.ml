@@ -1,0 +1,34 @@
+type slot = int
+
+type t = {
+  page_size : int;
+  slots : (int, bytes) Hashtbl.t;
+  mutable next : int;
+}
+
+let create ~page_size = { page_size; slots = Hashtbl.create 64; next = 0 }
+
+let page_out t data =
+  if Bytes.length data <> t.page_size then
+    invalid_arg "Backing_store.page_out: wrong page size";
+  let slot = t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.slots slot (Bytes.copy data);
+  slot
+
+let lookup t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | Some data -> data
+  | None -> invalid_arg "Backing_store: unknown or freed slot"
+
+let free t slot =
+  ignore (lookup t slot);
+  Hashtbl.remove t.slots slot
+
+let page_in t slot dst =
+  let data = lookup t slot in
+  Bytes.blit data 0 dst 0 t.page_size;
+  Hashtbl.remove t.slots slot
+
+let peek t slot = Bytes.copy (lookup t slot)
+let live_slots t = Hashtbl.length t.slots

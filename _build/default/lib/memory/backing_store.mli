@@ -1,0 +1,22 @@
+(** Swap space for the pageout daemon.
+
+    Page contents evicted by pageout live here until faulted back in.
+    Slots hold real bytes so that pageout/pagein round trips are
+    verifiable. *)
+
+type t
+type slot
+
+val create : page_size:int -> t
+
+val page_out : t -> bytes -> slot
+(** Store a copy of the page contents, returning the slot. *)
+
+val page_in : t -> slot -> bytes -> unit
+(** Copy the slot contents into the destination page and free the slot. *)
+
+val peek : t -> slot -> bytes
+(** Contents of a slot without freeing it (tests). *)
+
+val free : t -> slot -> unit
+val live_slots : t -> int

@@ -1,0 +1,29 @@
+type state = Free | Allocated | Zombie
+
+type t = {
+  id : int;
+  data : bytes;
+  mutable input_refs : int;
+  mutable output_refs : int;
+  mutable wired : int;
+  mutable state : state;
+  mutable pageable : bool;
+}
+
+let io_referenced t = t.input_refs > 0 || t.output_refs > 0
+let page_size t = Bytes.length t.data
+let fill t c = Bytes.fill t.data 0 (Bytes.length t.data) c
+
+let blit_in t ~dst_off ~src ~src_off ~len =
+  Bytes.blit src src_off t.data dst_off len
+
+let blit_out t ~src_off ~dst ~dst_off ~len =
+  Bytes.blit t.data src_off dst dst_off len
+
+let copy_contents ~src ~dst = Bytes.blit src.data 0 dst.data 0 (Bytes.length src.data)
+
+let state_name = function Free -> "free" | Allocated -> "alloc" | Zombie -> "zombie"
+
+let pp fmt t =
+  Format.fprintf fmt "frame#%d[%s in=%d out=%d wired=%d]" t.id
+    (state_name t.state) t.input_refs t.output_refs t.wired

@@ -1,0 +1,41 @@
+(** Physical page frames.
+
+    A frame carries real backing bytes — all simulated I/O moves data
+    through frames, so end-to-end byte correctness is checkable.  Frames
+    also carry the per-page input and output reference counts that
+    Genie's page referencing scheme maintains (Section 3.1 of the paper):
+    a page with a nonzero count has pending DMA and must not be handed to
+    another process, and a page with nonzero {e input} count must not be
+    paged out (input-disabled pageout, Section 3.2). *)
+
+type state =
+  | Free  (** on the free list *)
+  | Allocated  (** owned by a memory object or kernel buffer *)
+  | Zombie
+      (** deallocated while I/O was pending; reclaimed when the last I/O
+          reference is dropped (I/O-deferred page deallocation) *)
+
+type t = {
+  id : int;
+  data : bytes;
+  mutable input_refs : int;
+  mutable output_refs : int;
+  mutable wired : int;
+  mutable state : state;
+  mutable pageable : bool;  (** on the pageout daemon's candidate list *)
+}
+
+val io_referenced : t -> bool
+(** True if the frame has pending input or output references. *)
+
+val page_size : t -> int
+
+val fill : t -> char -> unit
+(** Overwrite the whole frame with one byte (used for zeroing and for
+    poisoning freed pages in tests). *)
+
+val blit_in : t -> dst_off:int -> src:bytes -> src_off:int -> len:int -> unit
+val blit_out : t -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val copy_contents : src:t -> dst:t -> unit
+
+val pp : Format.formatter -> t -> unit

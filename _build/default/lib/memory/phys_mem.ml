@@ -1,0 +1,97 @@
+type t = {
+  frames : Frame.t array;
+  free : int Queue.t;
+  page_size : int;
+  mutable zombies : int;
+}
+
+exception Out_of_frames
+
+let create spec =
+  let page_size = spec.Machine.Machine_spec.page_size in
+  let n = Machine.Machine_spec.frame_count spec in
+  let frames =
+    Array.init n (fun id ->
+        {
+          Frame.id;
+          data = Bytes.create page_size;
+          input_refs = 0;
+          output_refs = 0;
+          wired = 0;
+          state = Frame.Free;
+          pageable = false;
+        })
+  in
+  let free = Queue.create () in
+  Array.iter (fun (f : Frame.t) -> Queue.add f.Frame.id free) frames;
+  { frames; free; page_size; zombies = 0 }
+
+let page_size t = t.page_size
+let total_frames t = Array.length t.frames
+let free_frames t = Queue.length t.free
+let frame_by_id t id = t.frames.(id)
+
+let alloc t =
+  match Queue.take_opt t.free with
+  | None -> raise Out_of_frames
+  | Some id ->
+    let frame = t.frames.(id) in
+    assert (frame.Frame.state = Frame.Free);
+    frame.Frame.state <- Frame.Allocated;
+    Frame.fill frame '\xAA';
+    frame
+
+let alloc_zeroed t =
+  let frame = alloc t in
+  Frame.fill frame '\x00';
+  frame
+
+let alloc_many t n =
+  let rec take acc k = if k = 0 then List.rev acc else take (alloc t :: acc) (k - 1) in
+  take [] n
+
+let release t (frame : Frame.t) =
+  frame.Frame.state <- Frame.Free;
+  frame.Frame.pageable <- false;
+  frame.Frame.wired <- 0;
+  Queue.add frame.Frame.id t.free
+
+let deallocate t (frame : Frame.t) =
+  match frame.Frame.state with
+  | Frame.Free -> invalid_arg "Phys_mem.deallocate: frame already free"
+  | Frame.Zombie -> invalid_arg "Phys_mem.deallocate: frame already a zombie"
+  | Frame.Allocated ->
+    if Frame.io_referenced frame then begin
+      frame.Frame.state <- Frame.Zombie;
+      t.zombies <- t.zombies + 1
+    end
+    else release t frame
+
+let ref_input _t (frame : Frame.t) = frame.Frame.input_refs <- frame.Frame.input_refs + 1
+let ref_output _t (frame : Frame.t) = frame.Frame.output_refs <- frame.Frame.output_refs + 1
+
+let reclaim_if_due t (frame : Frame.t) =
+  if frame.Frame.state = Frame.Zombie && not (Frame.io_referenced frame) then begin
+    t.zombies <- t.zombies - 1;
+    release t frame
+  end
+
+let unref_input t (frame : Frame.t) =
+  if frame.Frame.input_refs <= 0 then invalid_arg "Phys_mem.unref_input: no reference";
+  frame.Frame.input_refs <- frame.Frame.input_refs - 1;
+  reclaim_if_due t frame
+
+let unref_output t (frame : Frame.t) =
+  if frame.Frame.output_refs <= 0 then invalid_arg "Phys_mem.unref_output: no reference";
+  frame.Frame.output_refs <- frame.Frame.output_refs - 1;
+  reclaim_if_due t frame
+
+let adopt t (frame : Frame.t) =
+  match frame.Frame.state with
+  | Frame.Zombie ->
+    t.zombies <- t.zombies - 1;
+    frame.Frame.state <- Frame.Allocated
+  | Frame.Allocated -> ()
+  | Frame.Free -> invalid_arg "Phys_mem.adopt: frame is free"
+
+let zombie_count t = t.zombies

@@ -1,0 +1,52 @@
+(** Physical memory: the frame pool and the free list.
+
+    Implements {e I/O-deferred page deallocation} (paper Section 3.1):
+    [deallocate] refrains from putting a frame with pending I/O references
+    on the free list; instead the frame becomes a zombie, and the final
+    [unref_input]/[unref_output] places it on the free list.  This is what
+    makes in-place I/O safe when an application frees (or exits with)
+    memory that a device is still reading or writing. *)
+
+type t
+
+exception Out_of_frames
+
+val create : Machine.Machine_spec.t -> t
+(** Frame pool sized to the machine's physical memory. *)
+
+val page_size : t -> int
+val total_frames : t -> int
+val free_frames : t -> int
+
+val alloc : t -> Frame.t
+(** Take a frame off the free list; contents are unspecified (frames are
+    poisoned with [0xAA] to surface missing-zeroing bugs).
+    @raise Out_of_frames when physical memory is exhausted. *)
+
+val alloc_zeroed : t -> Frame.t
+val alloc_many : t -> int -> Frame.t list
+
+val deallocate : t -> Frame.t -> unit
+(** Release an [Allocated] frame.  If the frame has I/O references it
+    becomes a [Zombie] and is reclaimed later; otherwise it goes straight
+    to the free list. *)
+
+val ref_input : t -> Frame.t -> unit
+val ref_output : t -> Frame.t -> unit
+
+val unref_input : t -> Frame.t -> unit
+(** Drop one input reference; reclaims the frame if it is a zombie whose
+    last reference this was. *)
+
+val unref_output : t -> Frame.t -> unit
+
+val adopt : t -> Frame.t -> unit
+(** Resurrect a zombie frame: a new owner (a re-homed region, see the
+    paper's region check) claims it before its pending I/O completes, so
+    the final unreference must not free it.  No-op on allocated frames.
+    @raise Invalid_argument on free frames. *)
+
+val zombie_count : t -> int
+(** Number of frames awaiting reclamation (for tests and monitoring). *)
+
+val frame_by_id : t -> int -> Frame.t

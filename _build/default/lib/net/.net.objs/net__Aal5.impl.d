@@ -1,0 +1,1 @@
+lib/net/aal5.ml: Bytes Crc32 Format List

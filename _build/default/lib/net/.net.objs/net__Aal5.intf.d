@@ -1,0 +1,1 @@
+lib/net/aal5.mli: Format

@@ -1,0 +1,1 @@
+lib/net/adapter.ml: Aal5 Buffer Bytes Char Crc32 Float Hashtbl List Memory Net_params Option Queue Simcore

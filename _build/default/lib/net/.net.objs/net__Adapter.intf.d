@@ -1,0 +1,1 @@
+lib/net/adapter.mli: Memory Net_params Simcore

@@ -1,0 +1,1 @@
+lib/net/net_params.ml: Aal5 Float Simcore

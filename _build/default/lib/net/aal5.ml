@@ -1,0 +1,51 @@
+let cell_payload = 48
+let cell_total = 53
+let trailer_len = 8
+let max_pdu = 65535
+
+let cells_for_len len =
+  if len < 0 then invalid_arg "Aal5.cells_for_len: negative length";
+  (len + trailer_len + cell_payload - 1) / cell_payload
+
+let wire_bytes len = cells_for_len len * cell_total
+
+type error = [ `Bad_crc | `Bad_length | `Truncated ]
+
+let pp_error fmt e =
+  Format.pp_print_string fmt
+    (match e with
+    | `Bad_crc -> "bad CRC"
+    | `Bad_length -> "bad length field"
+    | `Truncated -> "truncated PDU")
+
+let encode payload =
+  let len = Bytes.length payload in
+  if len > max_pdu then invalid_arg "Aal5.encode: payload too large";
+  let ncells = cells_for_len len in
+  let total = ncells * cell_payload in
+  let framed = Bytes.make total '\x00' in
+  Bytes.blit payload 0 framed 0 len;
+  (* Trailer: UU=0, CPI=0, 16-bit length, CRC-32 over everything that
+     precedes the CRC field. *)
+  Bytes.set_uint16_be framed (total - 6) len;
+  let crc = Crc32.finish (Crc32.update Crc32.init framed ~off:0 ~len:(total - 4)) in
+  Bytes.set_int32_be framed (total - 4) crc;
+  List.init ncells (fun i -> Bytes.sub framed (i * cell_payload) cell_payload)
+
+let decode cells =
+  match cells with
+  | [] -> Error `Truncated
+  | _ ->
+    let framed = Bytes.concat Bytes.empty cells in
+    let total = Bytes.length framed in
+    if total < cell_payload || total mod cell_payload <> 0 then Error `Truncated
+    else begin
+      let len = Bytes.get_uint16_be framed (total - 6) in
+      let crc = Bytes.get_int32_be framed (total - 4) in
+      let computed =
+        Crc32.finish (Crc32.update Crc32.init framed ~off:0 ~len:(total - 4))
+      in
+      if computed <> crc then Error `Bad_crc
+      else if cells_for_len len * cell_payload <> total then Error `Bad_length
+      else Ok (Bytes.sub framed 0 len)
+    end

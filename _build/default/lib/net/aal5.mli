@@ -1,0 +1,34 @@
+(** ATM Adaptation Layer 5 framing.
+
+    An AAL5 PDU is the payload, zero padding, and an 8-byte trailer
+    (UU, CPI, 16-bit length, CRC-32) packed into a whole number of
+    48-byte cell payloads.  The adapter uses [cells_for_len] for wire
+    timing; [encode]/[decode] implement the real cellification and are
+    exercised by the test suite and the quickstart example. *)
+
+val cell_payload : int
+(** 48 bytes. *)
+
+val cell_total : int
+(** 53 bytes: payload plus the 5-byte cell header. *)
+
+val trailer_len : int
+(** 8 bytes. *)
+
+val max_pdu : int
+(** Largest payload AAL5 can carry (65535). *)
+
+val cells_for_len : int -> int
+(** Number of cells needed for a payload of the given length. *)
+
+val wire_bytes : int -> int
+(** Bytes on the wire ([cells * 53]) for a payload length. *)
+
+type error = [ `Bad_crc | `Bad_length | `Truncated ]
+
+val encode : bytes -> bytes list
+(** Split a payload into 48-byte cell payloads, padded, with trailer. *)
+
+val decode : bytes list -> (bytes, error) result
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,418 @@
+type rx_mode = Early_demux | Pooled | Outboard
+
+type posted = {
+  vc : int;
+  token : int;
+  hdr_desc : Memory.Io_desc.t;
+  mutable payload_desc : Memory.Io_desc.t option;
+  ready : unit -> Memory.Io_desc.t;
+}
+
+type completion =
+  | Demuxed of { posted : posted; payload_len : int; overrun : bool }
+  | Pooled_chain of {
+      frames : Memory.Frame.t list;
+      hdr_len : int;
+      payload_len : int;
+    }
+  | Outboard_stored of { id : int; hdr_len : int; payload_len : int }
+
+type rx_result = { vc : int; completion : completion; crc_ok : bool }
+
+(* Receiver-side state for the PDU currently arriving on a VC. *)
+type rx_partial =
+  | Rx_idle
+  | Rx_demux of { posted : posted; mutable overrun : bool }
+  | Rx_pooled of { mutable frames : Memory.Frame.t list (* reversed *) }
+  | Rx_outboard of { buf : Buffer.t; id : int }
+
+type rx_flow = {
+  mutable partial : rx_partial;
+  mutable crc : Crc32.t;
+  mutable received : int;  (* PDU bytes scattered so far *)
+}
+
+type t = {
+  engine : Simcore.Engine.t;
+  p : Net_params.t;
+  page_size : int;
+  name : string;
+  mutable peer : t option;
+  mutable tx_busy_until : Simcore.Sim_time.t;
+  rx_modes : (int, rx_mode) Hashtbl.t;
+  posted : (int, posted Queue.t) Hashtbl.t;
+  flows : (int, rx_flow) Hashtbl.t;
+  mutable pool_supply : unit -> Memory.Frame.t;
+  mutable rx_complete : rx_result -> unit;
+  outboard : (int, bytes) Hashtbl.t;
+  mutable next_outboard_id : int;
+  mutable dropped : int;
+  tx_queue : tx_job Queue.t;
+  mutable tx_active : bool;
+  credits : (int, credit_state) Hashtbl.t;
+  mutable stalls : int;
+  corrupt_pending : (int, int ref) Hashtbl.t;  (* vc -> PDUs to corrupt *)
+}
+
+and credit_state = {
+  limit : int;
+  mutable available : int;
+  mutable waiting : (unit -> unit) option;
+}
+
+and tx_job = {
+  job_vc : int;
+  job_fl : flight;
+  job_done : unit -> unit;
+}
+
+and flight = {
+  fl_vc : int;
+  fl_hdr : bytes;
+  fl_desc : Memory.Io_desc.t;
+  fl_total : int;  (* hdr + payload *)
+  fl_hdr_len : int;
+  mutable fl_crc : Crc32.t;
+}
+
+let create engine p ~page_size ~name =
+  {
+    engine;
+    p;
+    page_size;
+    name;
+    peer = None;
+    tx_busy_until = Simcore.Sim_time.zero;
+    rx_modes = Hashtbl.create 8;
+    posted = Hashtbl.create 8;
+    flows = Hashtbl.create 8;
+    pool_supply = (fun () -> failwith "Adapter: no pool supply installed");
+    rx_complete = (fun _ -> ());
+    outboard = Hashtbl.create 8;
+    next_outboard_id = 0;
+    dropped = 0;
+    tx_queue = Queue.create ();
+    tx_active = false;
+    credits = Hashtbl.create 4;
+    stalls = 0;
+    corrupt_pending = Hashtbl.create 4;
+  }
+
+let connect a b =
+  a.peer <- Some b;
+  b.peer <- Some a
+
+let params t = t.p
+let set_rx_mode t ~vc mode = Hashtbl.replace t.rx_modes vc mode
+let rx_mode t vc = Option.value ~default:Early_demux (Hashtbl.find_opt t.rx_modes vc)
+let set_pool_supply t supply = t.pool_supply <- supply
+let set_rx_complete t handler = t.rx_complete <- handler
+
+let posted_queue t vc =
+  match Hashtbl.find_opt t.posted vc with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.posted vc q;
+    q
+
+let post_input t (posted : posted) = Queue.add posted (posted_queue t posted.vc)
+let posted_count t ~vc = Queue.length (posted_queue t vc)
+let cancel_posted t ~vc ~token =
+  let q = posted_queue t vc in
+  let keep = Queue.create () in
+  let found = ref false in
+  Queue.iter
+    (fun (p : posted) -> if p.token = token then found := true else Queue.add p keep)
+    q;
+  Queue.clear q;
+  Queue.transfer keep q;
+  !found
+
+let tx_free_at t = t.tx_busy_until
+let dropped_pdus t = t.dropped
+
+let flow t vc =
+  match Hashtbl.find_opt t.flows vc with
+  | Some f -> f
+  | None ->
+    let f = { partial = Rx_idle; crc = Crc32.init; received = 0 } in
+    Hashtbl.add t.flows vc f;
+    f
+
+(* {1 Credit-based flow control (Credit Net, paper ref [14])} *)
+
+let set_credit_limit t ~vc ~cells =
+  if cells <= 0 then invalid_arg "Adapter.set_credit_limit: cells must be positive";
+  Hashtbl.replace t.credits vc { limit = cells; available = cells; waiting = None }
+
+let credits_available t ~vc =
+  Option.map (fun cs -> cs.available) (Hashtbl.find_opt t.credits vc)
+
+let tx_stalls t = t.stalls
+
+let corrupt_next_pdu t ~vc =
+  match Hashtbl.find_opt t.corrupt_pending vc with
+  | Some n -> incr n
+  | None -> Hashtbl.add t.corrupt_pending vc (ref 1)
+
+(* Flip one byte of the first burst of a PDU marked for corruption; the
+   sender-side CRC has already been computed, so the receiver's check
+   fails exactly as for a line error. *)
+let maybe_corrupt t ~vc ~first_burst (chunk : bytes) =
+  if first_burst && Bytes.length chunk > 0 then
+    match Hashtbl.find_opt t.corrupt_pending vc with
+    | Some n when !n > 0 ->
+      decr n;
+      Bytes.set chunk 0 (Char.chr (Char.code (Bytes.get chunk 0) lxor 0xFF))
+    | Some _ | None -> ()
+
+let grant_credits t ~vc ~cells =
+  match Hashtbl.find_opt t.credits vc with
+  | None -> ()
+  | Some cs ->
+    cs.available <- min cs.limit (cs.available + cells);
+    (match cs.waiting with
+    | Some resume ->
+      cs.waiting <- None;
+      resume ()
+    | None -> ())
+
+(* {1 Receive path} *)
+
+let start_rx t vc total_len =
+  let f = flow t vc in
+  f.crc <- Crc32.init;
+  f.received <- 0;
+  let partial =
+    match rx_mode t vc with
+    | Outboard ->
+      let id = t.next_outboard_id in
+      t.next_outboard_id <- id + 1;
+      Rx_outboard { buf = Buffer.create total_len; id }
+    | Pooled -> Rx_pooled { frames = [] }
+    | Early_demux -> (
+      match Queue.take_opt (posted_queue t vc) with
+      | Some posted -> Rx_demux { posted; overrun = false }
+      | None -> Rx_pooled { frames = [] } (* no posted buffers: fall back *))
+  in
+  f.partial <- partial
+
+(* Scatter PDU bytes [f.received, f.received+len) into the pooled chain,
+   allocating pool pages on demand. *)
+let pooled_scatter t st (chunk : bytes) pdu_off =
+  let rec put frames_rev filled src_off remaining =
+    if remaining = 0 then frames_rev
+    else begin
+      let page_off = filled mod t.page_size in
+      let frames_rev =
+        if page_off = 0 && filled = List.length frames_rev * t.page_size then
+          t.pool_supply () :: frames_rev
+        else frames_rev
+      in
+      match frames_rev with
+      | [] -> assert false
+      | frame :: _ ->
+        let n = min remaining (t.page_size - page_off) in
+        Memory.Frame.blit_in frame ~dst_off:page_off ~src:chunk ~src_off ~len:n;
+        put frames_rev (filled + n) (src_off + n) (remaining - n)
+    end
+  in
+  match st with
+  | Rx_pooled s -> s.frames <- put s.frames pdu_off (0 : int) (Bytes.length chunk)
+  | Rx_idle | Rx_demux _ | Rx_outboard _ -> assert false
+
+let demux_scatter (posted : posted) (chunk : bytes) pdu_off ~hdr_len ~overrun =
+  let chunk_len = Bytes.length chunk in
+  (* Header portion of this chunk. *)
+  let hdr_take = max 0 (min (hdr_len - pdu_off) chunk_len) in
+  if hdr_take > 0 then
+    Memory.Io_desc.scatter posted.hdr_desc ~off:pdu_off ~src:chunk ~src_off:0
+      ~len:hdr_take;
+  (* Payload portion. *)
+  let pay_chunk = chunk_len - hdr_take in
+  if pay_chunk > 0 then begin
+    let desc =
+      match posted.payload_desc with
+      | Some d -> d
+      | None ->
+        let d = posted.ready () in
+        posted.payload_desc <- Some d;
+        d
+    in
+    let pay_off = pdu_off + hdr_take - hdr_len in
+    let capacity = Memory.Io_desc.total_len desc in
+    let n = max 0 (min pay_chunk (capacity - pay_off)) in
+    if n > 0 then
+      Memory.Io_desc.scatter desc ~off:pay_off ~src:chunk ~src_off:hdr_take ~len:n;
+    if n < pay_chunk then overrun ()
+  end
+
+let rx_burst t ~vc ~chunk ~pdu_off ~hdr_len ~total_len ~is_last ~tx_crc ~cells =
+  (* Consuming the burst frees receive buffering: return the credits to
+     the sender after the propagation delay. *)
+  (match t.peer with
+  | Some sender ->
+    Simcore.Engine.schedule t.engine ~delay:t.p.Net_params.prop_delay (fun () ->
+        grant_credits sender ~vc ~cells)
+  | None -> ());
+  if pdu_off = 0 then start_rx t vc total_len;
+  let f = flow t vc in
+  f.crc <- Crc32.update f.crc chunk ~off:0 ~len:(Bytes.length chunk);
+  (match f.partial with
+  | Rx_idle -> assert false
+  | Rx_demux d -> demux_scatter d.posted chunk pdu_off ~hdr_len ~overrun:(fun () -> d.overrun <- true)
+  | Rx_pooled _ -> pooled_scatter t f.partial chunk pdu_off
+  | Rx_outboard { buf; _ } -> Buffer.add_bytes buf chunk);
+  f.received <- f.received + Bytes.length chunk;
+  if is_last then begin
+    let crc_ok = Crc32.finish f.crc = tx_crc in
+    let completion =
+      match f.partial with
+      | Rx_idle -> assert false
+      | Rx_demux d ->
+        Demuxed
+          { posted = d.posted; payload_len = total_len - hdr_len; overrun = d.overrun }
+      | Rx_pooled s ->
+        Pooled_chain
+          { frames = List.rev s.frames; hdr_len; payload_len = total_len - hdr_len }
+      | Rx_outboard { buf; id } ->
+        Hashtbl.replace t.outboard id (Buffer.to_bytes buf);
+        Outboard_stored { id; hdr_len; payload_len = total_len - hdr_len }
+    in
+    f.partial <- Rx_idle;
+    (* Fixed adapter completion cost before the host sees the interrupt. *)
+    Simcore.Engine.schedule t.engine ~delay:t.p.Net_params.rx_fixed (fun () ->
+        t.rx_complete { vc; completion; crc_ok })
+  end
+
+(* {1 Transmit path} *)
+
+let gather_pdu_range fl ~off ~len =
+  (* PDU layout: header bytes then payload gathered from the descriptor. *)
+  let out = Bytes.create len in
+  let hdr_take = max 0 (min (fl.fl_hdr_len - off) len) in
+  if hdr_take > 0 then Bytes.blit fl.fl_hdr off out 0 hdr_take;
+  let pay_len = len - hdr_take in
+  if pay_len > 0 then begin
+    let pay_off = off + hdr_take - fl.fl_hdr_len in
+    let payload = Memory.Io_desc.gather fl.fl_desc ~off:pay_off ~len:pay_len in
+    Bytes.blit payload 0 out hdr_take pay_len
+  end;
+  out
+
+let cell_time_ns t = Net_params.cell_time_ns t.p
+
+(* Transmit one burst of a job; [cells_done] cells are already on the
+   wire.  Bursts are gathered from host memory when their serialization
+   begins (weak-integrity overwrites corrupt only later bursts) and wait
+   for flow-control credits when the VC is credited. *)
+let rec send_burst t job ~i ~cells_done =
+  let fl = job.job_fl in
+  let peer = match t.peer with Some p -> p | None -> assert false in
+  let total_cells = Aal5.cells_for_len fl.fl_total in
+  let burst_bytes = t.p.Net_params.burst_pages * t.page_size in
+  let nbursts = max 1 ((fl.fl_total + burst_bytes - 1) / burst_bytes) in
+  let off = i * burst_bytes in
+  let len = min burst_bytes (fl.fl_total - off) in
+  let is_last = i = nbursts - 1 in
+  (* Cells serialize the contiguous byte stream: after the first b bytes
+     ceil(b/48) cells are used, and the last burst also carries the
+     trailer and padding.  Attributing per-burst cells by cumulative
+     boundaries keeps the count exact; rounding each burst up
+     independently can overshoot the total and give a tiny final burst a
+     negative count. *)
+  let end_cells =
+    if is_last then total_cells
+    else (off + len + Aal5.cell_payload - 1) / Aal5.cell_payload
+  in
+  (* A tiny final burst can contribute zero new cells: its bytes ride in
+     the previous burst's final (padded) cell. *)
+  let burst_cells = end_cells - cells_done in
+  assert (burst_cells >= 0);
+  let proceed () =
+    (match Hashtbl.find_opt t.credits fl.fl_vc with
+    | Some cs -> cs.available <- cs.available - burst_cells
+    | None -> ());
+    let chunk = gather_pdu_range fl ~off ~len in
+    fl.fl_crc <- Crc32.update fl.fl_crc chunk ~off:0 ~len;
+    maybe_corrupt t ~vc:fl.fl_vc ~first_burst:(off = 0) chunk;
+    let serialization =
+      Simcore.Sim_time.of_ns
+        (int_of_float (Float.round (float_of_int burst_cells *. cell_time_ns t)))
+    in
+    let end_time = Simcore.Sim_time.add (Simcore.Engine.now t.engine) serialization in
+    t.tx_busy_until <- Simcore.Sim_time.max t.tx_busy_until end_time;
+    let arrival = Simcore.Sim_time.add end_time t.p.Net_params.prop_delay in
+    let tx_crc = Crc32.finish fl.fl_crc in
+    Simcore.Engine.at t.engine ~time:arrival (fun () ->
+        rx_burst peer ~vc:fl.fl_vc ~chunk ~pdu_off:off ~hdr_len:fl.fl_hdr_len
+          ~total_len:fl.fl_total ~is_last ~tx_crc ~cells:burst_cells);
+    Simcore.Engine.at t.engine ~time:end_time (fun () ->
+        if is_last then begin
+          t.tx_active <- false;
+          job.job_done ();
+          pump t
+        end
+        else send_burst t job ~i:(i + 1) ~cells_done:end_cells)
+  in
+  match Hashtbl.find_opt t.credits fl.fl_vc with
+  | Some cs when cs.available < burst_cells ->
+    (* Stall until the receiver returns enough credits. *)
+    t.stalls <- t.stalls + 1;
+    cs.waiting <- Some (fun () -> send_burst t job ~i ~cells_done)
+  | Some _ | None -> proceed ()
+
+and pump t =
+  if (not t.tx_active) && not (Queue.is_empty t.tx_queue) then begin
+    t.tx_active <- true;
+    let job = Queue.take t.tx_queue in
+    Simcore.Engine.schedule t.engine ~delay:t.p.Net_params.tx_setup (fun () ->
+        send_burst t job ~i:0 ~cells_done:0)
+  end
+
+let transmit t ~vc ~hdr ~desc ~on_tx_complete =
+  (match t.peer with
+  | Some _ -> ()
+  | None -> failwith "Adapter.transmit: not connected");
+  let hdr_len = Bytes.length hdr in
+  let total = hdr_len + Memory.Io_desc.total_len desc in
+  if total > Aal5.max_pdu then invalid_arg "Adapter.transmit: PDU too large for AAL5";
+  (* A credited VC must be able to fit at least one burst in its window,
+     or transmission would deadlock. *)
+  (match Hashtbl.find_opt t.credits vc with
+  | Some cs ->
+    let burst_bytes = t.p.Net_params.burst_pages * t.page_size in
+    let worst =
+      min (Aal5.cells_for_len total)
+        (((min burst_bytes total) + Aal5.cell_payload - 1) / Aal5.cell_payload + 1)
+    in
+    if cs.limit < worst then
+      invalid_arg "Adapter.transmit: credit window smaller than one burst"
+  | None -> ());
+  let fl =
+    { fl_vc = vc; fl_hdr = Bytes.copy hdr; fl_desc = desc; fl_total = total;
+      fl_hdr_len = hdr_len; fl_crc = Crc32.init }
+  in
+  (* Advisory busy estimate (ignores credit stalls). *)
+  let now = Simcore.Engine.now t.engine in
+  let tx_start =
+    Simcore.Sim_time.add (Simcore.Sim_time.max now t.tx_busy_until)
+      t.p.Net_params.tx_setup
+  in
+  t.tx_busy_until <-
+    Simcore.Sim_time.add tx_start (Net_params.wire_time t.p ~payload_len:total);
+  Queue.add { job_vc = vc; job_fl = fl; job_done = on_tx_complete } t.tx_queue;
+  pump t
+
+(* {1 Outboard staging} *)
+
+let outboard_read t ~id ~off ~len =
+  match Hashtbl.find_opt t.outboard id with
+  | None -> invalid_arg "Adapter.outboard_read: unknown buffer"
+  | Some data -> Bytes.sub data off len
+
+let outboard_free t ~id =
+  if not (Hashtbl.mem t.outboard id) then
+    invalid_arg "Adapter.outboard_free: unknown buffer";
+  Hashtbl.remove t.outboard id

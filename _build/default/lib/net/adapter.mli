@@ -1,0 +1,122 @@
+(** Network adapter model (Credit Net-like ATM host interface).
+
+    Transmission gathers data from host page frames by burst-mode DMA and
+    serializes it cell by cell; reception supports the paper's three
+    device input-buffering architectures (Section 6.2):
+
+    - {e early demultiplexed}: per-VC lists of posted scatter descriptors;
+      payload DMAs straight into the posted buffers (which may be
+      application pages — in-place I/O — or aligned system buffers);
+    - {e pooled in-host}: fixed-size page buffers taken from a pool,
+      filled without regard to the destination buffer, header first;
+    - {e outboard}: data staged in adapter memory (store-and-forward) and
+      DMAed to host buffers only at dispose time.
+
+    Data really moves: gathers read the sender's frames at serialization
+    time (so a weak-integrity overwrite during transmission is visible on
+    the wire), and early-demultiplexed scatters write receiver frames
+    directly, bypassing page tables, like real DMA.
+
+    An adapter with early-demultiplexed mode but no posted descriptor
+    falls back to the pooled path, as in the paper ("the application did
+    not inform the location of its input buffers before physical
+    input"). *)
+
+type t
+
+type rx_mode = Early_demux | Pooled | Outboard
+
+type posted = {
+  vc : int;
+  token : int;  (** caller's identifier for this posted input *)
+  hdr_desc : Memory.Io_desc.t;
+  mutable payload_desc : Memory.Io_desc.t option;
+  ready : unit -> Memory.Io_desc.t;
+      (** invoked at first data arrival when [payload_desc] is [None];
+          lets Genie allocate the aligned system buffer at ready time *)
+}
+
+type completion =
+  | Demuxed of { posted : posted; payload_len : int; overrun : bool }
+  | Pooled_chain of {
+      frames : Memory.Frame.t list;
+      hdr_len : int;
+      payload_len : int;  (** payload begins at offset [hdr_len] *)
+    }
+  | Outboard_stored of { id : int; hdr_len : int; payload_len : int }
+
+type rx_result = { vc : int; completion : completion; crc_ok : bool }
+
+val create :
+  Simcore.Engine.t -> Net_params.t -> page_size:int -> name:string -> t
+
+val connect : t -> t -> unit
+(** Wire two adapters back to back (full duplex). *)
+
+val params : t -> Net_params.t
+
+val set_rx_mode : t -> vc:int -> rx_mode -> unit
+(** Default mode for unknown VCs is [Early_demux]. *)
+
+val set_pool_supply : t -> (unit -> Memory.Frame.t) -> unit
+val set_rx_complete : t -> (rx_result -> unit) -> unit
+
+val post_input : t -> posted -> unit
+val posted_count : t -> vc:int -> int
+
+val cancel_posted : t -> vc:int -> token:int -> bool
+(** Remove a posted descriptor that was never consumed (e.g. its PDU
+    arrived through the pooled fallback path).  Returns [false] if no
+    such descriptor is queued. *)
+
+val transmit :
+  t ->
+  vc:int ->
+  hdr:bytes ->
+  desc:Memory.Io_desc.t ->
+  on_tx_complete:(unit -> unit) ->
+  unit
+(** Queue a PDU.  [on_tx_complete] fires when the last burst has left the
+    adapter (output dispose time at the sender). *)
+
+val tx_free_at : t -> Simcore.Sim_time.t
+(** When the transmitter will accept the next PDU (assuming no
+    credit stalls). *)
+
+(** {1 Credit-based flow control}
+
+    The Credit Net network (paper reference [14]) is credit-based: a
+    sender may only put cells on a VC for which the receiver has granted
+    buffer credits; credits return as the receiver consumes data.  By
+    default VCs are uncredited (effectively infinite credit, which is
+    how the latency experiments run — the receiver always drains at link
+    rate).  Setting a limit enables real backpressure: transmission
+    stalls mid-PDU until credits return. *)
+
+val set_credit_limit : t -> vc:int -> cells:int -> unit
+(** Grant the {e sender} an initial window of [cells] for the VC.  Must
+    cover at least one burst or the PDU deadlocks; [transmit] raises
+    [Invalid_argument] if a burst can never fit the window. *)
+
+val credits_available : t -> vc:int -> int option
+(** [None] if the VC is uncredited. *)
+
+val tx_stalls : t -> int
+(** Number of times transmission paused waiting for credits. *)
+
+(** {1 Fault injection}
+
+    For testing the failure paths: corrupt a byte of the next PDU
+    transmitted on a VC {e after} the sender's CRC is computed, as a
+    transmission error would.  The receiver's AAL5 CRC check then fails
+    and the host sees [crc_ok = false]. *)
+
+val corrupt_next_pdu : t -> vc:int -> unit
+(** Called on the {e sending} adapter. *)
+
+val outboard_read : t -> id:int -> off:int -> len:int -> bytes
+(** Read from a stored outboard buffer; [off] is PDU-relative (header
+    included). *)
+
+val outboard_free : t -> id:int -> unit
+val dropped_pdus : t -> int

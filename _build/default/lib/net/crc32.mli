@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), as used by the AAL5 trailer. *)
+
+type t = int32
+(** Running CRC state. *)
+
+val init : t
+val update : t -> bytes -> off:int -> len:int -> t
+val finish : t -> int32
+val digest : bytes -> int32
+(** One-shot CRC of a whole buffer. *)

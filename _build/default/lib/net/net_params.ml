@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  line_rate_mbps : float;
+  prop_delay : Simcore.Sim_time.t;
+  tx_setup : Simcore.Sim_time.t;
+  rx_fixed : Simcore.Sim_time.t;
+  burst_pages : int;
+  pci_ns_per_byte : float;
+}
+
+let oc3 =
+  {
+    name = "OC-3 (155 Mbps)";
+    line_rate_mbps = 149.76;
+    prop_delay = Simcore.Sim_time.of_us 20.;
+    tx_setup = Simcore.Sim_time.of_us 15.;
+    rx_fixed = Simcore.Sim_time.of_us 15.;
+    burst_pages = 4;
+    pci_ns_per_byte = 7.5;
+  }
+
+let oc12 = { oc3 with name = "OC-12 (622 Mbps)"; line_rate_mbps = 599.04 }
+
+let cell_time_ns t =
+  float_of_int (Aal5.cell_total * 8) *. 1000. /. t.line_rate_mbps
+
+let wire_time t ~payload_len =
+  let cells = Aal5.cells_for_len payload_len in
+  Simcore.Sim_time.of_ns
+    (int_of_float (Float.round (float_of_int cells *. cell_time_ns t)))

@@ -1,0 +1,33 @@
+(** Link and adapter timing parameters.
+
+    The paper's testbed is the Credit Net ATM network at OC-3.  The line
+    rate here is the SONET payload rate (149.76 Mbps for OC-3c): with the
+    53/48 cell tax this yields 0.0590 us per payload byte, against the
+    0.0598 measured base-latency slope of the paper.  The fixed terms are
+    chosen so that the base latency (emulated share minus referencing
+    costs) reproduces the paper's [0.0598 B + 130] decomposition; see
+    DESIGN.md. *)
+
+type t = {
+  name : string;
+  line_rate_mbps : float;  (** SONET payload rate *)
+  prop_delay : Simcore.Sim_time.t;  (** propagation + switch latency *)
+  tx_setup : Simcore.Sim_time.t;  (** DMA start / adapter TX fixed cost *)
+  rx_fixed : Simcore.Sim_time.t;  (** adapter RX completion fixed cost *)
+  burst_pages : int;
+      (** DMA/serialization chunk granularity, in pages; data moves (and
+          is observable on the wire) burst by burst *)
+  pci_ns_per_byte : float;  (** outboard-buffer-to-host DMA rate *)
+}
+
+val oc3 : t
+(** 155 Mbps ATM, as in the paper's experiments. *)
+
+val oc12 : t
+(** 622 Mbps, used for the Section 8 extrapolation. *)
+
+val cell_time_ns : t -> float
+(** Serialization time of one 53-byte cell at the line rate. *)
+
+val wire_time : t -> payload_len:int -> Simcore.Sim_time.t
+(** Serialization time of an AAL5 PDU carrying [payload_len] bytes. *)

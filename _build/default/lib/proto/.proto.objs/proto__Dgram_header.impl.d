@@ -1,0 +1,1 @@
+lib/proto/dgram_header.ml: Bytes Checksum Int32

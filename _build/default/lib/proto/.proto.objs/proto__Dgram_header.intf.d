@@ -1,0 +1,1 @@
+lib/proto/dgram_header.mli:

@@ -1,0 +1,17 @@
+let compute data ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Checksum.compute: range out of bounds";
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get data !i) lsl 8) + Char.code (Bytes.get data (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get data !i) lsl 8);
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let verify data ~off ~len ~expect = compute data ~off ~len = expect

@@ -1,0 +1,6 @@
+(** Internet (RFC 1071) 16-bit ones'-complement checksum. *)
+
+val compute : bytes -> off:int -> len:int -> int
+(** Checksum of a byte range, in [0, 0xffff]. *)
+
+val verify : bytes -> off:int -> len:int -> expect:int -> bool

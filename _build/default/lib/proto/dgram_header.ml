@@ -1,0 +1,35 @@
+type t = { src_vc : int; dst_vc : int; seq : int; payload_len : int }
+
+let length = 16
+let magic = 0x47e1 (* "Genie" *)
+
+let encode t =
+  if t.payload_len < 0 || t.payload_len > 0xFFFF then
+    invalid_arg "Dgram_header.encode: payload length out of range";
+  let b = Bytes.make length '\x00' in
+  Bytes.set_uint16_be b 0 magic;
+  Bytes.set_uint16_be b 2 (t.src_vc land 0xFFFF);
+  Bytes.set_uint16_be b 4 (t.dst_vc land 0xFFFF);
+  Bytes.set_int32_be b 6 (Int32.of_int t.seq);
+  Bytes.set_uint16_be b 10 t.payload_len;
+  (* bytes 12-13 reserved, 14-15 checksum *)
+  let ck = Checksum.compute b ~off:0 ~len:14 in
+  Bytes.set_uint16_be b 14 ck;
+  b
+
+let decode b =
+  if Bytes.length b < length then Error "header too short"
+  else if Bytes.get_uint16_be b 0 <> magic then Error "bad magic"
+  else begin
+    let ck = Bytes.get_uint16_be b 14 in
+    if not (Checksum.verify b ~off:0 ~len:14 ~expect:ck) then
+      Error "bad header checksum"
+    else
+      Ok
+        {
+          src_vc = Bytes.get_uint16_be b 2;
+          dst_vc = Bytes.get_uint16_be b 4;
+          seq = Int32.to_int (Bytes.get_int32_be b 6);
+          payload_len = Bytes.get_uint16_be b 10;
+        }
+  end

@@ -1,0 +1,18 @@
+(** Datagram protocol header.
+
+    A fixed 16-byte header carried in front of every Genie PDU: magic,
+    source/destination VC, sequence number, payload length, and a header
+    checksum.  The header is deliberately {e not} stripped by the pooled
+    input path — payload data therefore starts at offset [length] inside
+    pooled buffers, which is exactly the nonzero "preferred alignment"
+    that the paper's application input alignment interface reports. *)
+
+type t = { src_vc : int; dst_vc : int; seq : int; payload_len : int }
+
+val length : int
+(** 16 bytes. *)
+
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+(** Validates magic and header checksum. *)

@@ -1,0 +1,1 @@
+lib/simcore/cpu.ml: Engine Sim_time

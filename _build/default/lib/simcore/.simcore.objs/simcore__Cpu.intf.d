@@ -1,0 +1,1 @@
+lib/simcore/cpu.mli: Engine Sim_time

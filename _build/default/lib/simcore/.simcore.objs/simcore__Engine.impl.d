@@ -1,0 +1,1 @@
+lib/simcore/engine.ml: Heap Sim_time

@@ -1,0 +1,1 @@
+lib/simcore/rng.ml: Int64

@@ -1,0 +1,1 @@
+lib/simcore/sim_time.ml: Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/simcore/tracer.ml: Format List Sim_time

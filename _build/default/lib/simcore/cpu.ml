@@ -1,0 +1,24 @@
+type t = {
+  engine : Engine.t;
+  mutable busy_until : Sim_time.t;
+  mutable busy_total : Sim_time.t;
+}
+
+let create engine = { engine; busy_until = Sim_time.zero; busy_total = Sim_time.zero }
+
+let busy_until t = t.busy_until
+
+let charge t ~cost =
+  if cost < 0 then invalid_arg "Cpu.charge: negative cost";
+  let start = Sim_time.max (Engine.now t.engine) t.busy_until in
+  let finish = Sim_time.add start cost in
+  t.busy_until <- finish;
+  t.busy_total <- Sim_time.add t.busy_total cost;
+  finish
+
+let charge_then t ~cost f =
+  let finish = charge t ~cost in
+  Engine.at t.engine ~time:finish f
+
+let busy_time t = t.busy_total
+let reset_busy t = t.busy_total <- Sim_time.zero

@@ -1,0 +1,29 @@
+(** Sequential CPU resource with busy-time accounting.
+
+    Each simulated host has one CPU.  Kernel and application work is
+    charged to it; requests queue behind each other, so work that is
+    logically concurrent (for example a dispose stage racing the next
+    output call) serializes exactly as it would on the real uniprocessor
+    testbed.  The accumulated busy time is the analogue of the paper's
+    instrumented idle loop (Figure 4). *)
+
+type t
+
+val create : Engine.t -> t
+
+val busy_until : t -> Sim_time.t
+(** The instant at which all currently queued work completes. *)
+
+val charge : t -> cost:Sim_time.t -> Sim_time.t
+(** [charge cpu ~cost] enqueues [cost] of CPU work starting no earlier
+    than the current simulated instant, records it as busy time, and
+    returns the completion instant. *)
+
+val charge_then : t -> cost:Sim_time.t -> (unit -> unit) -> unit
+(** Like {!charge} but additionally schedules the callback to run at the
+    completion instant. *)
+
+val busy_time : t -> Sim_time.t
+(** Total busy time accumulated since creation or the last [reset_busy]. *)
+
+val reset_busy : t -> unit

@@ -1,0 +1,34 @@
+type t = { mutable clock : Sim_time.t; queue : (unit -> unit) Heap.t }
+
+let create () = { clock = Sim_time.zero; queue = Heap.create () }
+let now t = t.clock
+
+let at t ~time f =
+  if Sim_time.compare time t.clock < 0 then
+    invalid_arg "Engine.at: scheduling in the simulated past";
+  Heap.push t.queue ~key:(Sim_time.to_ns time) f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  at t ~time:(Sim_time.add t.clock delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- Sim_time.of_ns time;
+    f ();
+    true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.queue with
+    | Some key when key <= Sim_time.to_ns limit -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if Sim_time.compare t.clock limit < 0 then t.clock <- limit
+
+let pending t = Heap.length t.queue

@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and an event queue.  Simulated
+    components schedule closures to run at future instants; [run] drains
+    the queue in timestamp order, advancing the clock.  The engine is
+    strictly sequential and deterministic: events at the same instant run
+    in scheduling order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be
+    non-negative. *)
+
+val at : t -> time:Sim_time.t -> (unit -> unit) -> unit
+(** [at t ~time f] runs [f] at absolute instant [time], which must not be
+    in the simulated past. *)
+
+val run : t -> unit
+(** Drain the event queue completely. *)
+
+val run_until : t -> Sim_time.t -> unit
+(** Process events with timestamp [<= limit]; afterwards the clock reads
+    [limit] if the queue emptied earlier. *)
+
+val step : t -> bool
+(** Process a single event.  Returns [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of events still queued. *)

@@ -1,0 +1,18 @@
+(** Minimal binary min-heap used by the event queue.
+
+    Elements are ordered by an integer key; ties are broken by insertion
+    order so that events scheduled for the same instant fire FIFO, which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> key:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element, or [None] if empty. *)
+
+val peek_key : 'a t -> int option

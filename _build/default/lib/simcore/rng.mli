@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Used for workload generation and the cross-architecture scaling jitter
+    so that every run of the reproduction is bit-for-bit repeatable. *)
+
+type t
+
+val create : seed:int -> t
+
+val next_int64 : t -> int64
+
+val int : t -> bound:int -> int
+(** Uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val range_float : t -> lo:float -> hi:float -> float
+
+val split : t -> t
+(** Derive an independent stream. *)

@@ -1,0 +1,39 @@
+type t = {
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () = { n = 0; total = 0.; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+let min t = t.lo
+let max t = t.hi
+let sum t = t.total
+
+let clear t =
+  t.n <- 0;
+  t.total <- 0.;
+  t.lo <- infinity;
+  t.hi <- neg_infinity
+
+let geometric_mean values =
+  match values with
+  | [] -> invalid_arg "Stat.geometric_mean: empty list"
+  | _ ->
+    let log_sum =
+      List.fold_left
+        (fun acc v ->
+          if v <= 0. then invalid_arg "Stat.geometric_mean: non-positive value";
+          acc +. log v)
+        0. values
+    in
+    exp (log_sum /. float_of_int (List.length values))

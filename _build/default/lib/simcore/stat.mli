@@ -1,0 +1,19 @@
+(** Small statistics accumulators used throughout the simulator. *)
+
+type t
+(** Streaming accumulator over float samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples; 0 if empty. *)
+
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+val clear : t -> unit
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; raises [Invalid_argument] on an
+    empty list or non-positive values. *)

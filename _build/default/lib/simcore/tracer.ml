@@ -1,0 +1,13 @@
+type t = { mutable enabled : bool; mutable events : (Sim_time.t * string) list }
+
+let create ?(enabled = false) () = { enabled; events = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let record t time label = if t.enabled then t.events <- (time, label) :: t.events
+let events t = List.rev t.events
+let clear t = t.events <- []
+
+let pp fmt t =
+  List.iter
+    (fun (time, label) -> Format.fprintf fmt "%a %s@." Sim_time.pp time label)
+    (events t)

@@ -1,0 +1,16 @@
+(** Lightweight event trace for debugging simulations.
+
+    Disabled by default; when enabled it records (time, label) pairs in
+    order.  Cheap enough to leave compiled into the hot paths. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val record : t -> Sim_time.t -> string -> unit
+val events : t -> (Sim_time.t * string) list
+(** Events in chronological (recording) order. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

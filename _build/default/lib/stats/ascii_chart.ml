@@ -1,0 +1,58 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") series =
+  let points = List.concat_map snd series in
+  if points = [] then ""
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min = List.fold_left Float.min infinity ys in
+    let y_max = List.fold_left Float.max neg_infinity ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let canvas = Array.make_matrix height width ' ' in
+    let plot glyph (x, y) =
+      let col =
+        int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+      in
+      let row =
+        (height - 1)
+        - int_of_float
+            (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+      in
+      if row >= 0 && row < height && col >= 0 && col < width then
+        canvas.(row).(col) <- glyph
+    in
+    List.iteri
+      (fun i (_, pts) ->
+        List.iter (plot glyphs.(i mod Array.length glyphs)) pts)
+      series;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+    Array.iteri
+      (fun row line ->
+        let tick =
+          if row = 0 then Printf.sprintf "%8.0f " y_max
+          else if row = height - 1 then Printf.sprintf "%8.0f " y_min
+          else String.make 9 ' '
+        in
+        Buffer.add_string buf tick;
+        Buffer.add_char buf '|';
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf (String.make 9 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%9s%-*.0f%*.0f  %s\n" "" (width / 2) x_min (width / 2)
+         x_max x_label);
+    List.iteri
+      (fun i (label, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" glyphs.(i mod Array.length glyphs) label))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,16 @@
+(** Plain-text line charts for the benchmark reports.
+
+    Renders one or more (x, y) series on a shared canvas with a glyph
+    per series and a legend, so the figures of the paper can be eyeballed
+    straight from `bench/main.exe` output. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [render series] draws all series on one canvas ([width] x [height]
+    characters, defaults 72 x 20).  Series beyond the eight available
+    glyphs reuse them.  Empty input yields an empty string. *)

@@ -1,0 +1,34 @@
+type t = { slope : float; intercept : float; r2 : float; n : int }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. points in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-9 then
+    { slope = 0.; intercept = sy /. fn; r2 = 1.; n }
+  else begin
+    let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. fn in
+    let mean_y = sy /. fn in
+    let ss_tot =
+      List.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.)) 0. points
+    in
+    let ss_res =
+      List.fold_left
+        (fun a (x, y) ->
+          let e = y -. ((slope *. x) +. intercept) in
+          a +. (e *. e))
+        0. points
+    in
+    let r2 = if ss_tot < 1e-9 then 1. else 1. -. (ss_res /. ss_tot) in
+    { slope; intercept; r2; n }
+  end
+
+let eval t x = (t.slope *. x) +. t.intercept
+
+let pp fmt t = Format.fprintf fmt "%.4g B + %.0f" t.slope t.intercept

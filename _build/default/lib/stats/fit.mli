@@ -1,0 +1,18 @@
+(** Least-squares linear fits, as used throughout the paper's analysis
+    (Table 6 per-operation costs, Table 7 end-to-end latencies). *)
+
+type t = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination; 1 for constant data *)
+  n : int;
+}
+
+val linear : (float * float) list -> t
+(** [linear [(x, y); ...]] fits [y = slope * x + intercept].
+    @raise Invalid_argument with fewer than two points.  If all [x] are
+    equal the slope is 0 and the intercept the mean. *)
+
+val eval : t -> float -> float
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's style: [0.0621 B + 153]. *)

@@ -1,0 +1,48 @@
+type row = Cells of string list | Rule
+
+type t = { header : string list; mutable rows : row list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc row -> match row with Cells c -> max acc (List.length c) | Rule -> acc)
+      (List.length t.header) rows
+  in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      cells
+  in
+  measure t.header;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 256 in
+  let emit cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (max 0 (widths.(i) - String.length cell)) ' '))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  emit t.header;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells c -> emit c
+      | Rule ->
+        Buffer.add_string buf (String.make total_width '-');
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

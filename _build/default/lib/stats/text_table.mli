@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the benchmark reports. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val add_rule : t -> unit
+(** Horizontal separator. *)
+
+val render : t -> string
+val print : t -> unit

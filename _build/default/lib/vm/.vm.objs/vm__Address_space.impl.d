@@ -1,0 +1,1 @@
+lib/vm/address_space.ml: Bytes List Memory Memory_object Page_table Prot Queue Region Vm_error Vm_sys

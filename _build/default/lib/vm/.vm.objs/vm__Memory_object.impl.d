@@ -1,0 +1,1 @@
+lib/vm/memory_object.ml: Hashtbl Memory

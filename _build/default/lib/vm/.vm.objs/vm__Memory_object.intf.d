@@ -1,0 +1,1 @@
+lib/vm/memory_object.mli: Hashtbl Memory

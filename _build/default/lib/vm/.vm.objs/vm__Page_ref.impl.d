@@ -1,0 +1,1 @@
+lib/vm/page_ref.ml: Address_space List Memory Memory_object Region Vm_sys

@@ -1,0 +1,1 @@
+lib/vm/page_ref.mli: Address_space Memory Memory_object Region

@@ -1,0 +1,1 @@
+lib/vm/region.ml: Format Memory_object

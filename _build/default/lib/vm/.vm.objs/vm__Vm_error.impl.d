@@ -1,0 +1,1 @@
+lib/vm/vm_error.ml: Format

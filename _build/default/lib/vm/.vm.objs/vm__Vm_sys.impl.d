@@ -1,0 +1,1 @@
+lib/vm/vm_sys.ml: Hashtbl List Machine Memory Memory_object

@@ -1,0 +1,1 @@
+lib/vm/vm_sys.mli: Hashtbl Machine Memory Memory_object

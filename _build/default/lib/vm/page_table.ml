@@ -1,0 +1,58 @@
+type pte = { mutable frame : Memory.Frame.t; mutable prot : Prot.t }
+
+type t = {
+  entries : (int, pte) Hashtbl.t;
+  rmap : (int, int list ref) Hashtbl.t;  (* frame id -> vpns *)
+}
+
+let create () = { entries = Hashtbl.create 64; rmap = Hashtbl.create 64 }
+
+let find t vpn = Hashtbl.find_opt t.entries vpn
+
+let rmap_add t frame_id vpn =
+  match Hashtbl.find_opt t.rmap frame_id with
+  | Some l -> if not (List.mem vpn !l) then l := vpn :: !l
+  | None -> Hashtbl.add t.rmap frame_id (ref [ vpn ])
+
+let rmap_remove t frame_id vpn =
+  match Hashtbl.find_opt t.rmap frame_id with
+  | None -> ()
+  | Some l ->
+    l := List.filter (fun v -> v <> vpn) !l;
+    if !l = [] then Hashtbl.remove t.rmap frame_id
+
+let map t ~vpn ~frame ~prot =
+  (match Hashtbl.find_opt t.entries vpn with
+  | Some pte ->
+    rmap_remove t pte.frame.Memory.Frame.id vpn;
+    pte.frame <- frame;
+    pte.prot <- prot
+  | None -> Hashtbl.add t.entries vpn { frame; prot });
+  rmap_add t frame.Memory.Frame.id vpn
+
+let required t vpn =
+  match find t vpn with
+  | Some pte -> pte
+  | None -> invalid_arg "Page_table: virtual page not mapped"
+
+let set_prot t ~vpn prot = (required t vpn).prot <- prot
+
+let replace_frame t ~vpn frame =
+  let pte = required t vpn in
+  rmap_remove t pte.frame.Memory.Frame.id vpn;
+  pte.frame <- frame;
+  rmap_add t frame.Memory.Frame.id vpn
+
+let unmap t ~vpn =
+  match find t vpn with
+  | None -> ()
+  | Some pte ->
+    rmap_remove t pte.frame.Memory.Frame.id vpn;
+    Hashtbl.remove t.entries vpn
+
+let vpns_of_frame t (frame : Memory.Frame.t) =
+  match Hashtbl.find_opt t.rmap frame.Memory.Frame.id with
+  | Some l -> !l
+  | None -> []
+
+let entry_count t = Hashtbl.length t.entries

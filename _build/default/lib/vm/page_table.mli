@@ -1,0 +1,26 @@
+(** Per-address-space page tables.
+
+    Maps virtual page numbers to (frame, protection) entries and keeps a
+    reverse map from frame id to the virtual pages mapping it, which the
+    pageout daemon's unmap step needs. *)
+
+type pte = { mutable frame : Memory.Frame.t; mutable prot : Prot.t }
+type t
+
+val create : unit -> t
+
+val find : t -> int -> pte option
+(** Lookup by virtual page number. *)
+
+val map : t -> vpn:int -> frame:Memory.Frame.t -> prot:Prot.t -> unit
+(** Enter or replace a translation. *)
+
+val set_prot : t -> vpn:int -> Prot.t -> unit
+(** @raise Invalid_argument if the page is not mapped. *)
+
+val replace_frame : t -> vpn:int -> Memory.Frame.t -> unit
+(** Point an existing entry at a different frame (page swapping). *)
+
+val unmap : t -> vpn:int -> unit
+val vpns_of_frame : t -> Memory.Frame.t -> int list
+val entry_count : t -> int

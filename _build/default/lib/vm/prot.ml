@@ -1,0 +1,11 @@
+type t = No_access | Read_only | Read_write
+
+let allows_read = function No_access -> false | Read_only | Read_write -> true
+let allows_write = function Read_write -> true | No_access | Read_only -> false
+
+let pp fmt t =
+  Format.pp_print_string fmt
+    (match t with
+    | No_access -> "---"
+    | Read_only -> "r--"
+    | Read_write -> "rw-")

@@ -1,0 +1,10 @@
+(** Page protection levels for page-table entries. *)
+
+type t =
+  | No_access  (** invalidated: any access faults (region hiding) *)
+  | Read_only  (** writes fault (TCOW, conventional COW) *)
+  | Read_write
+
+val allows_read : t -> bool
+val allows_write : t -> bool
+val pp : Format.formatter -> t -> unit

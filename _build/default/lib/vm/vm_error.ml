@@ -1,0 +1,17 @@
+(** Faults and misuse errors raised by the VM and by Genie.
+
+    [Segmentation_fault] corresponds to an access outside any region — the
+    process would be killed.  [Unrecoverable_fault] is the paper's outcome
+    for accesses to regions that are (or appear, under region hiding, to
+    be) removed from the address space: the VM fault routine recovers only
+    in unmovable or moved-in regions.  [Semantics_error] flags API misuse,
+    e.g. output with system-allocated semantics from an unmovable
+    region. *)
+
+exception Segmentation_fault of string
+exception Unrecoverable_fault of string
+exception Semantics_error of string
+
+let segfault fmt = Format.kasprintf (fun s -> raise (Segmentation_fault s)) fmt
+let unrecoverable fmt = Format.kasprintf (fun s -> raise (Unrecoverable_fault s)) fmt
+let semantics fmt = Format.kasprintf (fun s -> raise (Semantics_error s)) fmt

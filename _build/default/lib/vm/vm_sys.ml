@@ -1,0 +1,87 @@
+type t = {
+  spec : Machine.Machine_spec.t;
+  phys : Memory.Phys_mem.t;
+  pageout : Memory.Pageout.t;
+  backing : Memory.Backing_store.t;
+  frame_owner : (int, Memory_object.t * int) Hashtbl.t;
+  mutable unmappers : (Memory.Frame.t -> unit) list;
+}
+
+let page_size t = Memory.Phys_mem.page_size t.phys
+let register_unmapper t f = t.unmappers <- f :: t.unmappers
+
+let insert_page t obj idx (frame : Memory.Frame.t) =
+  Memory_object.set_slot obj idx (Memory_object.Resident frame);
+  Hashtbl.replace t.frame_owner frame.Memory.Frame.id (obj, idx);
+  if obj.Memory_object.pageable then Memory.Pageout.register t.pageout frame
+
+let detach_frame t (frame : Memory.Frame.t) =
+  Hashtbl.remove t.frame_owner frame.Memory.Frame.id;
+  Memory.Pageout.unregister t.pageout frame
+
+let remove_page t obj idx =
+  match Memory_object.find_local obj idx with
+  | None -> ()
+  | Some (Memory_object.Resident frame) ->
+    detach_frame t frame;
+    Memory_object.remove_slot obj idx;
+    Memory.Phys_mem.deallocate t.phys frame
+  | Some (Memory_object.Swapped slot) ->
+    Memory.Backing_store.free t.backing slot;
+    Memory_object.remove_slot obj idx
+
+let replace_page t obj idx new_frame =
+  match Memory_object.find_local obj idx with
+  | Some (Memory_object.Resident old_frame) ->
+    detach_frame t old_frame;
+    insert_page t obj idx new_frame;
+    old_frame
+  | Some (Memory_object.Swapped _) | None ->
+    invalid_arg "Vm_sys.replace_page: page not resident"
+
+let alloc_pressured t =
+  if Memory.Phys_mem.free_frames t.phys = 0 then
+    ignore (Memory.Pageout.scan t.pageout ~target:16);
+  Memory.Phys_mem.alloc t.phys
+
+let alloc_pressured_zeroed t =
+  let frame = alloc_pressured t in
+  Memory.Frame.fill frame '\x00';
+  frame
+
+let materialize t obj idx =
+  match Memory_object.find_local obj idx with
+  | Some (Memory_object.Resident frame) -> frame
+  | Some (Memory_object.Swapped slot) ->
+    let frame = alloc_pressured t in
+    Memory.Backing_store.page_in t.backing slot frame.Memory.Frame.data;
+    insert_page t obj idx frame;
+    frame
+  | None -> invalid_arg "Vm_sys.materialize: object has no such page"
+
+let evict_frame t (frame : Memory.Frame.t) =
+  match Hashtbl.find_opt t.frame_owner frame.Memory.Frame.id with
+  | None -> false
+  | Some (obj, idx) ->
+    let slot = Memory.Backing_store.page_out t.backing frame.Memory.Frame.data in
+    List.iter (fun unmap -> unmap frame) t.unmappers;
+    Memory_object.set_slot obj idx (Memory_object.Swapped slot);
+    Hashtbl.remove t.frame_owner frame.Memory.Frame.id;
+    Memory.Phys_mem.deallocate t.phys frame;
+    true
+
+let create spec =
+  let t =
+    {
+      spec;
+      phys = Memory.Phys_mem.create spec;
+      pageout = Memory.Pageout.create ();
+      backing = Memory.Backing_store.create ~page_size:spec.Machine.Machine_spec.page_size;
+      frame_owner = Hashtbl.create 256;
+      unmappers = [];
+    }
+  in
+  Memory.Pageout.set_evict_hook t.pageout (evict_frame t);
+  t
+
+let run_pageout t ~target = Memory.Pageout.scan t.pageout ~target

@@ -1,0 +1,54 @@
+(** The VM system of one simulated host.
+
+    Owns physical memory, the backing store, the pageout daemon and the
+    frame-ownership registry (frame -> (object, page index)) that the
+    eviction path needs.  Address spaces register an unmap callback here
+    so that pageout can tear down translations. *)
+
+type t = {
+  spec : Machine.Machine_spec.t;
+  phys : Memory.Phys_mem.t;
+  pageout : Memory.Pageout.t;
+  backing : Memory.Backing_store.t;
+  frame_owner : (int, Memory_object.t * int) Hashtbl.t;
+  mutable unmappers : (Memory.Frame.t -> unit) list;
+}
+
+val create : Machine.Machine_spec.t -> t
+val page_size : t -> int
+
+val register_unmapper : t -> (Memory.Frame.t -> unit) -> unit
+
+val insert_page : t -> Memory_object.t -> int -> Memory.Frame.t -> unit
+(** Enter a resident page into an object: updates the slot, the ownership
+    registry and (for pageable objects) the pageout candidate list. *)
+
+val remove_page : t -> Memory_object.t -> int -> unit
+(** Drop a page from an object.  A resident frame is deallocated (which
+    defers to zombie state if I/O is pending); a swapped slot is freed. *)
+
+val replace_page : t -> Memory_object.t -> int -> Memory.Frame.t -> Memory.Frame.t
+(** [replace_page t obj idx new_frame] swaps the resident page of [idx]
+    for [new_frame] and returns the old frame {e without} deallocating it
+    — the caller decides its fate (TCOW deallocates it after I/O; input
+    page swapping hands it to the system buffer). *)
+
+val materialize : t -> Memory_object.t -> int -> Memory.Frame.t
+(** Resident frame for the object page, paging it in from the backing
+    store if necessary.  @raise Invalid_argument if the object has no such
+    page. *)
+
+val evict_frame : t -> Memory.Frame.t -> bool
+(** Page a frame out: copy to backing store, unmap everywhere, mark the
+    object slot swapped, release the frame.  Returns [false] if the frame
+    belongs to no object.  Installed as the pageout daemon's hook. *)
+
+val run_pageout : t -> target:int -> int
+
+val alloc_pressured : t -> Memory.Frame.t
+(** Allocate a frame, waking the pageout daemon under memory pressure:
+    if the free list is empty, evict pageable frames and retry.
+    @raise Memory.Phys_mem.Out_of_frames when nothing can be evicted
+    (all remaining memory is wired, kernel-owned or I/O-referenced). *)
+
+val alloc_pressured_zeroed : t -> Memory.Frame.t

@@ -1,0 +1,1 @@
+lib/workload/estimate.ml: Genie Machine Net Proto Simcore

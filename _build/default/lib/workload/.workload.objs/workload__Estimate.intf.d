@@ -1,0 +1,1 @@
+lib/workload/estimate.mli: Genie Machine Net

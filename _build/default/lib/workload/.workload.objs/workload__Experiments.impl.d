@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Cpu_monitor Estimate Float Genie Latency_probe List Machine Net Option Proto Simcore Stats

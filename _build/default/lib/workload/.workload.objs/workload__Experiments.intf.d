@@ -1,0 +1,1 @@
+lib/workload/experiments.mli: Estimate Genie Latency_probe Machine Net Stats

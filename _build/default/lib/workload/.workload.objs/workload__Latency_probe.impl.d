@@ -1,0 +1,1 @@
+lib/workload/latency_probe.ml: Genie Machine Net Simcore Vm

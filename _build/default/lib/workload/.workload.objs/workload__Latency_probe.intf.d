@@ -1,0 +1,1 @@
+lib/workload/latency_probe.mli: Genie Machine Net

@@ -1,0 +1,1 @@
+lib/workload/load_sweep.ml: Array Experiments Float Genie Machine Net Queue Simcore Vm

@@ -1,0 +1,1 @@
+lib/workload/load_sweep.mli: Genie Machine Net

@@ -1,0 +1,6 @@
+let background_fraction = 0.065
+
+let utilization ~busy_fraction =
+  Float.min 1. (Float.max 0. (busy_fraction +. background_fraction))
+
+let utilization_pct ~busy_fraction = 100. *. utilization ~busy_fraction

@@ -1,0 +1,21 @@
+(** CPU utilization accounting (Figure 4).
+
+    The paper instrumented the idle loop of the NetBSD scheduler and
+    reported the fraction of CPU time not spent idling during the latency
+    experiment.  That measurement includes a background component — clock
+    interrupts, device polling and the idle-loop instrumentation itself —
+    that is independent of the buffering semantics and shows up as a
+    near-constant offset across all semantics (the published numbers
+    exceed the sum of data-passing costs by 5.5-9% of the round-trip
+    uniformly).  We model it as a constant background fraction, calibrated
+    once against the copy-semantics point; see DESIGN.md. *)
+
+val background_fraction : float
+(** 0.065: calibrated so that copy semantics reproduces the paper's 26%
+    at 60 KB; all other semantics then land near their published values
+    with no further tuning. *)
+
+val utilization : busy_fraction:float -> float
+(** Busy fraction plus background, clamped to [0, 1]. *)
+
+val utilization_pct : busy_fraction:float -> float

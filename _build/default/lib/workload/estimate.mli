@@ -1,0 +1,40 @@
+(** Analytic end-to-end latency estimates (the "E" rows of Table 7).
+
+    The paper's breakdown model: end-to-end latency is the base latency
+    plus the {e prepare}-time data-passing operations at the sender
+    (Table 2) plus, at the receiver, the {e dispose}-time operations
+    (Table 3, early demultiplexing) or the {e ready}+{e dispose}-time
+    operations (Table 4, pooled buffering).  All other stages overlap
+    with network and remote-side latencies. *)
+
+type scheme = Early_demux | Pooled_aligned | Pooled_unaligned
+
+val scheme_name : scheme -> string
+
+val base_us :
+  Machine.Cost_model.t -> Net.Net_params.t -> len:int -> float
+(** Base latency: kernel crossing, adapter fixed costs, wire time of the
+    framed PDU, propagation, and interrupt dispatch. *)
+
+val latency_us :
+  Machine.Cost_model.t ->
+  Net.Net_params.t ->
+  scheme:scheme ->
+  sem:Genie.Semantics.t ->
+  len:int ->
+  float
+(** Estimated one-way latency in microseconds for a datagram of [len]
+    payload bytes.  Threshold conversions are not applied (the estimates
+    describe the steady large-datagram regime, as in the paper). *)
+
+val mixed_latency_us :
+  Machine.Cost_model.t ->
+  Net.Net_params.t ->
+  scheme:scheme ->
+  send_sem:Genie.Semantics.t ->
+  recv_sem:Genie.Semantics.t ->
+  len:int ->
+  float
+(** The breakdown model composed across different sender and receiver
+    semantics: base + sender prepare of [send_sem] + receiver stages of
+    [recv_sem] (paper Section 8). *)

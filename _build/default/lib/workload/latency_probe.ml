@@ -1,0 +1,161 @@
+type config = {
+  mode : Net.Adapter.rx_mode;
+  sem : Genie.Semantics.t;
+  len : int;
+  recv_offset : int;
+  runs : int;
+  warmup : int;
+  params : Net.Net_params.t;
+  spec : Machine.Machine_spec.t;
+  thresholds : Genie.Thresholds.t option;
+  align_input : bool;
+}
+
+let default ~sem ~len =
+  {
+    mode = Net.Adapter.Early_demux;
+    sem;
+    len;
+    recv_offset = 0;
+    runs = 5;
+    warmup = 3;
+    params = Net.Net_params.oc3;
+    spec = Machine.Machine_spec.micron_p166;
+    thresholds = None;
+    align_input = true;
+  }
+
+type outcome = {
+  one_way_us : float;
+  rtt_us : float;
+  cpu_busy_fraction : float;
+  throughput_mbps : float;
+  rounds : int;
+}
+
+(* Per-host side of the ping-pong. *)
+type side = {
+  ep : Genie.Endpoint.t;
+  space : Vm.Address_space.t;
+  mutable next_send : Genie.Buf.t;  (* buffer for this side's next output *)
+  recv_spec : unit -> Genie.Input_path.spec;
+}
+
+let make_app_buf cfg space =
+  let psize = cfg.spec.Machine.Machine_spec.page_size in
+  let npages = (cfg.recv_offset + cfg.len + psize - 1) / psize in
+  let region = Vm.Address_space.map_region space ~npages in
+  Genie.Buf.make space
+    ~addr:(Vm.Address_space.base_addr region ~page_size:psize + cfg.recv_offset)
+    ~len:cfg.len
+
+let make_moved_in_buf cfg space =
+  let psize = cfg.spec.Machine.Machine_spec.page_size in
+  let npages = (cfg.len + psize - 1) / psize in
+  let region = Vm.Address_space.map_region space ~npages ~state:Vm.Region.Moved_in in
+  Genie.Buf.make space
+    ~addr:(Vm.Address_space.base_addr region ~page_size:psize)
+    ~len:cfg.len
+
+let make_side cfg (host : Genie.Host.t) ep =
+  let space = Genie.Host.new_space host in
+  if Genie.Semantics.system_allocated cfg.sem then begin
+    let buf = make_moved_in_buf cfg space in
+    {
+      ep;
+      space;
+      next_send = buf;
+      recv_spec = (fun () -> Genie.Input_path.Sys_alloc { space; len = cfg.len });
+    }
+  end
+  else begin
+    let send_buf = make_app_buf cfg space and recv_buf = make_app_buf cfg space in
+    {
+      ep;
+      space;
+      next_send = send_buf;
+      recv_spec = (fun () -> Genie.Input_path.App_buffer recv_buf);
+    }
+  end
+
+let run ?recorder cfg =
+  if cfg.runs <= 0 then invalid_arg "Latency_probe.run: runs must be positive";
+  let world =
+    Genie.World.create ~params:cfg.params ~spec_a:cfg.spec ~spec_b:cfg.spec
+      ?thresholds:cfg.thresholds ()
+  in
+  let a_host = world.Genie.World.a and b_host = world.Genie.World.b in
+  a_host.Genie.Host.align_input <- cfg.align_input;
+  b_host.Genie.Host.align_input <- cfg.align_input;
+  (match recorder with
+  | Some r ->
+    a_host.Genie.Host.ops.Genie.Ops.recorder <- Some r;
+    b_host.Genie.Host.ops.Genie.Ops.recorder <- Some r
+  | None -> ());
+  let ea, eb = Genie.World.endpoint_pair world ~vc:5 ~mode:cfg.mode in
+  let a = make_side cfg a_host ea and b = make_side cfg b_host eb in
+  Genie.Buf.fill_pattern a.next_send ~seed:7;
+  let total_rounds = cfg.warmup + cfg.runs in
+  let forward = Simcore.Stat.create () and rtt = Simcore.Stat.create () in
+  let round = ref 0 in
+  let t_send = ref 0. in
+  let meas_start = ref 0. in
+  let now () = Genie.Host.now_us a_host in
+  let update_send side (r : Genie.Input_path.result) =
+    if Genie.Semantics.system_allocated cfg.sem then
+      match r.Genie.Input_path.buf with
+      | Some buf -> side.next_send <- buf
+      | None -> failwith "Latency_probe: system-allocated input failed"
+  in
+  let rec start_round () =
+    if !round < total_rounds then begin
+      incr round;
+      if !round = cfg.warmup + 1 then begin
+        (* Measurement window opens: reset busy accounting. *)
+        Simcore.Cpu.reset_busy a_host.Genie.Host.cpu;
+        Simcore.Cpu.reset_busy b_host.Genie.Host.cpu;
+        meas_start := now ()
+      end;
+      t_send := now ();
+      ignore (Genie.Endpoint.output a.ep ~sem:cfg.sem ~buf:a.next_send ());
+      (* Prepost the echo input after the send: its prepare-stage work
+         overlaps with the outbound transfer, off the critical path, as
+         preposted input does in the paper's breakdown model. *)
+      Genie.Endpoint.input a.ep ~sem:cfg.sem ~spec:(a.recv_spec ())
+        ~on_complete:on_a_recv
+    end
+  and on_b_recv (r : Genie.Input_path.result) =
+    if not r.Genie.Input_path.ok then failwith "Latency_probe: corrupt forward leg";
+    if !round > cfg.warmup then Simcore.Stat.add forward (now () -. !t_send);
+    update_send b r;
+    let echo =
+      match r.Genie.Input_path.buf with
+      | Some buf -> buf
+      | None -> assert false
+    in
+    ignore (Genie.Endpoint.output b.ep ~sem:cfg.sem ~buf:echo ());
+    (* Prepost the next round's input; A's next send is a round trip
+       away, so this overlaps harmlessly with the echo transfer. *)
+    if !round < total_rounds then
+      Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
+        ~on_complete:on_b_recv
+  and on_a_recv (r : Genie.Input_path.result) =
+    if not r.Genie.Input_path.ok then failwith "Latency_probe: corrupt echo leg";
+    if !round > cfg.warmup then Simcore.Stat.add rtt (now () -. !t_send);
+    update_send a r;
+    start_round ()
+  in
+  Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
+    ~on_complete:on_b_recv;
+  start_round ();
+  Genie.World.run world;
+  let elapsed = now () -. !meas_start in
+  let busy = Simcore.Sim_time.to_us (Simcore.Cpu.busy_time a_host.Genie.Host.cpu) in
+  let one_way_us = Simcore.Stat.mean forward in
+  {
+    one_way_us;
+    rtt_us = Simcore.Stat.mean rtt;
+    cpu_busy_fraction = (if elapsed > 0. then busy /. elapsed else 0.);
+    throughput_mbps = 8. *. float_of_int cfg.len /. one_way_us;
+    rounds = Simcore.Stat.count forward;
+  }

@@ -1,0 +1,119 @@
+(* Offered-load experiments (an extension of the paper's analysis).
+
+   The paper reports per-datagram CPU utilization (Figure 4) and
+   extrapolates single-datagram throughput to OC-12 (Section 8).  A
+   natural consequence it does not measure is *saturation*: under
+   sustained load, copy semantics hits the receiving CPU's copy
+   bandwidth before the wire fills, while copy-avoiding semantics run
+   the link to capacity.  This module offers a Poisson datagram stream
+   at a configurable rate and measures delivered throughput and queueing
+   latency, making that consequence observable. *)
+
+type config = {
+  sem : Genie.Semantics.t;
+  len : int;
+  offered_mbps : float;
+  datagrams : int;  (** how many to offer *)
+  params : Net.Net_params.t;
+  spec : Machine.Machine_spec.t;
+  seed : int;
+}
+
+let default ~sem ~offered_mbps =
+  {
+    sem;
+    len = 61440;
+    offered_mbps;
+    datagrams = 60;
+    params = Net.Net_params.oc12;
+    spec = Experiments.light_spec Machine.Machine_spec.micron_p166;
+    seed = 42;
+  }
+
+type outcome = {
+  offered_mbps : float;
+  delivered_mbps : float;
+  mean_latency_us : float;
+  max_latency_us : float;
+  receiver_busy_fraction : float;
+}
+
+let run cfg =
+  if Genie.Semantics.system_allocated cfg.sem then
+    invalid_arg "Load_sweep.run: application-allocated semantics only";
+  let world =
+    Genie.World.create ~params:cfg.params ~spec_a:cfg.spec ~spec_b:cfg.spec ()
+  in
+  let ea, eb = Genie.World.endpoint_pair world ~vc:2 ~mode:Net.Adapter.Early_demux in
+  let a = world.Genie.World.a and b = world.Genie.World.b in
+  let psize = Genie.Host.page_size a in
+  let npages = (cfg.len + psize - 1) / psize in
+  let make_bufs host n =
+    Array.init n (fun _ ->
+        let space = Genie.Host.new_space host in
+        let region = Vm.Address_space.map_region space ~npages in
+        Genie.Buf.make space
+          ~addr:(Vm.Address_space.base_addr region ~page_size:psize)
+          ~len:cfg.len)
+  in
+  (* A ring of send buffers and a ring of preposted receive buffers. *)
+  let send_bufs = make_bufs a 4 in
+  Array.iteri (fun i buf -> Genie.Buf.fill_pattern buf ~seed:i) send_bufs;
+  let recv_bufs = make_bufs b 8 in
+  let rng = Simcore.Rng.create ~seed:cfg.seed in
+  let mean_gap_us =
+    float_of_int (cfg.len * 8) /. cfg.offered_mbps (* bits / (bits/us) *)
+  in
+  let submit_times = Queue.create () in
+  let latencies = Simcore.Stat.create () in
+  let received = ref 0 and bytes = ref 0 in
+  let t_first_send = ref nan and t_last_recv = ref nan in
+  (* Receiver: keep all buffers preposted, reposting on completion. *)
+  let rec post_input i =
+    Genie.Endpoint.input eb ~sem:cfg.sem
+      ~spec:(Genie.Input_path.App_buffer recv_bufs.(i))
+      ~on_complete:(fun r ->
+        if r.Genie.Input_path.ok then begin
+          incr received;
+          bytes := !bytes + r.Genie.Input_path.payload_len;
+          t_last_recv := Genie.Host.now_us b;
+          (match Queue.take_opt submit_times with
+          | Some t -> Simcore.Stat.add latencies (Genie.Host.now_us b -. t)
+          | None -> ());
+          if !received + 8 <= cfg.datagrams then post_input i
+        end
+        else post_input i)
+  in
+  for i = 0 to Array.length recv_bufs - 1 do
+    post_input i
+  done;
+  (* Sender: Poisson arrivals. *)
+  let sent = ref 0 in
+  let rec arrival () =
+    if !sent < cfg.datagrams then begin
+      let now = Genie.Host.now_us a in
+      if Float.is_nan !t_first_send then t_first_send := now;
+      Queue.add now submit_times;
+      let buf = send_bufs.(!sent mod Array.length send_bufs) in
+      incr sent;
+      ignore (Genie.Endpoint.output ea ~sem:cfg.sem ~buf ());
+      (* Exponential interarrival. *)
+      let u = Float.max 1e-9 (Simcore.Rng.float rng) in
+      let gap_us = -.mean_gap_us *. log u in
+      Simcore.Engine.schedule world.Genie.World.engine
+        ~delay:(Simcore.Sim_time.of_us (Float.max 0.1 gap_us))
+        arrival
+    end
+  in
+  Simcore.Cpu.reset_busy b.Genie.Host.cpu;
+  arrival ();
+  Genie.World.run world;
+  let elapsed = !t_last_recv -. !t_first_send in
+  {
+    offered_mbps = cfg.offered_mbps;
+    delivered_mbps = 8. *. float_of_int !bytes /. elapsed;
+    mean_latency_us = Simcore.Stat.mean latencies;
+    max_latency_us = Simcore.Stat.max latencies;
+    receiver_busy_fraction =
+      Simcore.Sim_time.to_us (Simcore.Cpu.busy_time b.Genie.Host.cpu) /. elapsed;
+  }

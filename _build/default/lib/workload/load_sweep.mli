@@ -1,0 +1,31 @@
+(** Offered-load saturation experiments (extension of the paper).
+
+    Offers a Poisson stream of datagrams at a configurable rate and
+    measures delivered throughput, queueing latency and receiver CPU
+    busy fraction.  At OC-12 rates, copy semantics saturates the
+    receiving CPU's copy bandwidth below the line rate, while the
+    copy-avoiding semantics fill the wire — the queueing-theoretic face
+    of the paper's Section 8 extrapolation. *)
+
+type config = {
+  sem : Genie.Semantics.t;  (** application-allocated semantics only *)
+  len : int;
+  offered_mbps : float;
+  datagrams : int;
+  params : Net.Net_params.t;
+  spec : Machine.Machine_spec.t;
+  seed : int;
+}
+
+val default : sem:Genie.Semantics.t -> offered_mbps:float -> config
+(** 60 KB datagrams, OC-12, 60 datagrams, Micron P166. *)
+
+type outcome = {
+  offered_mbps : float;
+  delivered_mbps : float;
+  mean_latency_us : float;  (** submit-to-complete, including queueing *)
+  max_latency_us : float;
+  receiver_busy_fraction : float;
+}
+
+val run : config -> outcome

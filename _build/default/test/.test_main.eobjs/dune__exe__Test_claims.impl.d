@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Float Genie List Machine Net Printf Proto Simcore Vm Workload

@@ -1,0 +1,1 @@
+test/test_endpoint.ml: Alcotest Array Bytes Genie List Machine Memory Net Printf Vm Workload

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bytes Genie List Machine Net Vm Workload

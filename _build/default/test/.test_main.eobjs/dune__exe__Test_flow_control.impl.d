@@ -1,0 +1,1 @@
+test/test_flow_control.ml: Alcotest Bytes Genie Machine Net Vm Workload

@@ -1,0 +1,1 @@
+test/test_genie_paths.ml: Alcotest Bytes Genie List Machine Memory Net Proto Vm Workload

@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Bytes Genie List Machine Net Printf Simcore Vm Workload

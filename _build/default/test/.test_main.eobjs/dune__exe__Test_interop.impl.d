@@ -1,0 +1,1 @@
+test/test_interop.ml: Alcotest Bytes Genie List Machine Net Printf QCheck QCheck_alcotest Test_util Vm Workload

@@ -1,0 +1,1 @@
+test/test_msg_channel.ml: Alcotest Bytes Genie List Machine Net Printf QCheck QCheck_alcotest Vm Workload

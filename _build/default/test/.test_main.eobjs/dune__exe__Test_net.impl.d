@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Gen Genie Int32 List Machine Memory Net QCheck QCheck_alcotest Simcore String

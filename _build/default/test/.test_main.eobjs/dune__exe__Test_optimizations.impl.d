@@ -1,0 +1,1 @@
+test/test_optimizations.ml: Alcotest Array Bytes Genie Machine Memory Net QCheck QCheck_alcotest Simcore Vm Workload

@@ -1,0 +1,1 @@
+test/test_pressure.ml: Alcotest Bytes Genie List Machine Memory Net Vm Workload

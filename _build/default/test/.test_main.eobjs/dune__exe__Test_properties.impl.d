@@ -1,0 +1,1 @@
+test/test_properties.ml: Bytes Float Genie List Machine Net QCheck QCheck_alcotest Simcore Vm Workload

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Gen Proto QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rel_channel.ml: Alcotest Bytes Genie Machine Net QCheck QCheck_alcotest Vm Workload

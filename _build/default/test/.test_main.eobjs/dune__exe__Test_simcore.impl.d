@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest List QCheck QCheck_alcotest Simcore

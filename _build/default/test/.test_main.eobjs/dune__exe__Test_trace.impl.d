@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Genie List Machine Net Simcore String Vm Workload

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Char Genie List Net Printf String Vm

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytes Gen Genie List Machine Memory Option QCheck QCheck_alcotest Vm

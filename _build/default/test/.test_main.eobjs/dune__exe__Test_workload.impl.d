@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float Genie List Machine Net Printf Workload

@@ -1,0 +1,192 @@
+(* Failure-path tests: corrupted PDUs must be reported cleanly under
+   every semantics, with strong-integrity buffers untouched, resources
+   conserved, and cached regions safely re-hidden for reuse. *)
+
+module As = Vm.Address_space
+module R = Vm.Region
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+let psize = 4096
+
+type rig = { w : Genie.World.t; ea : Genie.Endpoint.t; eb : Genie.Endpoint.t }
+
+let make_rig mode =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode in
+  { w; ea; eb }
+
+let len = 8192
+
+let sender_buf rig sem =
+  let space = Genie.Host.new_space rig.w.Genie.World.a in
+  let state = if Sem.system_allocated sem then R.Moved_in else R.Unmovable in
+  let region = As.map_region space ~npages:(len / psize) ~state in
+  Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+
+let corrupt_transfer mode sem =
+  let rig = make_rig mode in
+  let buf = sender_buf rig sem in
+  Genie.Buf.fill_pattern buf ~seed:70;
+  let app_recv_buf = ref None in
+  let spec =
+    if Sem.system_allocated sem then
+      Genie.Input_path.Sys_alloc
+        { space = Genie.Host.new_space rig.w.Genie.World.b; len }
+    else begin
+      let space = Genie.Host.new_space rig.w.Genie.World.b in
+      let region = As.map_region space ~npages:(len / psize) in
+      let rbuf =
+        Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+      in
+      Genie.Buf.write rbuf (Bytes.make len 'P');
+      app_recv_buf := Some rbuf;
+      Genie.Input_path.App_buffer rbuf
+    end
+  in
+  let result = ref None in
+  Genie.Endpoint.input rig.eb ~sem ~spec ~on_complete:(fun r -> result := Some r);
+  Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
+  ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
+  Genie.World.run rig.w;
+  (rig, !result, !app_recv_buf)
+
+let test_corruption_reported () =
+  List.iter
+    (fun sem ->
+      let _, result, _ = corrupt_transfer Net.Adapter.Early_demux sem in
+      match result with
+      | Some r ->
+        Alcotest.(check bool) (Sem.name sem ^ ": reported bad") false
+          r.Genie.Input_path.ok;
+        Alcotest.(check bool) (Sem.name sem ^ ": no buffer") true
+          (r.Genie.Input_path.buf = None)
+      | None -> Alcotest.failf "%s: completion lost" (Sem.name sem))
+    Sem.all
+
+let test_strong_buffers_untouched_on_corruption () =
+  (* With pooled buffering the data never reaches the application buffer
+     on a bad CRC, even for weak semantics; with early demultiplexing
+     strong semantics must protect the buffer. *)
+  List.iter
+    (fun sem ->
+      let _, _, rbuf = corrupt_transfer Net.Adapter.Pooled sem in
+      match rbuf with
+      | Some b ->
+        Alcotest.(check bool)
+          (Sem.name sem ^ ": buffer pristine")
+          true
+          (Bytes.for_all (fun c -> c = 'P') (Genie.Buf.read b))
+      | None -> Alcotest.fail "expected app buffer")
+    [ Sem.copy; Sem.emulated_copy; Sem.share; Sem.emulated_share ];
+  List.iter
+    (fun sem ->
+      let _, _, rbuf = corrupt_transfer Net.Adapter.Early_demux sem in
+      match rbuf with
+      | Some b ->
+        Alcotest.(check bool)
+          (Sem.name sem ^ ": strong buffer pristine (early demux)")
+          true
+          (Bytes.for_all (fun c -> c = 'P') (Genie.Buf.read b))
+      | None -> Alcotest.fail "expected app buffer")
+    [ Sem.copy; Sem.emulated_copy ]
+
+let test_pool_conserved_on_corruption () =
+  List.iter
+    (fun sem ->
+      let rig, result, _ = corrupt_transfer Net.Adapter.Pooled sem in
+      (match result with
+      | Some r -> Alcotest.(check bool) "failed" false r.Genie.Input_path.ok
+      | None -> Alcotest.fail "no completion");
+      Alcotest.(check int)
+        (Sem.name sem ^ ": pool restored")
+        512
+        (Genie.Host.pool_level rig.w.Genie.World.b))
+    Sem.all
+
+let test_region_requeued_after_corruption () =
+  (* A cached-region input that fails must re-hide and requeue the
+     region; the next (clean) input reuses it successfully. *)
+  let rig = make_rig Net.Adapter.Early_demux in
+  let sem = Sem.emulated_move in
+  let space_b = Genie.Host.new_space rig.w.Genie.World.b in
+  (* Seed the cache with one moved-out region. *)
+  let seeded =
+    As.map_region space_b ~npages:(len / psize) ~state:R.Moved_out
+  in
+  As.invalidate space_b seeded ~first:0 ~pages:(len / psize);
+  As.cache_region space_b seeded;
+  (* First transfer: corrupted. *)
+  let buf1 = sender_buf rig sem in
+  Genie.Buf.fill_pattern buf1 ~seed:71;
+  let r1 = ref None in
+  Genie.Endpoint.input rig.eb ~sem
+    ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len })
+    ~on_complete:(fun r -> r1 := Some r);
+  Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
+  ignore (Genie.Endpoint.output rig.ea ~sem ~buf:buf1 ());
+  Genie.World.run rig.w;
+  (match !r1 with
+  | Some r -> Alcotest.(check bool) "first failed" false r.Genie.Input_path.ok
+  | None -> Alcotest.fail "no completion");
+  Alcotest.(check bool) "region back in moved-out state" true
+    (seeded.R.state = R.Moved_out);
+  (* Second transfer: clean; must reuse the seeded region. *)
+  let buf2 = sender_buf rig sem in
+  Genie.Buf.fill_pattern buf2 ~seed:72;
+  let r2 = ref None in
+  Genie.Endpoint.input rig.eb ~sem
+    ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len })
+    ~on_complete:(fun r -> r2 := Some r);
+  ignore (Genie.Endpoint.output rig.ea ~sem ~buf:buf2 ());
+  Genie.World.run rig.w;
+  match !r2 with
+  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+    Alcotest.(check int) "reused the cached region"
+      (As.base_addr seeded ~page_size:psize)
+      b.Genie.Buf.addr;
+    Alcotest.(check bytes) "clean data"
+      (Genie.Buf.expected_pattern ~len ~seed:72)
+      (Genie.Buf.read b)
+  | _ -> Alcotest.fail "second transfer failed"
+
+let test_recovery_after_corruption () =
+  (* After a failure, the same endpoints keep working. *)
+  let rig = make_rig Net.Adapter.Early_demux in
+  let sem = Sem.emulated_copy in
+  let buf = sender_buf rig sem in
+  let space = Genie.Host.new_space rig.w.Genie.World.b in
+  let region = As.map_region space ~npages:(len / psize) in
+  let rbuf = Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len in
+  let results = ref [] in
+  let send seed ~corrupt =
+    Genie.Buf.fill_pattern buf ~seed;
+    Genie.Endpoint.input rig.eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+      ~on_complete:(fun r -> results := r.Genie.Input_path.ok :: !results);
+    if corrupt then
+      Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
+    ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
+    Genie.World.run rig.w
+  in
+  send 80 ~corrupt:true;
+  send 81 ~corrupt:false;
+  send 82 ~corrupt:false;
+  Alcotest.(check (list bool)) "fail then recover" [ false; true; true ]
+    (List.rev !results);
+  Alcotest.(check bytes) "final data"
+    (Genie.Buf.expected_pattern ~len ~seed:82)
+    (Genie.Buf.read rbuf)
+
+let suite =
+  [
+    Alcotest.test_case "corruption reported under all semantics" `Quick
+      test_corruption_reported;
+    Alcotest.test_case "strong buffers untouched on corruption" `Quick
+      test_strong_buffers_untouched_on_corruption;
+    Alcotest.test_case "pool conserved on corruption" `Quick
+      test_pool_conserved_on_corruption;
+    Alcotest.test_case "cached region requeued after failure" `Quick
+      test_region_requeued_after_corruption;
+    Alcotest.test_case "endpoints recover after corruption" `Quick
+      test_recovery_after_corruption;
+  ]

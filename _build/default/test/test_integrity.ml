@@ -1,0 +1,190 @@
+(* Integrity-guarantee tests (the taxonomy's second dimension).
+
+   Strong integrity: the system outputs the data present at invocation
+   time regardless of later overwrites, and input buffers are never
+   observable in inconsistent states.  Weak integrity makes no such
+   guarantees — and our substrate really exhibits the corruption. *)
+
+module As = Vm.Address_space
+module R = Vm.Region
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+let psize = 4096
+
+type rig = {
+  w : Genie.World.t;
+  ea : Genie.Endpoint.t;
+  eb : Genie.Endpoint.t;
+}
+
+let make_rig () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  { w; ea; eb }
+
+let sender_buf rig sem ~len =
+  let host = rig.w.Genie.World.a in
+  let space = Genie.Host.new_space host in
+  let npages = (len + psize - 1) / psize in
+  let state = if Sem.system_allocated sem then R.Moved_in else R.Unmovable in
+  let region = As.map_region space ~npages ~state in
+  Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+
+let receiver_spec rig sem ~len =
+  if Sem.system_allocated sem then
+    Genie.Input_path.Sys_alloc { space = Genie.Host.new_space rig.w.Genie.World.b; len }
+  else begin
+    let space = Genie.Host.new_space rig.w.Genie.World.b in
+    let region = As.map_region space ~npages:((len + psize - 1) / psize) in
+    Genie.Input_path.App_buffer
+      (Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len)
+  end
+
+(* Overwrite the output buffer immediately after the output call
+   returns and report whether the receiver saw the original data.
+   Returns None when the overwrite itself faults (hidden regions). *)
+let overwrite_after_output sem =
+  let rig = make_rig () in
+  let len = 4 * psize in
+  let buf = sender_buf rig sem ~len in
+  Genie.Buf.fill_pattern buf ~seed:21;
+  let got = ref None in
+  Genie.Endpoint.input rig.eb ~sem ~spec:(receiver_spec rig sem ~len)
+    ~on_complete:(fun r -> got := Some r);
+  ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
+  let overwrite_outcome =
+    try
+      Genie.Buf.write buf (Bytes.make len 'X');
+      `Wrote
+    with
+    | Vm.Vm_error.Unrecoverable_fault _ -> `Unrecoverable
+    | Vm.Vm_error.Segmentation_fault _ -> `Segfault
+  in
+  Genie.World.run rig.w;
+  let intact =
+    match !got with
+    | Some { Genie.Input_path.buf = Some b; _ } ->
+      Bytes.equal (Genie.Buf.read b) (Genie.Buf.expected_pattern ~len ~seed:21)
+    | _ -> Alcotest.fail "no completion"
+  in
+  (overwrite_outcome, intact)
+
+let test_strong_output_integrity () =
+  List.iter
+    (fun sem ->
+      let outcome, intact = overwrite_after_output sem in
+      match (Sem.name sem, outcome) with
+      | ("copy", `Wrote) | ("emulated copy", `Wrote) ->
+        Alcotest.(check bool) (Sem.name sem ^ " preserves output") true intact
+      | ("move", o) | ("emulated move", o) ->
+        (* Strong system-allocated: the buffer is gone (or hidden); the
+           overwrite cannot even be expressed. *)
+        if o = `Wrote then
+          Alcotest.failf "%s: overwrite should have faulted" (Sem.name sem);
+        Alcotest.(check bool) (Sem.name sem ^ " preserves output") true intact
+      | (name, _) -> Alcotest.failf "unexpected case %s" name)
+    [ Sem.copy; Sem.emulated_copy; Sem.move; Sem.emulated_move ]
+
+let test_weak_output_corruption () =
+  (* Weak semantics: the overwrite is allowed and reaches the wire. *)
+  List.iter
+    (fun sem ->
+      let outcome, intact = overwrite_after_output sem in
+      Alcotest.(check bool) (Sem.name sem ^ " allows the overwrite") true
+        (outcome = `Wrote);
+      Alcotest.(check bool) (Sem.name sem ^ " corrupted the transfer") false intact)
+    [ Sem.share; Sem.emulated_share; Sem.weak_move; Sem.emulated_weak_move ]
+
+(* In-flight observation: under weak in-place input the application can
+   watch data trickle into its buffer; under strong semantics the buffer
+   stays untouched until completion. *)
+let observe_mid_flight sem =
+  let rig = make_rig () in
+  let len = 15 * psize in
+  let buf = sender_buf rig sem ~len in
+  Genie.Buf.fill_pattern buf ~seed:22;
+  let rspec = receiver_spec rig sem ~len in
+  let rbuf = match rspec with
+    | Genie.Input_path.App_buffer b -> b
+    | Genie.Input_path.Sys_alloc _ -> assert false
+  in
+  Genie.Buf.write rbuf (Bytes.make len 'U');
+  Genie.Endpoint.input rig.eb ~sem ~spec:rspec ~on_complete:(fun _ -> ());
+  ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
+  (* 60 KB takes ~3.6 ms on the wire; peek half-way through. *)
+  Genie.World.run_for rig.w (Simcore.Sim_time.of_us 2000.);
+  let midflight = Genie.Buf.read rbuf in
+  Genie.World.run rig.w;
+  let first_changed = Bytes.get midflight 0 <> 'U' in
+  let all_arrived =
+    Bytes.equal midflight (Genie.Buf.expected_pattern ~len ~seed:22)
+  in
+  (first_changed, all_arrived)
+
+let test_weak_input_observable () =
+  let changed, complete = observe_mid_flight Sem.emulated_share in
+  Alcotest.(check bool) "prefix visible mid-flight" true changed;
+  Alcotest.(check bool) "but transfer not complete yet" false complete
+
+let test_strong_input_not_observable () =
+  List.iter
+    (fun sem ->
+      let changed, _ = observe_mid_flight sem in
+      Alcotest.(check bool)
+        (Sem.name sem ^ ": buffer untouched mid-flight")
+        false changed)
+    [ Sem.copy; Sem.emulated_copy ]
+
+(* TCOW under concurrent output: overwrite half the pages during output
+   and verify per-page behaviour — receiver intact AND the writes took
+   effect locally. *)
+let test_tcow_partial_overwrite () =
+  let rig = make_rig () in
+  let len = 8 * psize in
+  let buf = sender_buf rig Sem.emulated_copy ~len in
+  Genie.Buf.fill_pattern buf ~seed:23;
+  let got = ref None in
+  Genie.Endpoint.input rig.eb ~sem:Sem.emulated_copy
+    ~spec:(receiver_spec rig Sem.emulated_copy ~len)
+    ~on_complete:(fun r -> got := Some r);
+  ignore (Genie.Endpoint.output rig.ea ~sem:Sem.emulated_copy ~buf ());
+  (* Overwrite pages 0, 2, 4, 6 immediately. *)
+  for p = 0 to 3 do
+    Vm.Address_space.write buf.Genie.Buf.space
+      ~addr:(buf.Genie.Buf.addr + (2 * p * psize))
+      (Bytes.make 100 'W')
+  done;
+  Genie.World.run rig.w;
+  (match !got with
+  | Some { Genie.Input_path.buf = Some b; _ } ->
+    Alcotest.(check bytes) "receiver unaffected"
+      (Genie.Buf.expected_pattern ~len ~seed:23)
+      (Genie.Buf.read b)
+  | _ -> Alcotest.fail "no completion");
+  (* Local writes are visible. *)
+  for p = 0 to 3 do
+    let chunk =
+      Vm.Address_space.read buf.Genie.Buf.space
+        ~addr:(buf.Genie.Buf.addr + (2 * p * psize))
+        ~len:100
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "page %d write visible locally" (2 * p))
+      true
+      (Bytes.for_all (fun c -> c = 'W') chunk)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "strong semantics preserve output" `Quick
+      test_strong_output_integrity;
+    Alcotest.test_case "weak semantics expose overwrites" `Quick
+      test_weak_output_corruption;
+    Alcotest.test_case "weak in-place input observable mid-flight" `Quick
+      test_weak_input_observable;
+    Alcotest.test_case "strong input not observable mid-flight" `Quick
+      test_strong_input_not_observable;
+    Alcotest.test_case "TCOW per-page overwrite during output" `Quick
+      test_tcow_partial_overwrite;
+  ]

@@ -1,0 +1,169 @@
+(* Interoperability tests: heterogeneous machines (different page
+   sizes), concurrent virtual circuits, bidirectional traffic, and a
+   broad end-to-end fuzz across the configuration space. *)
+
+module As = Vm.Address_space
+module Sem = Genie.Semantics
+
+let light spec = Workload.Experiments.light_spec spec
+
+(* P166 (4 KB pages) to AlphaStation (8 KB pages) and back. *)
+let cross_machine_case send_sem recv_sem mode =
+  let name =
+    Printf.sprintf "P166->Alpha %s -> %s" (Sem.name send_sem) (Sem.name recv_sem)
+  in
+  Alcotest.test_case name `Quick (fun () ->
+      let w =
+        Genie.World.create
+          ~spec_a:(light Machine.Machine_spec.micron_p166)
+          ~spec_b:(light Machine.Machine_spec.alphastation_255)
+          ()
+      in
+      let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode in
+      let len = 20_000 in
+      let mk host sem =
+        let psize = Genie.Host.page_size host in
+        let space = Genie.Host.new_space host in
+        let state =
+          if Sem.system_allocated sem then Vm.Region.Moved_in else Vm.Region.Unmovable
+        in
+        let region =
+          As.map_region space ~npages:((len + psize - 1) / psize) ~state
+        in
+        Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+      in
+      let buf = mk w.Genie.World.a send_sem in
+      Genie.Buf.fill_pattern buf ~seed:90;
+      let spec =
+        if Sem.system_allocated recv_sem then
+          Genie.Input_path.Sys_alloc
+            { space = Genie.Host.new_space w.Genie.World.b; len }
+        else Genie.Input_path.App_buffer (mk w.Genie.World.b recv_sem)
+      in
+      let got = ref None in
+      Genie.Endpoint.input eb ~sem:recv_sem ~spec ~on_complete:(fun r ->
+          got := Some r);
+      ignore (Genie.Endpoint.output ea ~sem:send_sem ~buf ());
+      Genie.World.run w;
+      match !got with
+      | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+        Test_util.check_bytes name
+          (Genie.Buf.expected_pattern ~len ~seed:90)
+          (Genie.Buf.read b)
+      | _ -> Alcotest.fail "cross-machine transfer failed")
+
+let test_concurrent_vcs () =
+  (* Four VCs carrying different sizes and semantics simultaneously: the
+     link serializes PDUs but every transfer must complete intact. *)
+  let w =
+    Genie.World.create
+      ~spec_a:(light Machine.Machine_spec.micron_p166)
+      ~spec_b:(light Machine.Machine_spec.micron_p166)
+      ()
+  in
+  let psize = 4096 in
+  let cases =
+    [ (1, Sem.copy, 5000); (2, Sem.emulated_copy, 30_000);
+      (3, Sem.emulated_share, 12_288); (4, Sem.share, 61_440) ]
+  in
+  let completions = ref 0 in
+  List.iter
+    (fun (vc, sem, len) ->
+      let ea, eb = Genie.World.endpoint_pair w ~vc ~mode:Net.Adapter.Early_demux in
+      let sa = Genie.Host.new_space w.Genie.World.a in
+      let region = As.map_region sa ~npages:((len + psize - 1) / psize) in
+      let buf =
+        Genie.Buf.make sa ~addr:(As.base_addr region ~page_size:psize) ~len
+      in
+      Genie.Buf.fill_pattern buf ~seed:vc;
+      let sb = Genie.Host.new_space w.Genie.World.b in
+      let rregion = As.map_region sb ~npages:((len + psize - 1) / psize) in
+      let rbuf =
+        Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:psize) ~len
+      in
+      Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+        ~on_complete:(fun r ->
+          if not r.Genie.Input_path.ok then Alcotest.failf "vc %d failed" vc;
+          Test_util.check_bytes
+            (Printf.sprintf "vc %d" vc)
+            (Genie.Buf.expected_pattern ~len ~seed:vc)
+            (Genie.Buf.read rbuf);
+          incr completions);
+      ignore (Genie.Endpoint.output ea ~sem ~buf ()))
+    cases;
+  Genie.World.run w;
+  Alcotest.(check int) "all four completed" 4 !completions
+
+let test_bidirectional_simultaneous () =
+  (* Both hosts send to each other at the same instant on the same VC;
+     full duplex must carry both without interference. *)
+  let w =
+    Genie.World.create
+      ~spec_a:(light Machine.Machine_spec.micron_p166)
+      ~spec_b:(light Machine.Machine_spec.micron_p166)
+      ()
+  in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let psize = 4096 in
+  let len = 16384 in
+  let mk host =
+    let space = Genie.Host.new_space host in
+    let region = As.map_region space ~npages:(len / psize) in
+    Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+  in
+  let a_out = mk w.Genie.World.a and a_in = mk w.Genie.World.a in
+  let b_out = mk w.Genie.World.b and b_in = mk w.Genie.World.b in
+  Genie.Buf.fill_pattern a_out ~seed:101;
+  Genie.Buf.fill_pattern b_out ~seed:202;
+  let done_count = ref 0 in
+  Genie.Endpoint.input ea ~sem:Sem.emulated_copy
+    ~spec:(Genie.Input_path.App_buffer a_in)
+    ~on_complete:(fun r ->
+      Alcotest.(check bool) "a<-b ok" true r.Genie.Input_path.ok;
+      incr done_count);
+  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+    ~spec:(Genie.Input_path.App_buffer b_in)
+    ~on_complete:(fun r ->
+      Alcotest.(check bool) "b<-a ok" true r.Genie.Input_path.ok;
+      incr done_count);
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf:a_out ());
+  ignore (Genie.Endpoint.output eb ~sem:Sem.emulated_copy ~buf:b_out ());
+  Genie.World.run w;
+  Alcotest.(check int) "both completed" 2 !done_count;
+  Test_util.check_bytes "a received b's data"
+    (Genie.Buf.expected_pattern ~len ~seed:202)
+    (Genie.Buf.read a_in);
+  Test_util.check_bytes "b received a's data"
+    (Genie.Buf.expected_pattern ~len ~seed:101)
+    (Genie.Buf.read b_in)
+
+(* End-to-end fuzz over (semantics, mode, length, offset). *)
+let e2e_fuzz =
+  QCheck.Test.make ~name:"end-to-end fuzz over the configuration space" ~count:40
+    QCheck.(
+      quad (int_bound 7) (int_bound 2) (int_range 1 50_000) (int_bound 4095))
+    (fun (sem_idx, mode_idx, len, offset) ->
+      let sem = List.nth Sem.all sem_idx in
+      let mode =
+        List.nth [ Net.Adapter.Early_demux; Net.Adapter.Pooled; Net.Adapter.Outboard ]
+          mode_idx
+      in
+      let recv_spec = if Sem.system_allocated sem then `Sys else `Buffer in
+      let offset = if Sem.system_allocated sem then 0 else offset in
+      let _, data, r =
+        Test_util.one_way ~mode ~send_sem:sem ~recv_sem:sem ~len
+          ~app_offset:offset ~recv_spec ()
+      in
+      r.Genie.Input_path.ok && Bytes.equal data (Test_util.expected ~len))
+
+let suite =
+  [
+    cross_machine_case Sem.emulated_copy Sem.emulated_copy Net.Adapter.Early_demux;
+    cross_machine_case Sem.copy Sem.emulated_share Net.Adapter.Pooled;
+    cross_machine_case Sem.emulated_move Sem.emulated_move Net.Adapter.Early_demux;
+    cross_machine_case Sem.share Sem.weak_move Net.Adapter.Outboard;
+    Alcotest.test_case "four concurrent VCs" `Quick test_concurrent_vcs;
+    Alcotest.test_case "bidirectional simultaneous" `Quick
+      test_bidirectional_simultaneous;
+    QCheck_alcotest.to_alcotest e2e_fuzz;
+  ]

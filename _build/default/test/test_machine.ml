@@ -1,0 +1,134 @@
+(* Tests for the machine specs (Table 5) and the cost model (Table 6 +
+   Section 8 scaling). *)
+
+module C = Machine.Cost_model
+module S = Machine.Machine_spec
+
+let p166 = S.micron_p166
+let costs = C.create p166
+
+let test_table5_constants () =
+  Alcotest.(check int) "P166 MHz" 166 p166.S.cpu_mhz;
+  Alcotest.(check (float 1e-9)) "P166 SPECint95" 4.52 p166.S.specint95;
+  Alcotest.(check (float 1e-9)) "P166 memory bw" 351. p166.S.memory_bw_mbps;
+  Alcotest.(check (float 1e-9)) "P166 L2 bw" 486. p166.S.l2_bw_mbps;
+  Alcotest.(check int) "P166 page" 4096 p166.S.page_size;
+  Alcotest.(check int) "Alpha page" 8192 S.alphastation_255.S.page_size;
+  Alcotest.(check (float 1e-9)) "P5-90 memory bw" 146. S.gateway_p5_90.S.memory_bw_mbps;
+  Alcotest.(check int) "frame count 32MB/4K" 8192 (S.frame_count p166);
+  Alcotest.(check int) "pages_of_bytes" 2 (S.pages_of_bytes p166 4097)
+
+(* Every Table 6 entry must be reproduced exactly by the reference cost
+   model (values in usec). *)
+let table6_reference =
+  [
+    (C.Copyin, 0.0180, -3.); (C.Copyout, 0.0220, 15.);
+    (C.Reference, 0.000363, 5.); (C.Unreference, 0.000100, 2.);
+    (C.Wire, 0.00141, 18.); (C.Unwire, 0.000237, 10.);
+    (C.Read_only, 0.000367, 2.); (C.Invalidate, 0.000373, 2.);
+    (C.Swap_pages, 0.00163, 15.); (C.Region_create, 0., 24.);
+    (C.Region_fill, 0.000398, 9.); (C.Region_mark_out, 0., 3.);
+    (C.Region_fill_overlay_refill, 0.000716, 11.);
+    (C.Overlay_allocate, 0., 7.); (C.Overlay, 0., 7.);
+    (C.Overlay_deallocate, 0.000344, 12.); (C.Region_map, 0.000474, 6.);
+    (C.Region_check, 0., 5.);
+    (C.Region_check_unref_reinstate_mark_in, 0.000507, 11.);
+    (C.Region_check_unref_mark_in, 0.000194, 6.); (C.Region_mark_in, 0., 1.);
+  ]
+
+let test_table6_calibration () =
+  List.iter
+    (fun (op, mult_us, fixed_us) ->
+      Alcotest.(check (float 1e-9))
+        (C.op_name op ^ " mult")
+        mult_us
+        (C.mult_ns_per_byte costs op /. 1000.);
+      Alcotest.(check (float 1e-9))
+        (C.op_name op ^ " fixed")
+        fixed_us
+        (C.fixed_ns costs op /. 1000.))
+    table6_reference
+
+let test_cost_eval () =
+  (* copyout of 1000 bytes: 0.022 * 1000 + 15 = 37 usec *)
+  Alcotest.(check int) "copyout 1000B" 37_000
+    (Simcore.Sim_time.to_ns (C.cost costs C.Copyout ~bytes:1000));
+  (* negative clamp: copyin fixed is -3; tiny transfers never go negative *)
+  Alcotest.(check bool) "copyin never negative" true
+    (Simcore.Sim_time.to_ns (C.cost costs C.Copyin ~bytes:10) >= 0);
+  Alcotest.(check int) "cost_pages = pages * psize"
+    (Simcore.Sim_time.to_ns (C.cost costs C.Reference ~bytes:8192))
+    (Simcore.Sim_time.to_ns (C.cost_pages costs C.Reference ~pages:2));
+  Alcotest.check_raises "negative bytes"
+    (Invalid_argument "Cost_model.cost: negative byte count") (fun () ->
+      ignore (C.cost costs C.Copyout ~bytes:(-1)))
+
+let test_scaling_memory () =
+  let g = C.create S.gateway_p5_90 in
+  let ratio = C.mult_ns_per_byte g C.Copyout /. C.mult_ns_per_byte costs C.Copyout in
+  Alcotest.(check (float 0.001)) "P5-90 memory-dominated ratio 351/146" (351. /. 146.) ratio;
+  let a = C.create S.alphastation_255 in
+  let ratio_a = C.mult_ns_per_byte a C.Copyout /. C.mult_ns_per_byte costs C.Copyout in
+  Alcotest.(check (float 0.01)) "Alpha memory ratio ~1" (351. /. 350.) ratio_a
+
+let test_scaling_cache_bounds () =
+  (* Copyin must scale between the L2-only and memory-only bounds the
+     paper gives for Table 8. *)
+  let check spec lo hi =
+    let m = C.create spec in
+    let ratio = C.mult_ns_per_byte m C.Copyin /. C.mult_ns_per_byte costs C.Copyin in
+    if ratio < lo || ratio > hi then
+      Alcotest.failf "%s copyin ratio %.2f outside (%.2f, %.2f)"
+        spec.S.name ratio lo hi
+  in
+  check S.gateway_p5_90 1.44 3.33;
+  check S.alphastation_255 0.26 1.39
+
+let test_scaling_cpu_same_arch () =
+  (* Same microarchitecture: every CPU-dominated parameter scales by at
+     least the SPECint ratio, within a modest factor. *)
+  let g = C.create S.gateway_p5_90 in
+  let est = 4.52 /. 2.88 in
+  List.iter
+    (fun op ->
+      if C.mult_domain op = C.Cpu then begin
+        let f = C.fixed_ns g op and fr = C.fixed_ns costs op in
+        if fr > 500. then begin
+          let ratio = f /. fr in
+          if ratio < est -. 0.01 || ratio > est *. 1.4 then
+            Alcotest.failf "%s fixed ratio %.2f outside [%.2f, %.2f]"
+              (C.op_name op) ratio est (est *. 1.4)
+        end
+      end)
+    C.all_ops
+
+let test_scaling_deterministic () =
+  let a = C.create S.alphastation_255 and b = C.create S.alphastation_255 in
+  List.iter
+    (fun op ->
+      Alcotest.(check (float 1e-9))
+        (C.op_name op ^ " deterministic")
+        (C.mult_ns_per_byte a op) (C.mult_ns_per_byte b op))
+    C.all_ops
+
+let test_reference_identity () =
+  (* The reference machine gets no jitter: two cost models agree and all
+     ops match the calibration table. *)
+  let c2 = C.create p166 in
+  List.iter
+    (fun op ->
+      Alcotest.(check (float 1e-9)) (C.op_name op) (C.fixed_ns costs op)
+        (C.fixed_ns c2 op))
+    C.all_ops
+
+let suite =
+  [
+    Alcotest.test_case "Table 5 constants" `Quick test_table5_constants;
+    Alcotest.test_case "Table 6 calibration" `Quick test_table6_calibration;
+    Alcotest.test_case "cost evaluation" `Quick test_cost_eval;
+    Alcotest.test_case "memory-dominated scaling" `Quick test_scaling_memory;
+    Alcotest.test_case "cache-dominated bounds" `Quick test_scaling_cache_bounds;
+    Alcotest.test_case "CPU scaling, same arch" `Quick test_scaling_cpu_same_arch;
+    Alcotest.test_case "scaling deterministic" `Quick test_scaling_deterministic;
+    Alcotest.test_case "reference has no jitter" `Quick test_reference_identity;
+  ]

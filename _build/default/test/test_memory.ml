@@ -1,0 +1,242 @@
+(* Tests for the physical memory substrate: frames, the free list,
+   I/O-deferred page deallocation, the pageout daemon's input-disabled
+   policy, descriptors and the backing store. *)
+
+let spec = { Machine.Machine_spec.micron_p166 with Machine.Machine_spec.memory_mb = 1 }
+(* 256 frames: big enough for tests, small enough to exhaust. *)
+
+let fresh () = Memory.Phys_mem.create spec
+
+let test_alloc_free () =
+  let pm = fresh () in
+  let total = Memory.Phys_mem.total_frames pm in
+  Alcotest.(check int) "256 frames" 256 total;
+  let f = Memory.Phys_mem.alloc pm in
+  Alcotest.(check int) "one taken" (total - 1) (Memory.Phys_mem.free_frames pm);
+  Alcotest.(check char) "poisoned" '\xAA' (Bytes.get f.Memory.Frame.data 0);
+  Memory.Phys_mem.deallocate pm f;
+  Alcotest.(check int) "returned" total (Memory.Phys_mem.free_frames pm)
+
+let test_alloc_zeroed () =
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc_zeroed pm in
+  Alcotest.(check bool) "all zero" true
+    (Bytes.for_all (fun c -> c = '\x00') f.Memory.Frame.data)
+
+let test_exhaustion () =
+  let pm = fresh () in
+  let _all = Memory.Phys_mem.alloc_many pm 256 in
+  Alcotest.check_raises "out of frames" Memory.Phys_mem.Out_of_frames (fun () ->
+      ignore (Memory.Phys_mem.alloc pm))
+
+let test_double_free_raises () =
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  Memory.Phys_mem.deallocate pm f;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Phys_mem.deallocate: frame already free") (fun () ->
+      Memory.Phys_mem.deallocate pm f)
+
+let test_deferred_deallocation () =
+  (* The heart of Section 3.1: a frame deallocated with pending I/O must
+     not reach the free list until the last reference drops. *)
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  Bytes.set f.Memory.Frame.data 0 'D';
+  Memory.Phys_mem.ref_output pm f;
+  Memory.Phys_mem.ref_output pm f;
+  let free_before = Memory.Phys_mem.free_frames pm in
+  Memory.Phys_mem.deallocate pm f;
+  Alcotest.(check int) "not freed yet" free_before (Memory.Phys_mem.free_frames pm);
+  Alcotest.(check int) "zombie" 1 (Memory.Phys_mem.zombie_count pm);
+  Alcotest.(check char) "data still readable by DMA" 'D'
+    (Bytes.get f.Memory.Frame.data 0);
+  Memory.Phys_mem.unref_output pm f;
+  Alcotest.(check int) "still held" free_before (Memory.Phys_mem.free_frames pm);
+  Memory.Phys_mem.unref_output pm f;
+  Alcotest.(check int) "reclaimed" (free_before + 1) (Memory.Phys_mem.free_frames pm);
+  Alcotest.(check int) "no zombies" 0 (Memory.Phys_mem.zombie_count pm)
+
+let test_adopt_zombie () =
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  Memory.Phys_mem.ref_input pm f;
+  Memory.Phys_mem.deallocate pm f;
+  Alcotest.(check int) "zombie" 1 (Memory.Phys_mem.zombie_count pm);
+  Memory.Phys_mem.adopt pm f;
+  Alcotest.(check int) "adopted" 0 (Memory.Phys_mem.zombie_count pm);
+  let free = Memory.Phys_mem.free_frames pm in
+  Memory.Phys_mem.unref_input pm f;
+  Alcotest.(check int) "unref does not free adopted frame" free
+    (Memory.Phys_mem.free_frames pm)
+
+let test_unref_without_ref_raises () =
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  Alcotest.check_raises "no ref" (Invalid_argument "Phys_mem.unref_input: no reference")
+    (fun () -> Memory.Phys_mem.unref_input pm f)
+
+(* {1 Io_desc} *)
+
+let make_frame pm s =
+  let f = Memory.Phys_mem.alloc pm in
+  Bytes.blit_string s 0 f.Memory.Frame.data 0 (String.length s);
+  f
+
+let test_desc_gather_scatter () =
+  let pm = fresh () in
+  let f1 = make_frame pm "AAAABBBB" and f2 = make_frame pm "CCCCDDDD" in
+  let desc =
+    Memory.Io_desc.of_segs
+      [
+        { Memory.Io_desc.frame = f1; off = 4; len = 4 };
+        { Memory.Io_desc.frame = f2; off = 0; len = 4 };
+      ]
+  in
+  Alcotest.(check int) "total" 8 (Memory.Io_desc.total_len desc);
+  Alcotest.(check string) "gather" "BBBBCCCC"
+    (Bytes.to_string (Memory.Io_desc.gather desc ~off:0 ~len:8));
+  Alcotest.(check string) "gather middle" "BCC"
+    (Bytes.to_string (Memory.Io_desc.gather desc ~off:3 ~len:3));
+  Memory.Io_desc.scatter desc ~off:2 ~src:(Bytes.of_string "xyz") ~src_off:0 ~len:3;
+  Alcotest.(check string) "scatter across segs" "BBxyzCC"
+    (Bytes.to_string (Memory.Io_desc.gather desc ~off:0 ~len:7));
+  Alcotest.(check string) "frame 1 updated" "AAAABBxy"
+    (Bytes.sub_string f1.Memory.Frame.data 0 8);
+  Alcotest.(check string) "frame 2 updated" "zCCC"
+    (Bytes.sub_string f2.Memory.Frame.data 0 4)
+
+let test_desc_bounds () =
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  let desc = Memory.Io_desc.single f ~off:0 ~len:16 in
+  Alcotest.check_raises "gather out of bounds"
+    (Invalid_argument "Io_desc: range out of bounds") (fun () ->
+      ignore (Memory.Io_desc.gather desc ~off:10 ~len:10));
+  Alcotest.check_raises "bad segment"
+    (Invalid_argument "Io_desc.of_segs: segment out of frame bounds") (fun () ->
+      ignore (Memory.Io_desc.of_segs [ { Memory.Io_desc.frame = f; off = 4090; len = 100 } ]))
+
+let test_desc_frames_dedup () =
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  let desc =
+    Memory.Io_desc.of_segs
+      [
+        { Memory.Io_desc.frame = f; off = 0; len = 8 };
+        { Memory.Io_desc.frame = f; off = 16; len = 8 };
+      ]
+  in
+  Alcotest.(check int) "dedup" 1 (List.length (Memory.Io_desc.frames desc))
+
+let desc_roundtrip =
+  QCheck.Test.make ~name:"io_desc scatter/gather roundtrip" ~count:100
+    QCheck.(pair (int_bound 4000) (int_bound 95))
+    (fun (len, off) ->
+      let pm = fresh () in
+      let f1 = Memory.Phys_mem.alloc pm and f2 = Memory.Phys_mem.alloc pm in
+      let len = max 1 len in
+      let seg1 = min len (4096 - off) in
+      let segs =
+        if seg1 = len then [ { Memory.Io_desc.frame = f1; off; len } ]
+        else
+          [
+            { Memory.Io_desc.frame = f1; off; len = seg1 };
+            { Memory.Io_desc.frame = f2; off = 0; len = len - seg1 };
+          ]
+      in
+      let desc = Memory.Io_desc.of_segs segs in
+      let payload = Bytes.init len (fun i -> Char.chr ((i * 31) land 0xFF)) in
+      Memory.Io_desc.scatter desc ~off:0 ~src:payload ~src_off:0 ~len;
+      Bytes.equal payload (Memory.Io_desc.gather desc ~off:0 ~len))
+
+(* {1 Pageout: input-disabled policy} *)
+
+let test_pageout_input_disabled () =
+  let pm = fresh () in
+  let daemon = Memory.Pageout.create () in
+  let evicted = ref [] in
+  Memory.Pageout.set_evict_hook daemon (fun f ->
+      evicted := f.Memory.Frame.id :: !evicted;
+      true);
+  let with_input = Memory.Phys_mem.alloc pm in
+  let with_output = Memory.Phys_mem.alloc pm in
+  let plain = Memory.Phys_mem.alloc pm in
+  let wired = Memory.Phys_mem.alloc pm in
+  Memory.Phys_mem.ref_input pm with_input;
+  Memory.Phys_mem.ref_output pm with_output;
+  wired.Memory.Frame.wired <- 1;
+  List.iter (Memory.Pageout.register daemon) [ with_input; with_output; plain; wired ];
+  Alcotest.(check bool) "input-referenced not eligible" false
+    (Memory.Pageout.eligible daemon with_input);
+  Alcotest.(check bool) "output-referenced IS eligible" true
+    (Memory.Pageout.eligible daemon with_output);
+  Alcotest.(check bool) "wired not eligible" false
+    (Memory.Pageout.eligible daemon wired);
+  let n = Memory.Pageout.scan daemon ~target:10 in
+  Alcotest.(check int) "two evicted" 2 n;
+  Alcotest.(check bool) "output frame evicted" true
+    (List.mem with_output.Memory.Frame.id !evicted);
+  Alcotest.(check bool) "plain frame evicted" true
+    (List.mem plain.Memory.Frame.id !evicted);
+  Alcotest.(check bool) "input frame survived" true
+    (not (List.mem with_input.Memory.Frame.id !evicted))
+
+let test_pageout_unregister () =
+  let pm = fresh () in
+  let daemon = Memory.Pageout.create () in
+  Memory.Pageout.set_evict_hook daemon (fun _ -> true);
+  let f = Memory.Phys_mem.alloc pm in
+  Memory.Pageout.register daemon f;
+  Memory.Pageout.unregister daemon f;
+  Alcotest.(check int) "nothing evicted" 0 (Memory.Pageout.scan daemon ~target:5)
+
+let test_pageout_target () =
+  let pm = fresh () in
+  let daemon = Memory.Pageout.create () in
+  Memory.Pageout.set_evict_hook daemon (fun _ -> true);
+  List.iter (Memory.Pageout.register daemon) (Memory.Phys_mem.alloc_many pm 5);
+  Alcotest.(check int) "respects target" 2 (Memory.Pageout.scan daemon ~target:2);
+  Alcotest.(check int) "remaining" 3 (Memory.Pageout.scan daemon ~target:10)
+
+(* {1 Backing store} *)
+
+let test_backing_store () =
+  let bs = Memory.Backing_store.create ~page_size:4096 in
+  let page = Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)) in
+  let slot = Memory.Backing_store.page_out bs page in
+  Alcotest.(check int) "one live slot" 1 (Memory.Backing_store.live_slots bs);
+  Alcotest.(check bytes) "peek" page (Memory.Backing_store.peek bs slot);
+  let dst = Bytes.create 4096 in
+  Memory.Backing_store.page_in bs slot dst;
+  Alcotest.(check bytes) "roundtrip" page dst;
+  Alcotest.(check int) "slot freed" 0 (Memory.Backing_store.live_slots bs);
+  Alcotest.check_raises "stale slot"
+    (Invalid_argument "Backing_store: unknown or freed slot") (fun () ->
+      ignore (Memory.Backing_store.peek bs slot))
+
+let test_backing_store_wrong_size () =
+  let bs = Memory.Backing_store.create ~page_size:4096 in
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Backing_store.page_out: wrong page size") (fun () ->
+      ignore (Memory.Backing_store.page_out bs (Bytes.create 100)))
+
+let suite =
+  [
+    Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+    Alcotest.test_case "alloc zeroed" `Quick test_alloc_zeroed;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "double free raises" `Quick test_double_free_raises;
+    Alcotest.test_case "I/O-deferred deallocation" `Quick test_deferred_deallocation;
+    Alcotest.test_case "zombie adoption" `Quick test_adopt_zombie;
+    Alcotest.test_case "unref without ref raises" `Quick test_unref_without_ref_raises;
+    Alcotest.test_case "io_desc gather/scatter" `Quick test_desc_gather_scatter;
+    Alcotest.test_case "io_desc bounds" `Quick test_desc_bounds;
+    Alcotest.test_case "io_desc frame dedup" `Quick test_desc_frames_dedup;
+    QCheck_alcotest.to_alcotest desc_roundtrip;
+    Alcotest.test_case "input-disabled pageout" `Quick test_pageout_input_disabled;
+    Alcotest.test_case "pageout unregister" `Quick test_pageout_unregister;
+    Alcotest.test_case "pageout target" `Quick test_pageout_target;
+    Alcotest.test_case "backing store" `Quick test_backing_store;
+    Alcotest.test_case "backing store size check" `Quick test_backing_store_wrong_size;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the segmented message transport. *)
+
+module As = Vm.Address_space
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+let psize = 4096
+
+let make_buf host ~len =
+  let space = Genie.Host.new_space host in
+  let region = As.map_region space ~npages:((len + psize - 1) / psize) in
+  Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+
+let transfer ?(chunk = 61440) ~sem ~len () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let tx = Genie.Msg_channel.create ~chunk ea ~sem in
+  let rx = Genie.Msg_channel.create ~chunk eb ~sem in
+  let src = make_buf w.Genie.World.a ~len in
+  Genie.Buf.fill_pattern src ~seed:60;
+  let dst = make_buf w.Genie.World.b ~len in
+  let finished = ref false and received_ok = ref false in
+  let t0 = Genie.Host.now_us w.Genie.World.a in
+  Genie.Msg_channel.recv rx ~buf:dst ~on_complete:(fun ~ok -> received_ok := ok);
+  Genie.Msg_channel.send tx ~buf:src ~on_complete:(fun () -> finished := true);
+  Genie.World.run w;
+  let elapsed = Genie.Host.now_us w.Genie.World.b -. t0 in
+  Alcotest.(check bool) "send completed" true !finished;
+  Alcotest.(check bool) "recv ok" true !received_ok;
+  Alcotest.(check bool) "payload"
+    true
+    (Bytes.equal (Genie.Buf.read dst) (Genie.Buf.expected_pattern ~len ~seed:60));
+  elapsed
+
+let test_one_megabyte () =
+  (* 1 MB message = 18 chunks of 60 KB; far beyond one AAL5 PDU. *)
+  ignore (transfer ~sem:Sem.emulated_copy ~len:(1024 * 1024) ())
+
+let test_odd_length_message () =
+  ignore (transfer ~sem:Sem.emulated_copy ~len:123_457 ())
+
+let test_small_message_single_chunk () =
+  ignore (transfer ~sem:Sem.copy ~len:500 ())
+
+let test_all_app_semantics () =
+  List.iter
+    (fun sem -> ignore (transfer ~sem ~len:200_000 ()))
+    [ Sem.copy; Sem.emulated_copy; Sem.share; Sem.emulated_share ]
+
+let test_pipelining_beats_serial () =
+  (* Pipelined chunks: total time must be well below the sum of
+     independent one-chunk latencies. *)
+  let chunked = transfer ~sem:Sem.emulated_copy ~len:(8 * 61440) ~chunk:61440 () in
+  let single = transfer ~sem:Sem.emulated_copy ~len:61440 () in
+  Alcotest.(check bool) "pipelined" true (chunked < 8. *. single *. 0.95)
+
+let test_throughput_approaches_line_rate () =
+  (* A long pipelined message should sustain close to the single-datagram
+     equivalent throughput (the wire is the bottleneck, not latency). *)
+  let len = 16 * 61440 in
+  let us = transfer ~sem:Sem.emulated_copy ~len () in
+  let mbps = 8. *. float_of_int len /. us in
+  Alcotest.(check bool)
+    (Printf.sprintf "sustained %.0f Mbps" mbps)
+    true (mbps > 125.)
+
+let test_system_semantics_rejected () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, _ = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Genie.Msg_channel.create ea ~sem:Sem.move);
+       false
+     with Vm.Vm_error.Semantics_error _ -> true)
+
+let test_bad_chunk_rejected () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, _ = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  Alcotest.(check bool) "zero chunk" true
+    (try
+       ignore (Genie.Msg_channel.create ~chunk:0 ea ~sem:Sem.copy);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "oversized chunk" true
+    (try
+       ignore (Genie.Msg_channel.create ~chunk:70_000 ea ~sem:Sem.copy);
+       false
+     with Invalid_argument _ -> true)
+
+let msg_roundtrip_random =
+  QCheck.Test.make ~name:"message roundtrip at random lengths" ~count:15
+    QCheck.(pair (int_range 1 150_000) (int_range 0 3))
+    (fun (len, sem_idx) ->
+      let sem =
+        List.nth [ Sem.copy; Sem.emulated_copy; Sem.share; Sem.emulated_share ]
+          sem_idx
+      in
+      try
+        ignore (transfer ~sem ~len ());
+        true
+      with _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "1 MB message" `Quick test_one_megabyte;
+    Alcotest.test_case "odd-length message" `Quick test_odd_length_message;
+    Alcotest.test_case "small single-chunk message" `Quick
+      test_small_message_single_chunk;
+    Alcotest.test_case "all application-allocated semantics" `Quick
+      test_all_app_semantics;
+    Alcotest.test_case "chunks pipeline" `Quick test_pipelining_beats_serial;
+    Alcotest.test_case "sustained throughput near line rate" `Quick
+      test_throughput_approaches_line_rate;
+    Alcotest.test_case "system semantics rejected" `Quick
+      test_system_semantics_rejected;
+    Alcotest.test_case "bad chunk sizes rejected" `Quick test_bad_chunk_rejected;
+    QCheck_alcotest.to_alcotest msg_roundtrip_random;
+  ]

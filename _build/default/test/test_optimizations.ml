@@ -1,0 +1,265 @@
+(* End-to-end tests of the paper's safety and optimization techniques in
+   full transfers: I/O-deferred page deallocation under process exit,
+   input-disabled pageout during active I/O, input-disabled COW during
+   reception, and the input-alignment engine in isolation. *)
+
+module As = Vm.Address_space
+module R = Vm.Region
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+let psize = 4096
+
+let setup () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  (w, ea, eb)
+
+let plain_buf host ~len =
+  let space = Genie.Host.new_space host in
+  let region = As.map_region space ~npages:((len + psize - 1) / psize) in
+  Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+
+(* Process exit during DMA output: the address space is destroyed right
+   after the (in-place, emulated share) output call.  I/O-deferred page
+   deallocation must keep the frames alive until transmission completes,
+   so the receiver still gets correct data, and reclaim them after. *)
+let test_exit_during_output () =
+  let w, ea, eb = setup () in
+  let len = 8 * psize in
+  let buf = plain_buf w.Genie.World.a ~len in
+  Genie.Buf.fill_pattern buf ~seed:31;
+  let rbuf = plain_buf w.Genie.World.b ~len in
+  let got = ref None in
+  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+    ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun r -> got := Some r);
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
+  let phys_a = w.Genie.World.a.Genie.Host.vm.Vm.Vm_sys.phys in
+  (* The process dies; all its memory is deallocated mid-transfer. *)
+  As.destroy buf.Genie.Buf.space;
+  Alcotest.(check bool) "frames zombied, not freed" true
+    (Memory.Phys_mem.zombie_count phys_a > 0);
+  Genie.World.run w;
+  (match !got with
+  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+    Alcotest.(check bytes) "receiver got intact data"
+      (Genie.Buf.expected_pattern ~len ~seed:31)
+      (Genie.Buf.read b)
+  | _ -> Alcotest.fail "transfer failed");
+  Alcotest.(check int) "frames reclaimed after output" 0
+    (Memory.Phys_mem.zombie_count phys_a)
+
+(* Pageout during output: output-referenced pages may be paged out (the
+   zombie keeps the bytes alive for the DMA), and the transfer still
+   delivers correct data. *)
+let test_pageout_during_output () =
+  let w, ea, eb = setup () in
+  let len = 15 * psize in
+  let buf = plain_buf w.Genie.World.a ~len in
+  Genie.Buf.fill_pattern buf ~seed:32;
+  let rbuf = plain_buf w.Genie.World.b ~len in
+  let got = ref None in
+  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+    ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun r -> got := Some r);
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
+  (* Mid-transmission, the pageout daemon sweeps aggressively. *)
+  Simcore.Engine.schedule w.Genie.World.engine ~delay:(Simcore.Sim_time.of_us 500.)
+    (fun () ->
+      let n = Vm.Vm_sys.run_pageout w.Genie.World.a.Genie.Host.vm ~target:1000 in
+      Alcotest.(check bool) "output pages were evictable" true (n > 0));
+  Genie.World.run w;
+  (match !got with
+  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+    Alcotest.(check bytes) "data survived pageout during output"
+      (Genie.Buf.expected_pattern ~len ~seed:32)
+      (Genie.Buf.read b)
+  | _ -> Alcotest.fail "transfer failed");
+  (* The application can still read its buffer (pagein path). *)
+  Alcotest.(check bytes) "sender buffer paged back in"
+    (Genie.Buf.expected_pattern ~len ~seed:32)
+    (Genie.Buf.read buf)
+
+(* Pageout during pending input: the posted input buffer's pages must be
+   skipped by the daemon (input-disabled pageout), or the arriving DMA
+   would be lost. *)
+let test_pageout_during_pending_input () =
+  let w, ea, eb = setup () in
+  let len = 4 * psize in
+  let buf = plain_buf w.Genie.World.a ~len in
+  Genie.Buf.fill_pattern buf ~seed:33;
+  let rbuf = plain_buf w.Genie.World.b ~len in
+  let got = ref None in
+  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+    ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun r -> got := Some r);
+  (* Sweep the receiver before anything arrives: the posted pages carry
+     input references and must survive. *)
+  ignore (Vm.Vm_sys.run_pageout w.Genie.World.b.Genie.Host.vm ~target:1000);
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
+  Genie.World.run w;
+  match !got with
+  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+    Alcotest.(check bytes) "input landed despite the sweep"
+      (Genie.Buf.expected_pattern ~len ~seed:33)
+      (Genie.Buf.read b)
+  | _ -> Alcotest.fail "transfer failed"
+
+(* Fork during reception: input-disabled COW must physically copy the
+   receiving region so the child never sees the newly arriving bytes. *)
+let test_fork_during_input () =
+  let w, ea, eb = setup () in
+  let len = 15 * psize in
+  let buf = plain_buf w.Genie.World.a ~len in
+  Genie.Buf.fill_pattern buf ~seed:34;
+  let rbuf = plain_buf w.Genie.World.b ~len in
+  Genie.Buf.write rbuf (Bytes.make len 'O');
+  let got = ref None in
+  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+    ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun r -> got := Some r);
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
+  let child = ref None in
+  Simcore.Engine.schedule w.Genie.World.engine ~delay:(Simcore.Sim_time.of_us 1500.)
+    (fun () -> child := Some (As.clone_cow rbuf.Genie.Buf.space));
+  Genie.World.run w;
+  (match !got with
+  | Some { Genie.Input_path.ok = true; _ } -> ()
+  | _ -> Alcotest.fail "transfer failed");
+  match !child with
+  | Some child_space ->
+    let child_view = As.read child_space ~addr:rbuf.Genie.Buf.addr ~len in
+    (* The child forked mid-reception; whatever it sees must be frozen —
+       no byte of the post-fork DMA may appear.  The prefix that had
+       already arrived may be visible; the tail must still be 'O'. *)
+    Alcotest.(check char) "tail frozen at fork time" 'O'
+      (Bytes.get child_view (len - 1));
+    let parent_view = Genie.Buf.read rbuf in
+    Alcotest.(check bytes) "parent has the full input"
+      (Genie.Buf.expected_pattern ~len ~seed:34)
+      parent_view
+  | None -> Alcotest.fail "fork did not run"
+
+(* {1 The Align engine in isolation} *)
+
+let align_fixture ~buf_offset ~len =
+  let vm = Vm.Vm_sys.create light in
+  let space = As.create vm in
+  let npages = (buf_offset + len + psize - 1) / psize in
+  let region = As.map_region space ~npages in
+  let addr = As.base_addr region ~page_size:psize + buf_offset in
+  As.write space ~addr:(As.base_addr region ~page_size:psize)
+    (Bytes.make (npages * psize) 'S');
+  let buf = Genie.Buf.make space ~addr ~len in
+  let engine = Simcore.Engine.create () in
+  let cpu = Simcore.Cpu.create engine in
+  let ops = Genie.Ops.create cpu (Machine.Cost_model.create light) in
+  (vm, space, region, buf, ops)
+
+let src_frames_for vm ~src_off ~payload =
+  let total = src_off + Bytes.length payload in
+  let n = (total + psize - 1) / psize in
+  let frames = Array.init n (fun _ -> Memory.Phys_mem.alloc vm.Vm.Vm_sys.phys) in
+  Array.iteri (fun _ f -> Memory.Frame.fill f 'G') frames;
+  let cursor = ref 0 in
+  while !cursor < Bytes.length payload do
+    let pos = src_off + !cursor in
+    let j = pos / psize and o = pos mod psize in
+    let n = min (Bytes.length payload - !cursor) (psize - o) in
+    Memory.Frame.blit_in frames.(j) ~dst_off:o ~src:payload ~src_off:!cursor ~len:n;
+    cursor := !cursor + n
+  done;
+  frames
+
+let run_align ~buf_offset ~len ~threshold =
+  let vm, space, region, buf, ops = align_fixture ~buf_offset ~len in
+  ignore region;
+  let payload = Genie.Buf.expected_pattern ~len ~seed:35 in
+  let frames = src_frames_for vm ~src_off:buf_offset ~payload in
+  let displaced = ref 0 in
+  let outcome =
+    Genie.Align.deliver ops ~buf ~payload_len:len ~src_frames:frames
+      ~src_off:buf_offset ~threshold
+      ~displaced:(fun _ -> incr displaced)
+  in
+  (space, buf, payload, outcome, !displaced)
+
+let test_align_full_pages_swap () =
+  let _, buf, payload, outcome, displaced =
+    run_align ~buf_offset:0 ~len:(3 * psize) ~threshold:2178
+  in
+  Alcotest.(check int) "all pages swapped" 3 outcome.Genie.Align.swapped_pages;
+  Alcotest.(check int) "no copies" 0 outcome.Genie.Align.copied_bytes;
+  Alcotest.(check int) "displaced frames handed back" 3 displaced;
+  Alcotest.(check bytes) "data" payload (Genie.Buf.read buf)
+
+let test_align_short_tail_copied () =
+  (* Tail of 1000 bytes < threshold: copied, not swapped. *)
+  let _, buf, payload, outcome, _ =
+    run_align ~buf_offset:0 ~len:(psize + 1000) ~threshold:2178
+  in
+  Alcotest.(check int) "one full page swapped" 1 outcome.Genie.Align.swapped_pages;
+  Alcotest.(check int) "tail copied" 1000 outcome.Genie.Align.copied_bytes;
+  Alcotest.(check bytes) "data" payload (Genie.Buf.read buf)
+
+let test_align_long_tail_completed_and_swapped () =
+  (* Tail of 3000 bytes > threshold: completed with the app's own bytes
+     (1096 copied) and swapped. *)
+  let space, buf, payload, outcome, _ =
+    run_align ~buf_offset:0 ~len:(psize + 3000) ~threshold:2178
+  in
+  Alcotest.(check int) "both pages swapped" 2 outcome.Genie.Align.swapped_pages;
+  Alcotest.(check int) "completion bytes copied" (psize - 3000)
+    outcome.Genie.Align.copied_bytes;
+  Alcotest.(check bytes) "data" payload (Genie.Buf.read buf);
+  (* The sentinel after the buffer (same page) survived the swap. *)
+  let tail =
+    As.read space ~addr:(buf.Genie.Buf.addr + buf.Genie.Buf.len)
+      ~len:(psize - 3000)
+  in
+  Alcotest.(check bool) "surrounding data preserved" true
+    (Bytes.for_all (fun c -> c = 'S') tail)
+
+let test_align_unaligned_copies_everything () =
+  let vm, _, _, buf, ops = align_fixture ~buf_offset:100 ~len:(2 * psize) in
+  let payload = Genie.Buf.expected_pattern ~len:(2 * psize) ~seed:36 in
+  (* Source frames at offset 0: misaligned with the buffer at 100. *)
+  let frames = src_frames_for vm ~src_off:0 ~payload in
+  let outcome =
+    Genie.Align.deliver ops ~buf ~payload_len:(2 * psize) ~src_frames:frames
+      ~src_off:0 ~threshold:2178
+      ~displaced:(fun _ -> Alcotest.fail "nothing should be displaced")
+  in
+  Alcotest.(check int) "no swaps" 0 outcome.Genie.Align.swapped_pages;
+  Alcotest.(check int) "everything copied" (2 * psize)
+    outcome.Genie.Align.copied_bytes;
+  Alcotest.(check bytes) "data" payload (Genie.Buf.read buf)
+
+let align_random =
+  QCheck.Test.make ~name:"align delivers correct bytes at any geometry" ~count:60
+    QCheck.(pair (int_bound (3 * 4096)) (int_bound 4095))
+    (fun (len, buf_offset) ->
+      let len = max 1 len in
+      let _, buf, payload, _, _ =
+        run_align ~buf_offset ~len ~threshold:2178
+      in
+      Bytes.equal payload (Genie.Buf.read buf))
+
+let suite =
+  [
+    Alcotest.test_case "process exit during output (deferred dealloc)" `Quick
+      test_exit_during_output;
+    Alcotest.test_case "pageout during output" `Quick test_pageout_during_output;
+    Alcotest.test_case "pageout during pending input" `Quick
+      test_pageout_during_pending_input;
+    Alcotest.test_case "fork during reception (input-disabled COW)" `Quick
+      test_fork_during_input;
+    Alcotest.test_case "align: full pages swap" `Quick test_align_full_pages_swap;
+    Alcotest.test_case "align: short tail copied" `Quick test_align_short_tail_copied;
+    Alcotest.test_case "align: long tail completed+swapped" `Quick
+      test_align_long_tail_completed_and_swapped;
+    Alcotest.test_case "align: unaligned copies everything" `Quick
+      test_align_unaligned_copies_everything;
+    QCheck_alcotest.to_alcotest align_random;
+  ]

@@ -1,0 +1,150 @@
+(* Memory pressure: the VM must overcommit physical memory by paging to
+   the backing store, transparently to applications, and the explicit
+   system-buffer API must behave per Section 2.1. *)
+
+module As = Vm.Address_space
+module Sem = Genie.Semantics
+
+let tiny = { Machine.Machine_spec.micron_p166 with Machine.Machine_spec.memory_mb = 1 }
+(* 256 frames of 4 KB. *)
+
+let test_overcommit_roundtrip () =
+  let vm = Vm.Vm_sys.create tiny in
+  let space = As.create vm in
+  (* 300 pages of data in 256 frames of physical memory. *)
+  let regions = List.init 10 (fun _ -> As.map_region space ~npages:30) in
+  List.iteri
+    (fun i region ->
+      As.write space ~addr:(As.base_addr region ~page_size:4096)
+        (Genie.Buf.expected_pattern ~len:(30 * 4096) ~seed:i))
+    regions;
+  Alcotest.(check bool) "backing store in use" true
+    (Memory.Backing_store.live_slots vm.Vm.Vm_sys.backing > 0);
+  (* Everything reads back correctly, paging in as needed. *)
+  List.iteri
+    (fun i region ->
+      let data =
+        As.read space ~addr:(As.base_addr region ~page_size:4096) ~len:(30 * 4096)
+      in
+      if not (Bytes.equal data (Genie.Buf.expected_pattern ~len:(30 * 4096) ~seed:i))
+      then Alcotest.failf "region %d corrupted by paging" i)
+    regions
+
+let test_true_exhaustion_still_raises () =
+  let vm = Vm.Vm_sys.create tiny in
+  let space = As.create vm in
+  let region = As.map_region space ~npages:200 in
+  (* Wire everything; a non-pageable allocation (kernel-like memory)
+     cannot evict its own pages either, so pressure genuinely fails. *)
+  As.wire space region;
+  Alcotest.(check bool) "raises out of frames" true
+    (try
+       ignore (As.map_region space ~npages:100 ~pageable:false);
+       false
+     with Memory.Phys_mem.Out_of_frames -> true)
+
+let test_transfer_under_pressure () =
+  (* End-to-end transfers keep working while the receiver's memory
+     thrashes. *)
+  let spec = { Machine.Machine_spec.micron_p166 with Machine.Machine_spec.memory_mb = 4 } in
+  let w = Genie.World.create ~spec_a:spec ~spec_b:spec ~pool_frames:64 () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  (* Fill most of the receiver's memory with cold application data. *)
+  let hog_space = Genie.Host.new_space w.Genie.World.b in
+  let hog = As.map_region hog_space ~npages:700 in
+  As.write hog_space ~addr:(As.base_addr hog ~page_size:4096)
+    (Genie.Buf.expected_pattern ~len:(700 * 4096) ~seed:99);
+  let len = 15 * 4096 in
+  let sa = Genie.Host.new_space w.Genie.World.a in
+  let sregion = As.map_region sa ~npages:15 in
+  let buf = Genie.Buf.make sa ~addr:(As.base_addr sregion ~page_size:4096) ~len in
+  Genie.Buf.fill_pattern buf ~seed:1;
+  let sb = Genie.Host.new_space w.Genie.World.b in
+  let rregion = As.map_region sb ~npages:15 in
+  let rbuf = Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:4096) ~len in
+  let ok = ref false in
+  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+    ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun r -> ok := r.Genie.Input_path.ok);
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
+  Genie.World.run w;
+  Alcotest.(check bool) "transfer ok under pressure" true !ok;
+  Alcotest.(check bytes) "payload"
+    (Genie.Buf.expected_pattern ~len ~seed:1)
+    (Genie.Buf.read rbuf);
+  (* The hog's data survived the thrashing. *)
+  Alcotest.(check bytes) "hog intact"
+    (Genie.Buf.expected_pattern ~len:(700 * 4096) ~seed:99)
+    (As.read hog_space ~addr:(As.base_addr hog ~page_size:4096) ~len:(700 * 4096))
+
+(* {1 The explicit system-buffer API} *)
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+
+let test_sys_buffers_alloc_output () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let space = Genie.Host.new_space w.Genie.World.a in
+  let buf = Genie.Sys_buffers.alloc w.Genie.World.a space ~len:10_000 in
+  Genie.Buf.fill_pattern buf ~seed:5;
+  let got = ref None in
+  Genie.Endpoint.input eb ~sem:Sem.move
+    ~spec:(Genie.Input_path.Sys_alloc
+             { space = Genie.Host.new_space w.Genie.World.b; len = 10_000 })
+    ~on_complete:(fun r -> got := Some r);
+  (* Explicitly allocated buffers are moved-in: output with move works. *)
+  ignore (Genie.Endpoint.output ea ~sem:Sem.move ~buf ());
+  Genie.World.run w;
+  match !got with
+  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+    Alcotest.(check bytes) "data"
+      (Genie.Buf.expected_pattern ~len:10_000 ~seed:5)
+      (Genie.Buf.read b)
+  | _ -> Alcotest.fail "transfer failed"
+
+let test_sys_buffers_dealloc () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let host = w.Genie.World.a in
+  let space = Genie.Host.new_space host in
+  let free0 = Memory.Phys_mem.free_frames host.Genie.Host.vm.Vm.Vm_sys.phys in
+  let buf = Genie.Sys_buffers.alloc host space ~len:8192 in
+  Genie.Sys_buffers.dealloc host buf;
+  Alcotest.(check int) "frames returned" free0
+    (Memory.Phys_mem.free_frames host.Genie.Host.vm.Vm.Vm_sys.phys);
+  (* Double dealloc fails cleanly. *)
+  Alcotest.(check bool) "double dealloc rejected" true
+    (try
+       Genie.Sys_buffers.dealloc host buf;
+       false
+     with Vm.Vm_error.Segmentation_fault _ | Vm.Vm_error.Semantics_error _ -> true)
+
+let test_sys_buffers_dealloc_after_output_rejected () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea, _ = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let host = w.Genie.World.a in
+  let space = Genie.Host.new_space host in
+  let buf = Genie.Sys_buffers.alloc host space ~len:8192 in
+  Genie.Buf.fill_pattern buf ~seed:6;
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_move ~buf ());
+  (* The region is moving out: deallocating it now is a semantics error. *)
+  Alcotest.(check bool) "rejected while moving out" true
+    (try
+       Genie.Sys_buffers.dealloc host buf;
+       false
+     with Vm.Vm_error.Semantics_error _ -> true);
+  Genie.World.run w
+
+let suite =
+  [
+    Alcotest.test_case "overcommit roundtrip (300 pages in 256 frames)" `Quick
+      test_overcommit_roundtrip;
+    Alcotest.test_case "true exhaustion still raises" `Quick
+      test_true_exhaustion_still_raises;
+    Alcotest.test_case "transfer under memory pressure" `Quick
+      test_transfer_under_pressure;
+    Alcotest.test_case "sys buffer alloc feeds move output" `Quick
+      test_sys_buffers_alloc_output;
+    Alcotest.test_case "sys buffer dealloc" `Quick test_sys_buffers_dealloc;
+    Alcotest.test_case "dealloc after output rejected" `Quick
+      test_sys_buffers_dealloc_after_output_rejected;
+  ]

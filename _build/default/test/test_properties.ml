@@ -1,0 +1,110 @@
+(* Cross-cutting property tests on the model layers. *)
+
+module C = Machine.Cost_model
+module Sem = Genie.Semantics
+
+let costs = C.create Machine.Machine_spec.micron_p166
+
+let cost_monotone_in_bytes =
+  QCheck.Test.make ~name:"op cost is monotone in bytes" ~count:200
+    QCheck.(pair (int_bound 25) (pair (int_bound 100_000) (int_bound 100_000)))
+    (fun (op_idx, (b1, b2)) ->
+      let op = List.nth C.all_ops (op_idx mod List.length C.all_ops) in
+      let lo = min b1 b2 and hi = max b1 b2 in
+      Simcore.Sim_time.compare (C.cost costs op ~bytes:lo) (C.cost costs op ~bytes:hi)
+      <= 0)
+
+let estimate_monotone_in_len =
+  QCheck.Test.make ~name:"estimated latency is monotone in length" ~count:100
+    QCheck.(triple (int_bound 7) (int_range 64 60_000) (int_range 64 60_000))
+    (fun (sem_idx, l1, l2) ->
+      let sem = List.nth Sem.all sem_idx in
+      let lo = min l1 l2 and hi = max l1 l2 in
+      let e len =
+        Workload.Estimate.latency_us costs Net.Net_params.oc3
+          ~scheme:Workload.Estimate.Early_demux ~sem ~len
+      in
+      e lo <= e hi +. 1e-9)
+
+let estimate_copy_dominates =
+  QCheck.Test.make ~name:"copy is never estimated faster at page multiples"
+    ~count:60
+    QCheck.(pair (int_bound 7) (int_range 1 15))
+    (fun (sem_idx, pages) ->
+      let sem = List.nth Sem.all sem_idx in
+      let len = pages * 4096 in
+      let e s =
+        Workload.Estimate.latency_us costs Net.Net_params.oc3
+          ~scheme:Workload.Estimate.Early_demux ~sem:s ~len
+      in
+      e sem <= e Sem.copy +. 1e-9)
+
+let mixed_composition_consistent =
+  QCheck.Test.make ~name:"mixed estimate equals own estimate on the diagonal"
+    ~count:50
+    QCheck.(pair (int_bound 7) (int_range 64 60_000))
+    (fun (sem_idx, len) ->
+      let sem = List.nth Sem.all sem_idx in
+      let a =
+        Workload.Estimate.latency_us costs Net.Net_params.oc3
+          ~scheme:Workload.Estimate.Early_demux ~sem ~len
+      and b =
+        Workload.Estimate.mixed_latency_us costs Net.Net_params.oc3
+          ~scheme:Workload.Estimate.Early_demux ~send_sem:sem ~recv_sem:sem ~len
+      in
+      Float.abs (a -. b) < 1e-6)
+
+let aal5_wire_bytes_monotone =
+  QCheck.Test.make ~name:"aal5 wire bytes monotone and cell-quantised" ~count:200
+    QCheck.(int_range 1 60_000)
+    (fun len ->
+      Net.Aal5.wire_bytes len mod Net.Aal5.cell_total = 0
+      && Net.Aal5.wire_bytes len >= Net.Aal5.wire_bytes (max 1 (len - 1)))
+
+let semantics_dimensions_complete =
+  QCheck.Test.make ~name:"taxonomy covers all 2x2x2 corners" ~count:1 QCheck.unit
+    (fun () ->
+      let corners =
+        List.concat_map
+          (fun alloc ->
+            List.concat_map
+              (fun integrity ->
+                List.map
+                  (fun emulated -> { Sem.alloc; integrity; emulated })
+                  [ false; true ])
+              [ Sem.Strong; Sem.Weak ])
+          [ Sem.Application; Sem.System ]
+      in
+      List.for_all (fun c -> List.exists (Sem.equal c) Sem.all) corners
+      && List.length Sem.all = 8)
+
+let buf_pattern_roundtrip =
+  QCheck.Test.make ~name:"buffer pattern read/write roundtrip" ~count:50
+    QCheck.(pair (int_range 1 20_000) (int_bound 4095))
+    (fun (len, off) ->
+      let vm =
+        Vm.Vm_sys.create
+          { Machine.Machine_spec.micron_p166 with Machine.Machine_spec.memory_mb = 2 }
+      in
+      let space = Vm.Address_space.create vm in
+      let npages = (off + len + 4095) / 4096 in
+      let region = Vm.Address_space.map_region space ~npages in
+      let buf =
+        Genie.Buf.make space
+          ~addr:(Vm.Address_space.base_addr region ~page_size:4096 + off)
+          ~len
+      in
+      Genie.Buf.fill_pattern buf ~seed:len;
+      Bytes.equal (Genie.Buf.read buf) (Genie.Buf.expected_pattern ~len ~seed:len))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      cost_monotone_in_bytes;
+      estimate_monotone_in_len;
+      estimate_copy_dominates;
+      mixed_composition_consistent;
+      aal5_wire_bytes_monotone;
+      semantics_dimensions_complete;
+      buf_pattern_roundtrip;
+    ]

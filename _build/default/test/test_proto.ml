@@ -1,0 +1,103 @@
+(* Tests for the datagram protocol substrate. *)
+
+let test_checksum_known () =
+  (* RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> sum 0xddf2;
+     checksum = ~0xddf2 = 0x220d. *)
+  let data = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc1071 example" 0x220D
+    (Proto.Checksum.compute data ~off:0 ~len:8)
+
+let test_checksum_odd_length () =
+  let data = Bytes.of_string "\xab" in
+  (* Pad with zero: word 0xab00; checksum = ~0xab00 = 0x54ff. *)
+  Alcotest.(check int) "odd length" 0x54FF (Proto.Checksum.compute data ~off:0 ~len:1)
+
+let test_checksum_verify () =
+  let data = Bytes.of_string "some protocol bytes" in
+  let ck = Proto.Checksum.compute data ~off:0 ~len:(Bytes.length data) in
+  Alcotest.(check bool) "verifies" true
+    (Proto.Checksum.verify data ~off:0 ~len:(Bytes.length data) ~expect:ck);
+  Bytes.set data 3 'X';
+  Alcotest.(check bool) "detects change" false
+    (Proto.Checksum.verify data ~off:0 ~len:(Bytes.length data) ~expect:ck)
+
+let test_checksum_bounds () =
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Checksum.compute: range out of bounds") (fun () ->
+      ignore (Proto.Checksum.compute (Bytes.create 4) ~off:2 ~len:4))
+
+let test_header_roundtrip () =
+  let h = { Proto.Dgram_header.src_vc = 12; dst_vc = 34; seq = 567890; payload_len = 4242 } in
+  let encoded = Proto.Dgram_header.encode h in
+  Alcotest.(check int) "fixed length" Proto.Dgram_header.length (Bytes.length encoded);
+  match Proto.Dgram_header.decode encoded with
+  | Ok h' ->
+    Alcotest.(check int) "src" 12 h'.Proto.Dgram_header.src_vc;
+    Alcotest.(check int) "dst" 34 h'.Proto.Dgram_header.dst_vc;
+    Alcotest.(check int) "seq" 567890 h'.Proto.Dgram_header.seq;
+    Alcotest.(check int) "len" 4242 h'.Proto.Dgram_header.payload_len
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_header_bad_magic () =
+  let h = { Proto.Dgram_header.src_vc = 1; dst_vc = 2; seq = 3; payload_len = 4 } in
+  let encoded = Proto.Dgram_header.encode h in
+  Bytes.set encoded 0 '\x00';
+  match Proto.Dgram_header.decode encoded with
+  | Error "bad magic" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "accepted bad magic"
+
+let test_header_corruption () =
+  let h = { Proto.Dgram_header.src_vc = 1; dst_vc = 2; seq = 3; payload_len = 4 } in
+  let encoded = Proto.Dgram_header.encode h in
+  Bytes.set_uint16_be encoded 10 9999;
+  match Proto.Dgram_header.decode encoded with
+  | Error "bad header checksum" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "accepted corrupt header"
+
+let test_header_too_short () =
+  match Proto.Dgram_header.decode (Bytes.create 4) with
+  | Error "header too short" -> ()
+  | _ -> Alcotest.fail "accepted short header"
+
+let test_header_len_range () =
+  Alcotest.check_raises "length range"
+    (Invalid_argument "Dgram_header.encode: payload length out of range")
+    (fun () ->
+      ignore
+        (Proto.Dgram_header.encode
+           { Proto.Dgram_header.src_vc = 0; dst_vc = 0; seq = 0; payload_len = 70000 }))
+
+let header_roundtrip_prop =
+  QCheck.Test.make ~name:"header roundtrip, arbitrary fields" ~count:200
+    QCheck.(quad (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 1_000_000) (int_bound 0xFFFF))
+    (fun (src_vc, dst_vc, seq, payload_len) ->
+      let h = { Proto.Dgram_header.src_vc; dst_vc; seq; payload_len } in
+      match Proto.Dgram_header.decode (Proto.Dgram_header.encode h) with
+      | Ok h' -> h = h'
+      | Error _ -> false)
+
+let checksum_append_prop =
+  QCheck.Test.make ~name:"data + its checksum verifies" ~count:200
+    QCheck.(string_of_size Gen.(2 -- 200))
+    (fun s ->
+      let data = Bytes.of_string s in
+      let n = Bytes.length data in
+      let ck = Proto.Checksum.compute data ~off:0 ~len:n in
+      Proto.Checksum.verify data ~off:0 ~len:n ~expect:ck)
+
+let suite =
+  [
+    Alcotest.test_case "checksum RFC 1071 example" `Quick test_checksum_known;
+    Alcotest.test_case "checksum odd length" `Quick test_checksum_odd_length;
+    Alcotest.test_case "checksum verify" `Quick test_checksum_verify;
+    Alcotest.test_case "checksum bounds" `Quick test_checksum_bounds;
+    Alcotest.test_case "header roundtrip" `Quick test_header_roundtrip;
+    Alcotest.test_case "header bad magic" `Quick test_header_bad_magic;
+    Alcotest.test_case "header corruption" `Quick test_header_corruption;
+    Alcotest.test_case "header too short" `Quick test_header_too_short;
+    Alcotest.test_case "header length range" `Quick test_header_len_range;
+    QCheck_alcotest.to_alcotest header_roundtrip_prop;
+    QCheck_alcotest.to_alcotest checksum_append_prop;
+  ]

@@ -1,0 +1,110 @@
+(* Tests for the go-back-N reliable transport, with injected PDU
+   corruption. *)
+
+module As = Vm.Address_space
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+let psize = 4096
+
+type rig = {
+  w : Genie.World.t;
+  tx : Genie.Rel_channel.t;
+  rx : Genie.Rel_channel.t;
+}
+
+let make_rig ?chunk ?window ~sem () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let da, db = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let aa, ab = Genie.World.endpoint_pair w ~vc:2 ~mode:Net.Adapter.Early_demux in
+  let tx = Genie.Rel_channel.create ?chunk ?window ~data:da ~ack:aa sem in
+  let rx = Genie.Rel_channel.create ?chunk ?window ~data:db ~ack:ab sem in
+  { w; tx; rx }
+
+let make_buf host ~len =
+  let space = Genie.Host.new_space host in
+  let region = As.map_region space ~npages:((len + psize - 1) / psize) in
+  Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
+
+let transfer ?chunk ?window ?(corrupt = 0) ~sem ~len () =
+  let rig = make_rig ?chunk ?window ~sem () in
+  let src = make_buf rig.w.Genie.World.a ~len in
+  Genie.Buf.fill_pattern src ~seed:77;
+  let dst = make_buf rig.w.Genie.World.b ~len in
+  let retx = ref (-1) and rx_ok = ref false in
+  Genie.Rel_channel.recv rig.rx ~buf:dst ~on_complete:(fun ~ok -> rx_ok := ok);
+  for _ = 1 to corrupt do
+    Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1
+  done;
+  Genie.Rel_channel.send rig.tx ~buf:src ~on_complete:(fun ~retransmissions ->
+      retx := retransmissions);
+  Genie.World.run rig.w;
+  Alcotest.(check bool) "receiver completed" true !rx_ok;
+  Alcotest.(check bool) "sender completed" true (!retx >= 0);
+  Alcotest.(check bool) "payload intact" true
+    (Bytes.equal (Genie.Buf.read dst) (Genie.Buf.expected_pattern ~len ~seed:77));
+  !retx
+
+let test_clean_transfer_no_retransmissions () =
+  let retx = transfer ~sem:Sem.emulated_copy ~len:(6 * 61440) () in
+  Alcotest.(check int) "no retransmissions on a clean link" 0 retx
+
+let test_single_corruption_recovered () =
+  let retx = transfer ~corrupt:1 ~sem:Sem.emulated_copy ~len:(6 * 61440) () in
+  Alcotest.(check bool) "retransmitted" true (retx > 0)
+
+let test_burst_corruption_recovered () =
+  let retx = transfer ~corrupt:3 ~sem:Sem.emulated_copy ~len:(8 * 61440) () in
+  Alcotest.(check bool) "retransmitted" true (retx >= 3)
+
+let test_small_message () =
+  ignore (transfer ~sem:Sem.copy ~len:100 ());
+  ignore (transfer ~corrupt:1 ~sem:Sem.copy ~len:100 ())
+
+let test_small_window () =
+  let retx = transfer ~window:1 ~corrupt:2 ~sem:Sem.emulated_copy ~len:(5 * 61440) () in
+  Alcotest.(check bool) "stop-and-wait recovers too" true (retx >= 2)
+
+let test_odd_geometry () =
+  ignore (transfer ~chunk:10_000 ~sem:Sem.emulated_share ~len:123_457 ());
+  ignore (transfer ~chunk:10_000 ~corrupt:2 ~sem:Sem.emulated_share ~len:123_457 ())
+
+let test_bad_configs_rejected () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let da, _ = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let aa, _ = Genie.World.endpoint_pair w ~vc:2 ~mode:Net.Adapter.Early_demux in
+  Alcotest.(check bool) "same vc rejected" true
+    (try
+       ignore (Genie.Rel_channel.create ~data:da ~ack:da Sem.copy);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "system semantics rejected" true
+    (try
+       ignore (Genie.Rel_channel.create ~data:da ~ack:aa Sem.move);
+       false
+     with Vm.Vm_error.Semantics_error _ -> true)
+
+let corruption_fuzz =
+  QCheck.Test.make ~name:"ARQ delivers under random corruption" ~count:10
+    QCheck.(pair (int_range 1 250_000) (int_bound 4))
+    (fun (len, corrupt) ->
+      try
+        ignore (transfer ~corrupt ~sem:Sem.emulated_copy ~len ());
+        true
+      with _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "clean transfer: zero retransmissions" `Quick
+      test_clean_transfer_no_retransmissions;
+    Alcotest.test_case "single corruption recovered" `Quick
+      test_single_corruption_recovered;
+    Alcotest.test_case "burst corruption recovered" `Quick
+      test_burst_corruption_recovered;
+    Alcotest.test_case "small message" `Quick test_small_message;
+    Alcotest.test_case "stop-and-wait window" `Quick test_small_window;
+    Alcotest.test_case "odd chunk/length geometry" `Quick test_odd_geometry;
+    Alcotest.test_case "bad configurations rejected" `Quick
+      test_bad_configs_rejected;
+    QCheck_alcotest.to_alcotest corruption_fuzz;
+  ]

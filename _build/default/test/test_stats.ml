@@ -1,0 +1,77 @@
+(* Tests for the fitting and reporting helpers. *)
+
+let test_fit_exact_line () =
+  let points = List.init 10 (fun i -> (float_of_int i, (3.5 *. float_of_int i) +. 7.)) in
+  let fit = Stats.Fit.linear points in
+  Alcotest.(check (float 1e-9)) "slope" 3.5 fit.Stats.Fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 7. fit.Stats.Fit.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1. fit.Stats.Fit.r2;
+  Alcotest.(check (float 1e-9)) "eval" 42. (Stats.Fit.eval fit 10.)
+
+let test_fit_noisy () =
+  let points = [ (0., 1.); (1., 2.9); (2., 5.1); (3., 7.) ] in
+  let fit = Stats.Fit.linear points in
+  Alcotest.(check bool) "slope near 2" true (Float.abs (fit.Stats.Fit.slope -. 2.) < 0.1);
+  Alcotest.(check bool) "good r2" true (fit.Stats.Fit.r2 > 0.99)
+
+let test_fit_constant_x () =
+  let fit = Stats.Fit.linear [ (5., 10.); (5., 14.) ] in
+  Alcotest.(check (float 1e-9)) "slope 0" 0. fit.Stats.Fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept = mean" 12. fit.Stats.Fit.intercept
+
+let test_fit_too_few () =
+  Alcotest.check_raises "one point" (Invalid_argument "Fit.linear: need at least two points")
+    (fun () -> ignore (Stats.Fit.linear [ (1., 1.) ]))
+
+let fit_recovers_random_lines =
+  QCheck.Test.make ~name:"fit recovers random exact lines" ~count:100
+    QCheck.(pair (float_range (-100.) 100.) (float_range (-1000.) 1000.))
+    (fun (slope, intercept) ->
+      let points =
+        List.init 5 (fun i ->
+            let x = float_of_int (i * 997) in
+            (x, (slope *. x) +. intercept))
+      in
+      let fit = Stats.Fit.linear points in
+      Float.abs (fit.Stats.Fit.slope -. slope) < 1e-6
+      && Float.abs (fit.Stats.Fit.intercept -. intercept) < 1e-3)
+
+let test_table_render () =
+  let t = Stats.Text_table.create ~header:[ "a"; "bb" ] in
+  Stats.Text_table.add_row t [ "1"; "2" ];
+  Stats.Text_table.add_rule t;
+  Stats.Text_table.add_row t [ "333"; "4" ];
+  let s = Stats.Text_table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  Alcotest.(check int) "five lines" 5
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+
+
+
+let test_ascii_chart () =
+  let chart =
+    Stats.Ascii_chart.render ~width:40 ~height:10
+      [ ("up", [ (0., 0.); (10., 100.) ]); ("down", [ (0., 100.); (10., 0.) ]) ]
+  in
+  Alcotest.(check bool) "has first glyph" true (String.contains chart '*');
+  Alcotest.(check bool) "has second glyph" true (String.contains chart 'o');
+  let contains_sub hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has legend" true (contains_sub chart "up");
+  Alcotest.(check string) "empty input" "" (Stats.Ascii_chart.render [])
+
+let suite =
+  [
+    Alcotest.test_case "fit exact line" `Quick test_fit_exact_line;
+    Alcotest.test_case "fit noisy data" `Quick test_fit_noisy;
+    Alcotest.test_case "fit constant x" `Quick test_fit_constant_x;
+    Alcotest.test_case "fit needs two points" `Quick test_fit_too_few;
+    QCheck_alcotest.to_alcotest fit_recovers_random_lines;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "ascii chart" `Quick test_ascii_chart;
+  ]

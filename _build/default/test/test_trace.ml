@@ -1,0 +1,105 @@
+(* Stage-trace tests: the recorded pipeline for one transfer documents
+   (and pins down) the order of the data-passing stages. *)
+
+module As = Vm.Address_space
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+
+let traced_transfer sem =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  Simcore.Tracer.enable w.Genie.World.a.Genie.Host.tracer;
+  Simcore.Tracer.enable w.Genie.World.b.Genie.Host.tracer;
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let len = 8192 in
+  let sa = Genie.Host.new_space w.Genie.World.a in
+  let region = As.map_region sa ~npages:2 in
+  let buf = Genie.Buf.make sa ~addr:(As.base_addr region ~page_size:4096) ~len in
+  Genie.Buf.fill_pattern buf ~seed:1;
+  let sb = Genie.Host.new_space w.Genie.World.b in
+  let rregion = As.map_region sb ~npages:2 in
+  let rbuf = Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:4096) ~len in
+  Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun _ -> ());
+  ignore (Genie.Endpoint.output ea ~sem ~buf ());
+  Genie.World.run w;
+  ( List.map snd (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer),
+    List.map snd (Simcore.Tracer.events w.Genie.World.b.Genie.Host.tracer),
+    Simcore.Tracer.events w.Genie.World.b.Genie.Host.tracer )
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_emulated_copy_pipeline () =
+  let a_events, b_events, b_timed = traced_transfer Sem.emulated_copy in
+  (match a_events with
+  | [ prep; disp ] ->
+    Alcotest.(check bool) "prepare first" true
+      (has_prefix "output.prepare emulated copy" prep);
+    Alcotest.(check bool) "dispose second" true
+      (has_prefix "output.dispose emulated copy" disp)
+  | _ -> Alcotest.failf "sender events: %s" (String.concat "; " a_events));
+  (match b_events with
+  | [ prep; ready; disp; complete ] ->
+    Alcotest.(check bool) "input prepare" true
+      (has_prefix "input.prepare emulated copy" prep);
+    Alcotest.(check bool) "ready stage (aligned buffer)" true
+      (has_prefix "input.ready" ready);
+    Alcotest.(check bool) "dispose stage" true
+      (has_prefix "input.dispose" disp);
+    Alcotest.(check bool) "completion" true
+      (has_prefix "input.complete emulated copy ok=true" complete)
+  | _ -> Alcotest.failf "receiver events: %s" (String.concat "; " b_events));
+  (* The ready stage must run strictly before dispose in simulated time
+     (it overlaps arrival). *)
+  match b_timed with
+  | [ _; (t_ready, _); (t_disp, _); _ ] ->
+    Alcotest.(check bool) "ready overlaps arrival" true
+      (Simcore.Sim_time.compare t_ready t_disp < 0)
+  | _ -> Alcotest.fail "unexpected receiver trace shape"
+
+let test_in_place_has_no_ready_stage () =
+  let _, b_events, _ = traced_transfer Sem.emulated_share in
+  Alcotest.(check bool) "no aligned-buffer ready stage" true
+    (not (List.exists (has_prefix "input.ready") b_events))
+
+let test_conversion_visible_in_trace () =
+  (* Short emulated-copy output is traced as copy (post-conversion). *)
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  Simcore.Tracer.enable w.Genie.World.a.Genie.Host.tracer;
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let sa = Genie.Host.new_space w.Genie.World.a in
+  let region = As.map_region sa ~npages:1 in
+  let buf = Genie.Buf.make sa ~addr:(As.base_addr region ~page_size:4096) ~len:100 in
+  Genie.Buf.fill_pattern buf ~seed:1;
+  let sb = Genie.Host.new_space w.Genie.World.b in
+  let rregion = As.map_region sb ~npages:1 in
+  let rbuf = Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:4096) ~len:100 in
+  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+    ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun _ -> ());
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
+  Genie.World.run w;
+  let events = List.map snd (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer) in
+  Alcotest.(check bool) "traced as converted copy" true
+    (List.exists (has_prefix "output.prepare copy") events)
+
+let test_tracing_disabled_is_silent () =
+  let _, _, _ = traced_transfer Sem.copy in
+  (* A fresh world without enabling records nothing. *)
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  Alcotest.(check int) "no events" 0
+    (List.length (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer))
+
+let suite =
+  [
+    Alcotest.test_case "emulated copy pipeline order" `Quick
+      test_emulated_copy_pipeline;
+    Alcotest.test_case "in-place input has no ready stage" `Quick
+      test_in_place_has_no_ready_stage;
+    Alcotest.test_case "threshold conversion visible" `Quick
+      test_conversion_visible_in_trace;
+    Alcotest.test_case "tracing disabled is silent" `Quick
+      test_tracing_disabled_is_silent;
+  ]
