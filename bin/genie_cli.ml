@@ -173,6 +173,39 @@ let taxonomy_cmd =
   Cmd.v (Cmd.info "taxonomy" ~doc:"Print the semantics taxonomy.")
     Term.(const run $ const ())
 
+let check_cmd =
+  let steps_arg =
+    Arg.(value & opt int 2000
+         & info [ "steps" ] ~docv:"N" ~doc:"Number of randomized fuzz steps.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Random seed (reproduces a run exactly).")
+  in
+  let check_every_arg =
+    Arg.(value & opt int 1
+         & info [ "check-every" ] ~docv:"N"
+             ~doc:"Run the invariant suite every N steps.")
+  in
+  let run steps seed check_every =
+    let cfg = { Check.Fuzzer.default_config with steps; seed; check_every } in
+    let o = Check.Fuzzer.run cfg in
+    Check.Fuzzer.pp_outcome Format.std_formatter o;
+    match o.Check.Fuzzer.stop with
+    | Check.Fuzzer.Completed -> ()
+    | Check.Fuzzer.Violations _ ->
+      Printf.printf "reproduce with: genie_cli check --steps %d --seed %d\n"
+        steps seed;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Fuzz the VM/Genie stack with randomized fault schedules and audit \
+          kernel-state invariants after every step.")
+    Term.(const run $ steps_arg $ seed_arg $ check_every_arg)
+
 let () =
   let info =
     Cmd.info "genie_cli" ~version:"1.0"
@@ -181,4 +214,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd ]))
+          [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd;
+            check_cmd ]))

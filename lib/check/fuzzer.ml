@@ -1,0 +1,431 @@
+(* Randomized fault-schedule fuzzer.  All scheduling decisions come from
+   one Simcore.Rng stream, and the simulation itself is deterministic, so
+   a config reproduces a run bit-for-bit. *)
+
+module R = Simcore.Rng
+module Sem = Genie.Semantics
+
+type config = {
+  seed : int;
+  steps : int;
+  check_every : int;
+  pool_frames : int;
+  memory_mb : int;
+  max_in_flight : int;
+  trace_tail : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    steps = 2000;
+    check_every = 1;
+    pool_frames = 128;
+    memory_mb = 32;
+    max_in_flight = 6;
+    trace_tail = 48;
+  }
+
+type stop_reason = Completed | Violations of Invariants.violation list
+
+type outcome = {
+  steps_run : int;
+  stop : stop_reason;
+  schedule : string list;
+  transfers_started : int;
+  transfers_completed : int;
+  faults_injected : int;
+  trace_tail : string list;
+}
+
+(* An application-allocated output buffer: candidate for mid-flight pokes
+   (the TCOW probe) while in flight, for removal once disposed. *)
+type app_out = {
+  ao_buf : Genie.Buf.t;
+  ao_region : Vm.Region.t;
+  mutable ao_done : bool;
+}
+
+type side = {
+  s_host : Genie.Host.t;
+  s_space : Vm.Address_space.t;
+  s_eps : (int * Genie.Endpoint.t) list;
+  mutable s_app_outs : app_out list;
+  (* completed system-allocated inputs: Moved_in regions the application
+     now owns, reusable as outputs or deallocatable *)
+  mutable s_sys_ready : (Genie.Buf.t * Vm.Region.t) list;
+  (* application regions whose I/O finished and may be removed *)
+  mutable s_freeable : Vm.Region.t list;
+}
+
+(* Transfer sizes straddling the paper's emulation thresholds (280 for
+   share, 1666 for move, 2178 for weak move on the P166) plus page-size
+   edges and multi-page PDUs. *)
+let sizes =
+  [
+    1; 100; 279; 280; 281; 1000; 1665; 1666; 1667; 2177; 2178; 2179; 4095;
+    4096; 4097; 8192; 12288; 16384;
+  ]
+
+let vcs = [ (1, Net.Adapter.Early_demux); (2, Net.Adapter.Pooled); (3, Net.Adapter.Outboard) ]
+
+let pick rng l = List.nth l (R.int rng ~bound:(List.length l))
+
+let run cfg =
+  let mspec =
+    { Machine.Machine_spec.micron_p166 with memory_mb = cfg.memory_mb }
+  in
+  let w =
+    Genie.World.create ~spec_a:mspec ~spec_b:mspec
+      ~pool_frames:cfg.pool_frames ()
+  in
+  let host_a = w.Genie.World.a and host_b = w.Genie.World.b in
+  Simcore.Tracer.enable host_a.Genie.Host.tracer;
+  Simcore.Tracer.enable host_b.Genie.Host.tracer;
+  let pairs =
+    List.map (fun (vc, mode) -> (vc, Genie.World.endpoint_pair w ~vc ~mode)) vcs
+  in
+  let mk_side host eps =
+    {
+      s_host = host;
+      s_space = Genie.Host.new_space host;
+      s_eps = eps;
+      s_app_outs = [];
+      s_sys_ready = [];
+      s_freeable = [];
+    }
+  in
+  let side_a = mk_side host_a (List.map (fun (vc, (ea, _)) -> (vc, ea)) pairs) in
+  let side_b = mk_side host_b (List.map (fun (vc, (_, eb)) -> (vc, eb)) pairs) in
+  let psize = Genie.Host.page_size host_a in
+  let rng = R.create ~seed:cfg.seed in
+  let schedule = ref [] in
+  let started = ref 0 and completed = ref 0 and faults = ref 0 in
+  let live = ref 0 and orphans = ref 0 in
+  let note fmt =
+    Printf.ksprintf
+      (fun s ->
+        schedule :=
+          Printf.sprintf "[t=%8.2fus] %s" (Genie.Host.now_us host_a) s
+          :: !schedule)
+      fmt
+  in
+  let pages_for off len = (off + len + psize - 1) / psize in
+  let pick_side () = if R.int rng ~bound:2 = 0 then side_a else side_b in
+  let sname side = side.s_host.Genie.Host.name in
+
+  (* --- actions ------------------------------------------------------ *)
+
+  let do_run () =
+    let us = 1 + R.int rng ~bound:250 in
+    Genie.World.run_for w (Simcore.Sim_time.of_us (float_of_int us));
+    note "run %dus" us
+  in
+
+  let app_buffer side len =
+    let off = if R.int rng ~bound:4 = 0 then R.int rng ~bound:psize else 0 in
+    let r = Vm.Address_space.map_region side.s_space ~npages:(pages_for off len) in
+    let base = Vm.Address_space.base_addr r ~page_size:psize in
+    (r, Genie.Buf.make side.s_space ~addr:(base + off) ~len)
+  in
+
+  let send_buffer send sem len =
+    if Sem.system_allocated sem then begin
+      (* half the time, round-trip a region received from a previous
+         system-allocated input instead of mapping a fresh one *)
+      let reuse =
+        if R.int rng ~bound:2 = 0 then begin
+          let rec take acc = function
+            | [] -> None
+            | ((_, r) as x) :: rest
+              when r.Vm.Region.valid
+                   && r.Vm.Region.state = Vm.Region.Moved_in
+                   && r.Vm.Region.wired = 0
+                   && r.Vm.Region.npages * psize >= len ->
+                send.s_sys_ready <- List.rev_append acc rest;
+                Some x
+            | x :: rest -> take (x :: acc) rest
+          in
+          take [] send.s_sys_ready
+        end
+        else None
+      in
+      match reuse with
+      | Some (_, r) ->
+          (* the delivered payload may sit at an offset inside the region
+             (header skip); rebase to the region start for the output *)
+          let base = Vm.Address_space.base_addr r ~page_size:psize in
+          (None, true, Genie.Buf.make send.s_space ~addr:base ~len)
+      | None ->
+          let r =
+            Vm.Address_space.map_region send.s_space ~npages:(pages_for 0 len)
+              ~state:Vm.Region.Moved_in
+          in
+          let base = Vm.Address_space.base_addr r ~page_size:psize in
+          (None, false, Genie.Buf.make send.s_space ~addr:base ~len)
+    end
+    else begin
+      let r, buf = app_buffer send len in
+      let ao = { ao_buf = buf; ao_region = r; ao_done = false } in
+      send.s_app_outs <- ao :: send.s_app_outs;
+      (Some ao, false, buf)
+    end
+  in
+
+  let post_input recv vc sem len =
+    let expected = if R.int rng ~bound:8 = 0 then max 1 (len / 2) else len in
+    let ep = List.assoc vc recv.s_eps in
+    incr live;
+    if Sem.system_allocated sem then
+      Genie.Endpoint.input ep ~sem
+        ~spec:(Genie.Input_path.Sys_alloc { space = recv.s_space; len = expected })
+        ~on_complete:(fun res ->
+          decr live;
+          incr completed;
+          match res.Genie.Input_path.buf with
+          | Some b when res.Genie.Input_path.ok ->
+              let r =
+                Vm.Address_space.region_of_addr recv.s_space
+                  ~vaddr:b.Genie.Buf.addr
+              in
+              recv.s_sys_ready <- (b, r) :: recv.s_sys_ready
+          | _ -> ())
+    else begin
+      let r, buf = app_buffer recv expected in
+      Genie.Endpoint.input ep ~sem ~spec:(Genie.Input_path.App_buffer buf)
+        ~on_complete:(fun _res ->
+          decr live;
+          incr completed;
+          recv.s_freeable <- r :: recv.s_freeable)
+    end
+  in
+
+  let do_transfer ~orphan () =
+    let a_to_b = R.int rng ~bound:2 = 0 in
+    let send, recv = if a_to_b then (side_a, side_b) else (side_b, side_a) in
+    let vc, _mode = pick rng vcs in
+    let send_sem = pick rng Sem.all in
+    let recv_sem = pick rng Sem.all in
+    let len = pick rng sizes in
+    (* keep the receiver's overlay pool out of the exhaustion regime:
+       pooled chains, early-demux header frames and unclaimed arrivals
+       all draw from it *)
+    if Genie.Host.pool_level recv.s_host < 64 then
+      note "skip transfer: pool low on %s" (sname recv)
+    else begin
+      incr started;
+      let id = !started in
+      let ao, reused, buf = send_buffer send send_sem len in
+      Genie.Buf.fill_pattern buf ~seed:id;
+      if orphan then incr faults else post_input recv vc recv_sem len;
+      let ep_out = List.assoc vc send.s_eps in
+      ignore
+        (Genie.Endpoint.output ep_out ~sem:send_sem ~buf
+           ~on_complete:(fun () ->
+             match ao with Some ao -> ao.ao_done <- true | None -> ())
+           ());
+      note "transfer#%d %s->%s vc=%d out=%s in=%s len=%d%s%s" id (sname send)
+        (sname recv) vc (Sem.name send_sem)
+        (if orphan then "(none)" else Sem.name recv_sem)
+        len
+        (if reused then " reused-region" else "")
+        (if orphan then " RECEIVER-ABSENT" else "")
+    end
+  in
+
+  let do_poke () =
+    let cands =
+      List.concat_map
+        (fun side -> List.map (fun ao -> (side, ao)) side.s_app_outs)
+        [ side_a; side_b ]
+    in
+    match cands with
+    | [] -> note "skip poke: no app output buffers"
+    | _ ->
+        let side, ao = pick rng cands in
+        let blen = ao.ao_buf.Genie.Buf.len in
+        let off = R.int rng ~bound:blen in
+        let n = 1 + R.int rng ~bound:(min 16 (blen - off)) in
+        let data = Bytes.make n (Char.chr (R.int rng ~bound:256)) in
+        Vm.Address_space.write side.s_space
+          ~addr:(ao.ao_buf.Genie.Buf.addr + off)
+          data;
+        incr faults;
+        note "poke %s region@vpn%d off=%d len=%d%s" (sname side)
+          ao.ao_region.Vm.Region.start_vpn off n
+          (if ao.ao_done then "" else " IN-FLIGHT")
+  in
+
+  let do_corrupt () =
+    let side = pick_side () in
+    let vc, _ = pick rng vcs in
+    Net.Adapter.corrupt_next_pdu side.s_host.Genie.Host.adapter ~vc;
+    incr faults;
+    note "corrupt next pdu from %s vc=%d" (sname side) vc
+  in
+
+  let do_pageout () =
+    let side = pick_side () in
+    let target = 1 + R.int rng ~bound:8 in
+    let evicted = Vm.Vm_sys.run_pageout side.s_host.Genie.Host.vm ~target in
+    note "pageout %s target=%d evicted=%d" (sname side) target evicted
+  in
+
+  (* Remove a system-allocated input region mid-flight: exercises the
+     dispose-time region check / ensure_region re-homing path.  Only
+     emulated, unwired Moving_in regions qualify (non-emulated weak-move
+     inputs keep their region wired for in-place DMA). *)
+  let do_remove_moving_in () =
+    let cands side =
+      List.filter_map
+        (fun (e : Genie.Ledger.entry) ->
+          if e.dir = Genie.Ledger.Input && e.sem.Sem.emulated
+             && Sem.system_allocated e.sem
+          then
+            match e.region () with
+            | Some r
+              when r.Vm.Region.valid
+                   && r.Vm.Region.state = Vm.Region.Moving_in
+                   && r.Vm.Region.wired = 0 ->
+                Some (e.space, r)
+            | _ -> None
+          else None)
+        (Genie.Ledger.entries side.s_host.Genie.Host.ledger)
+    in
+    match cands side_a @ cands side_b with
+    | [] -> note "skip remove-moving-in: none in flight"
+    | l ->
+        let space, r = pick rng l in
+        Vm.Address_space.remove_region space r;
+        incr faults;
+        note "remove region@vpn%d (npages=%d) MID-INPUT"
+          r.Vm.Region.start_vpn r.Vm.Region.npages
+  in
+
+  let do_free () =
+    let cands =
+      List.concat_map
+        (fun side ->
+          List.map (fun r -> (side, `Freeable r)) side.s_freeable
+          @ List.filter_map
+              (fun ao -> if ao.ao_done then Some (side, `App_out ao) else None)
+              side.s_app_outs
+          @ List.map (fun sr -> (side, `Sys_ready sr)) side.s_sys_ready)
+        [ side_a; side_b ]
+    in
+    match cands with
+    | [] -> note "skip free: nothing reclaimable"
+    | _ -> (
+        let side, c = pick rng cands in
+        let remove r =
+          if r.Vm.Region.valid && r.Vm.Region.wired = 0 then begin
+            Vm.Address_space.remove_region side.s_space r;
+            note "free region@vpn%d on %s" r.Vm.Region.start_vpn (sname side)
+          end
+          else note "skip free region@vpn%d: busy" r.Vm.Region.start_vpn
+        in
+        match c with
+        | `Freeable r ->
+            side.s_freeable <- List.filter (fun r' -> r' != r) side.s_freeable;
+            remove r
+        | `App_out ao ->
+            side.s_app_outs <-
+              List.filter (fun ao' -> ao' != ao) side.s_app_outs;
+            remove ao.ao_region
+        | `Sys_ready ((_, r) as sr) ->
+            side.s_sys_ready <-
+              List.filter (fun sr' -> sr' != sr) side.s_sys_ready;
+            remove r)
+  in
+
+  (* --- main loop ---------------------------------------------------- *)
+
+  let violations = ref [] in
+  let steps_run = ref 0 in
+  let check () =
+    match Invariants.check_world [ host_a; host_b ] with
+    | [] -> false
+    | vs ->
+        violations := vs;
+        true
+  in
+  (try
+     for i = 1 to cfg.steps do
+       steps_run := i;
+       let actions =
+         [
+           (6, fun () ->
+             if !live >= cfg.max_in_flight then do_run ()
+             else do_transfer ~orphan:false ());
+           (4, do_run);
+           (2, do_poke);
+           (2, do_free);
+           (1, fun () ->
+             if !orphans >= 5 then do_corrupt ()
+             else begin
+               incr orphans;
+               do_transfer ~orphan:true ()
+             end);
+           (1, do_corrupt);
+           (1, do_pageout);
+           (1, do_remove_moving_in);
+         ]
+       in
+       let total = List.fold_left (fun acc (w, _) -> acc + w) 0 actions in
+       let roll = R.int rng ~bound:total in
+       let rec dispatch roll = function
+         | [] -> assert false
+         | (w, f) :: rest -> if roll < w then f () else dispatch (roll - w) rest
+       in
+       dispatch roll actions;
+       if i mod cfg.check_every = 0 && check () then raise Exit
+     done;
+     (* drain everything still in flight and audit the quiesced world *)
+     Genie.World.run w;
+     note "drained; %d/%d transfers completed" !completed !started;
+     ignore (check () : bool)
+   with Exit -> ());
+  let trace_tail =
+    List.concat_map
+      (fun host ->
+        List.map
+          (fun (t, label) ->
+            Printf.sprintf "[%s t=%8.2fus] %s" host.Genie.Host.name
+              (Simcore.Sim_time.to_us t) label)
+          (Simcore.Tracer.last_n host.Genie.Host.tracer cfg.trace_tail))
+      [ host_a; host_b ]
+  in
+  {
+    steps_run = !steps_run;
+    stop = (if !violations = [] then Completed else Violations !violations);
+    schedule = List.rev !schedule;
+    transfers_started = !started;
+    transfers_completed = !completed;
+    faults_injected = !faults;
+    trace_tail;
+  }
+
+let pp_outcome fmt o =
+  let open Format in
+  (match o.stop with
+  | Completed ->
+      fprintf fmt
+        "fuzz: %d steps, %d transfers started, %d completed, %d faults \
+         injected, all invariants held@."
+        o.steps_run o.transfers_started o.transfers_completed
+        o.faults_injected
+  | Violations vs ->
+      fprintf fmt "fuzz: INVARIANT VIOLATION after %d steps@." o.steps_run;
+      List.iter (fun v -> fprintf fmt "  %a@." Invariants.pp_violation v) vs;
+      let tail =
+        let n = List.length o.schedule in
+        if n <= 12 then o.schedule
+        else List.filteri (fun i _ -> i >= n - 12) o.schedule
+      in
+      fprintf fmt "last schedule entries:@.";
+      List.iter (fun s -> fprintf fmt "  %s@." s) tail;
+      if o.trace_tail <> [] then begin
+        fprintf fmt "trace tail:@.";
+        List.iter (fun s -> fprintf fmt "  %s@." s) o.trace_tail
+      end);
+  ()

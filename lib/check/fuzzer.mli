@@ -1,0 +1,54 @@
+(** Randomized fault-schedule fuzzer for the VM/Genie stack.
+
+    Drives a two-host {!Genie.World} through a long randomized schedule —
+    transfers under all eight data-passing semantics, across all three
+    device buffering architectures, with sizes straddling the emulation
+    thresholds — while injecting faults: corrupted AAL5 PDUs, outputs
+    with no receiver posted, application writes into in-flight
+    strong-integrity buffers (the TCOW poke), pageout pressure, and
+    mid-transfer removal of system-allocated input regions (forcing the
+    region check to re-home zombie pages).
+
+    The full {!Invariants} catalogue runs after every step (configurable
+    via [check_every]); the first violation stops the run and the outcome
+    carries the violations, the action schedule so far and the tail of
+    both hosts' tracers.  Scheduling decisions come only from
+    {!Simcore.Rng}, so a seed reproduces a run exactly — same seed, same
+    schedule, same trace. *)
+
+type config = {
+  seed : int;
+  steps : int;  (** number of randomized actions *)
+  check_every : int;  (** run the invariant suite every N steps *)
+  pool_frames : int;  (** per-host overlay pool size *)
+  memory_mb : int;  (** per-host physical memory *)
+  max_in_flight : int;  (** cap on concurrent transfers *)
+  trace_tail : int;  (** tracer events kept in the outcome on violation *)
+}
+
+val default_config : config
+(** seed 1, 2000 steps, checking every step, 128 pool frames, 32 MB,
+    6 transfers in flight, 48 trace events. *)
+
+type stop_reason =
+  | Completed
+  | Violations of Invariants.violation list
+      (** first non-empty invariant report; the run stops immediately *)
+
+type outcome = {
+  steps_run : int;  (** actions performed before stopping *)
+  stop : stop_reason;
+  schedule : string list;
+      (** the executed actions, oldest first — the replay recipe *)
+  transfers_started : int;
+  transfers_completed : int;  (** inputs that delivered a result *)
+  faults_injected : int;  (** corruptions, orphan sends, pokes, removals *)
+  trace_tail : string list;
+      (** most recent tracer events of both hosts at the end of the run *)
+}
+
+val run : config -> outcome
+(** Build a fresh world and execute the schedule.  Deterministic in
+    [config]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -12,6 +12,7 @@ type t = {
   handlers : (int, Net.Adapter.rx_result -> unit) Hashtbl.t;
   mutable align_input : bool;
   tracer : Simcore.Tracer.t;
+  ledger : Ledger.t;
 }
 
 let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
@@ -42,6 +43,7 @@ let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
       handlers = Hashtbl.create 8;
       align_input = true;
       tracer = Simcore.Tracer.create ();
+      ledger = Ledger.create ();
     }
   in
   for _ = 1 to pool_frames do
@@ -49,7 +51,9 @@ let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
   done;
   Net.Adapter.set_pool_supply adapter (fun () ->
       match Queue.take_opt t.pool with
-      | Some frame -> frame
+      | Some frame ->
+        Ledger.hold t.ledger frame;
+        frame
       | None -> failwith (name ^ ": overlay pool exhausted"));
   Net.Adapter.set_rx_complete adapter (fun result ->
       match Hashtbl.find_opt t.handlers result.Net.Adapter.vc with
@@ -61,17 +65,29 @@ let page_size t = t.spec.Machine.Machine_spec.page_size
 let new_space t = Vm.Address_space.create t.vm
 let pool_take t =
   match Queue.take_opt t.pool with
-  | Some frame -> frame
+  | Some frame ->
+    Ledger.hold t.ledger frame;
+    frame
   | None -> failwith (t.name ^ ": overlay pool exhausted")
 
-let pool_put t frame = Queue.add frame t.pool
+let pool_put t frame =
+  Ledger.release t.ledger frame;
+  Queue.add frame t.pool
+
 let pool_level t = Queue.length t.pool
 
-let alloc_sys_frames t n = Memory.Phys_mem.alloc_many t.vm.Vm.Vm_sys.phys n
+let alloc_sys_frames t n =
+  let frames = Memory.Phys_mem.alloc_many t.vm.Vm.Vm_sys.phys n in
+  Ledger.hold_all t.ledger frames;
+  frames
 
 let free_sys_frames t frames =
+  Ledger.release_all t.ledger frames;
   List.iter (fun f -> Memory.Phys_mem.deallocate t.vm.Vm.Vm_sys.phys f) frames
+
+let frames_to_vm t frames = Ledger.release_all t.ledger frames
 
 let set_handler t ~vc handler = Hashtbl.replace t.handlers vc handler
 let trace t label = Simcore.Tracer.record t.tracer (Simcore.Engine.now t.engine) label
+let trace_f t label = Simcore.Tracer.record_f t.tracer (Simcore.Engine.now t.engine) label
 let now_us t = Simcore.Sim_time.to_us (Simcore.Engine.now t.engine)

@@ -23,6 +23,9 @@ type t = {
   tracer : Simcore.Tracer.t;
       (** stage-level event trace of the data-passing paths (disabled by
           default; enable with [Simcore.Tracer.enable]) *)
+  ledger : Ledger.t;
+      (** kernel-held frames and in-flight operations, for the invariant
+          checker (see {!Ledger}) *)
 }
 
 val create :
@@ -47,6 +50,11 @@ val alloc_sys_frames : t -> int -> Memory.Frame.t list
 
 val free_sys_frames : t -> Memory.Frame.t list -> unit
 
+val frames_to_vm : t -> Memory.Frame.t list -> unit
+(** Account for kernel frames whose ownership just transferred to a
+    memory object ([insert_page] / [swap_into_region]) rather than being
+    deallocated: drops the ledger holds without touching the frames. *)
+
 val set_handler : t -> vc:int -> (Net.Adapter.rx_result -> unit) -> unit
 
 val now_us : t -> float
@@ -54,3 +62,7 @@ val now_us : t -> float
 val trace : t -> string -> unit
 (** Record a trace event at the current simulated instant (cheap no-op
     while the tracer is disabled). *)
+
+val trace_f : t -> (unit -> string) -> unit
+(** Like {!trace} but the label is built lazily, so hot paths pay no
+    formatting cost while the tracer is disabled. *)

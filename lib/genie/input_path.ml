@@ -22,6 +22,7 @@ type pending = {
   mutable sys_frames : Memory.Frame.t list;
       (* aligned / system buffer allocated at ready time *)
   mutable sys_off : int;  (* page offset of payload within sys_frames *)
+  mutable ledger_id : int option;
   on_complete : result -> unit;
 }
 
@@ -72,11 +73,12 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
     Vm.Vm_error.semantics "input with %s semantics requires an application buffer"
       (Semantics.name sem)
   | (App_buffer _, false) | (Sys_alloc _, true) -> ());
-  Host.trace host
-    (Printf.sprintf "input.prepare %s len=%d" (Semantics.name sem) (spec_len spec));
+  Host.trace_f host (fun () ->
+      Printf.sprintf "input.prepare %s len=%d" (Semantics.name sem) (spec_len spec));
   let p =
     { sem; spec; expected_len = spec_len spec; p_token = token; handle = None;
-      region = None; hdr_frame = None; sys_frames = []; sys_off = 0; on_complete }
+      region = None; hdr_frame = None; sys_frames = []; sys_off = 0;
+      ledger_id = None; on_complete }
   in
   let strong = sem.Semantics.integrity = Semantics.Strong in
   (* Application-allocated, weak integrity (share / emulated share):
@@ -134,6 +136,14 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
       Vm.Address_space.wire space region
     end
   end;
+  p.ledger_id <-
+    Some
+      (Ledger.note host.Host.ledger ~dir:Ledger.Input ~sem ~space:(spec_space spec)
+         ~region:(fun () -> p.region)
+         ~handle:(fun () ->
+           match p.handle with
+           | Some h when h.Vm.Page_ref.active -> Some h
+           | Some _ | None -> None));
   (* Early-demultiplexing descriptor: always prepared, per Section 6.2.2. *)
   let posted =
     match mode with
@@ -175,10 +185,18 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
 
 (* {1 Shared dispose helpers} *)
 
+let retire_entry (host : Host.t) p =
+  match p.ledger_id with
+  | Some id ->
+    Ledger.retire host.Host.ledger id;
+    p.ledger_id <- None
+  | None -> ()
+
 let finish (host : Host.t) p ~buf ~payload_len ~seq ~ok =
-  Host.trace host
-    (Printf.sprintf "input.complete %s ok=%b len=%d" (Semantics.name p.sem) ok
-       payload_len);
+  Host.trace_f host (fun () ->
+      Printf.sprintf "input.complete %s ok=%b len=%d" (Semantics.name p.sem) ok
+        payload_len);
+  retire_entry host p;
   let result = { buf; payload_len; seq; ok } in
   Simcore.Engine.at host.Host.engine ~time:(Ops.completion_time host.Host.ops)
     (fun () -> p.on_complete result)
@@ -290,6 +308,8 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
       let leftovers =
         List.filteri (fun i _ -> not outcome.Align.consumed.(i)) p.sys_frames
       in
+      Host.frames_to_vm host
+        (List.filteri (fun i _ -> outcome.Align.consumed.(i)) p.sys_frames);
       Host.free_sys_frames host (leftovers @ !dead)
     end
     else Host.free_sys_frames host p.sys_frames;
@@ -321,6 +341,7 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
         split 0 [] p.sys_frames
       in
       Host.free_sys_frames host extra;
+      Host.frames_to_vm host used;
       zero_complete host used ~off:0 ~len:payload_len;
       let space = spec_space p.spec in
       Ops.charge_pages ops C.Region_create ~pages:npages;
@@ -428,6 +449,8 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
         ~threshold:host.Host.thresholds.Thresholds.reverse_copyout
         ~displaced:(fun f -> Host.pool_put host f)
     in
+    Host.frames_to_vm host
+      (List.filteri (fun i _ -> outcome.Align.consumed.(i)) chain);
     let leftovers = List.filteri (fun i _ -> not outcome.Align.consumed.(i)) chain in
     pool_all leftovers
   in
@@ -480,6 +503,7 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
           ~state:Vm.Region.Moving_in ~populate:false
       in
       Ops.charge_pages ops C.Region_fill_overlay_refill ~pages:chain_pages;
+      Host.frames_to_vm host chain;
       List.iteri
         (fun i frame ->
           Vm.Vm_sys.insert_page (Vm.Address_space.vm space) region.Vm.Region.obj
@@ -513,19 +537,58 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
         Vm.Address_space.unwire space region
       end;
       unref host p;
-      Ops.charge_pages ops C.Swap_pages ~pages:chain_pages;
-      List.iteri
-        (fun i frame ->
-          match Vm.Address_space.swap_into_region space region ~page:i frame with
-          | Some displaced -> Host.pool_put host displaced
-          | None -> ())
-        chain;
-      Ops.charge ops C.Region_mark_in ~bytes:0;
-      region.Vm.Region.state <- Vm.Region.Moved_in;
-      charge_overlay_dealloc ();
-      finish host p
-        ~buf:(region_result p region ~psize ~off:hdr_len ~payload_len)
-        ~payload_len ~seq ~ok
+      if chain_pages <= region.Vm.Region.npages then begin
+        Ops.charge_pages ops C.Swap_pages ~pages:chain_pages;
+        Host.frames_to_vm host chain;
+        List.iteri
+          (fun i frame ->
+            match Vm.Address_space.swap_into_region space region ~page:i frame with
+            | Some displaced -> Host.pool_put host displaced
+            | None -> ())
+          chain;
+        (* A strong region was hidden at prepare; pages beyond the
+           swapped chain are still invalidated and must be reinstated
+           before the region is exposed as moved in. *)
+        if strong then Vm.Address_space.reinstate space region;
+        Ops.charge ops C.Region_mark_in ~bytes:0;
+        region.Vm.Region.state <- Vm.Region.Moved_in;
+        charge_overlay_dealloc ();
+        finish host p
+          ~buf:(region_result p region ~psize ~off:hdr_len ~payload_len)
+          ~payload_len ~seq ~ok
+      end
+      else begin
+        (* Pooled fallback on an early-demultiplexed VC: the region
+           prepared at input time is sized for the payload alone, but the
+           fallback chain carries the unstripped header too and may not
+           fit.  Recycle the prepared region and make the chain itself
+           the new region, as basic move does. *)
+        requeue_failed_region host p;
+        zero_complete host chain ~off:hdr_len ~len:payload_len;
+        Ops.charge_pages ops C.Region_create ~pages:chain_pages;
+        let fresh =
+          Vm.Address_space.map_region space ~npages:chain_pages
+            ~state:Vm.Region.Moving_in ~populate:false
+        in
+        Ops.charge_pages ops C.Region_fill_overlay_refill ~pages:chain_pages;
+        Host.frames_to_vm host chain;
+        List.iteri
+          (fun i frame ->
+            Vm.Vm_sys.insert_page (Vm.Address_space.vm space)
+              fresh.Vm.Region.obj i frame)
+          chain;
+        List.iter (fun f -> Host.pool_put host f)
+          (Memory.Phys_mem.alloc_many host.Host.vm.Vm.Vm_sys.phys chain_pages);
+        Ops.charge_pages ops C.Region_map ~pages:chain_pages;
+        Vm.Address_space.map_object_pages space fresh;
+        Ops.charge ops C.Region_mark_in ~bytes:0;
+        fresh.Vm.Region.state <- Vm.Region.Moved_in;
+        p.region <- Some fresh;
+        charge_overlay_dealloc ();
+        finish host p
+          ~buf:(region_result p fresh ~psize ~off:hdr_len ~payload_len)
+          ~payload_len ~seq ~ok
+      end
     end
     else begin
       (match p.region with
@@ -613,7 +676,8 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
 
 let handle_completion (host : Host.t) p (r : Net.Adapter.rx_result) =
   let ops = host.Host.ops in
-  Host.trace host (Printf.sprintf "input.dispose %s" (Semantics.name p.sem));
+  Host.trace_f host (fun () ->
+      Printf.sprintf "input.dispose %s" (Semantics.name p.sem));
   Ops.charge ops C.Interrupt_dispatch ~bytes:0;
   let hdr_len = Proto.Dgram_header.length in
   let hdr_bytes, payload_len =
@@ -658,4 +722,5 @@ let abandon (host : Host.t) p =
   Host.free_sys_frames host p.sys_frames;
   p.sys_frames <- [];
   release_hdr_frame host p;
-  requeue_failed_region host p
+  requeue_failed_region host p;
+  retire_entry host p

@@ -64,20 +64,27 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
   if Semantics.system_allocated sem then ignore (check_system_allocated buf sem);
   Ops.charge ops C.Syscall_entry ~bytes:0;
   let sem_eff = effective_semantics host sem len in
-  Host.trace host
-    (Printf.sprintf "output.prepare %s len=%d" (Semantics.name sem_eff) len);
+  Host.trace_f host (fun () ->
+      Printf.sprintf "output.prepare %s len=%d" (Semantics.name sem_eff) len);
   let hdr =
     Proto.Dgram_header.encode
       { Proto.Dgram_header.src_vc = vc; dst_vc = vc; seq; payload_len = len }
   in
-  let desc, dispose =
+  let desc, dispose, ledger_entry =
     if not (Semantics.in_place sem_eff) then begin
       (* Plain copy: data leaves through a system buffer. *)
       let desc, frames = copyin_to_system_buffer host buf in
+      let entry =
+        Ledger.note host.Host.ledger ~dir:Ledger.Output ~sem:sem_eff
+          ~space:buf.Buf.space
+          ~region:(fun () -> None)
+          ~handle:(fun () -> None)
+      in
       ( desc,
-        fun () ->
+        (fun () ->
           Ops.charge ops C.Sysbuf_deallocate ~bytes:0;
-          Host.free_sys_frames host frames )
+          Host.free_sys_frames host frames),
+        entry )
     end
     else begin
       let space = buf.Buf.space in
@@ -165,14 +172,22 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
         | (Semantics.Application, Semantics.Strong, false) ->
           assert false (* plain copy handled above *)
       in
-      (handle.Vm.Page_ref.desc, dispose)
+      let entry =
+        Ledger.note host.Host.ledger ~dir:Ledger.Output ~sem:sem_eff ~space
+          ~region:(fun () -> Some region)
+          ~handle:(fun () ->
+            if handle.Vm.Page_ref.active then Some handle else None)
+      in
+      (handle.Vm.Page_ref.desc, dispose, entry)
     end
   in
   let prepared_at = Ops.completion_time ops in
   Simcore.Engine.at engine ~time:prepared_at (fun () ->
       Net.Adapter.transmit host.Host.adapter ~vc ~hdr ~desc
         ~on_tx_complete:(fun () ->
-          Host.trace host (Printf.sprintf "output.dispose %s" (Semantics.name sem_eff));
+          Host.trace_f host (fun () ->
+              Printf.sprintf "output.dispose %s" (Semantics.name sem_eff));
           dispose ();
+          Ledger.retire host.Host.ledger ledger_entry;
           Simcore.Engine.at engine ~time:(Ops.completion_time ops) on_complete));
   { semantics_used = sem_eff; prepared_at }

@@ -56,12 +56,17 @@ let release t (frame : Frame.t) =
   frame.Frame.wired <- 0;
   Queue.add frame.Frame.id t.free
 
+(* Chaos switch for the invariant checker: pretend I/O-deferred page
+   deallocation was never implemented, freeing frames devices still
+   reference.  The io-desc-safety invariant must catch this. *)
+let skip_deferred_dealloc = ref false
+
 let deallocate t (frame : Frame.t) =
   match frame.Frame.state with
   | Frame.Free -> invalid_arg "Phys_mem.deallocate: frame already free"
   | Frame.Zombie -> invalid_arg "Phys_mem.deallocate: frame already a zombie"
   | Frame.Allocated ->
-    if Frame.io_referenced frame then begin
+    if Frame.io_referenced frame && not !skip_deferred_dealloc then begin
       frame.Frame.state <- Frame.Zombie;
       t.zombies <- t.zombies + 1
     end
@@ -95,3 +100,4 @@ let adopt t (frame : Frame.t) =
   | Frame.Free -> invalid_arg "Phys_mem.adopt: frame is free"
 
 let zombie_count t = t.zombies
+let free_ids t = List.of_seq (Queue.to_seq t.free)

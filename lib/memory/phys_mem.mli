@@ -50,3 +50,13 @@ val zombie_count : t -> int
 (** Number of frames awaiting reclamation (for tests and monitoring). *)
 
 val frame_by_id : t -> int -> Frame.t
+
+val free_ids : t -> int list
+(** Contents of the free list, in allocation order (for the invariant
+    checker). *)
+
+val skip_deferred_dealloc : bool ref
+(** Test-only chaos switch: when set, [deallocate] frees frames even while
+    devices hold I/O references — i.e. I/O-deferred page deallocation is
+    deliberately broken so the invariant checker can prove it notices.
+    Never set outside tests. *)

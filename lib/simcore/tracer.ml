@@ -4,7 +4,19 @@ let create ?(enabled = false) () = { enabled; events = [] }
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let record t time label = if t.enabled then t.events <- (time, label) :: t.events
+
+let record_f t time label =
+  if t.enabled then t.events <- (time, label ()) :: t.events
+
 let events t = List.rev t.events
+
+let last_n t n =
+  let rec take k = function
+    | x :: tl when k > 0 -> x :: take (k - 1) tl
+    | _ -> []
+  in
+  List.rev (take n t.events)
+
 let clear t = t.events <- []
 
 let pp fmt t =

@@ -9,8 +9,16 @@ val create : ?enabled:bool -> unit -> t
 val enable : t -> unit
 val disable : t -> unit
 val record : t -> Sim_time.t -> string -> unit
+
+val record_f : t -> Sim_time.t -> (unit -> string) -> unit
+(** Lazy variant of {!record}: the label thunk is forced only while the
+    tracer is enabled, so tracing in hot paths costs nothing when off. *)
+
 val events : t -> (Sim_time.t * string) list
 (** Events in chronological (recording) order. *)
+
+val last_n : t -> int -> (Sim_time.t * string) list
+(** The [n] most recent events, oldest first (all events if fewer). *)
 
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

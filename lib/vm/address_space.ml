@@ -25,6 +25,16 @@ let create vm =
   in
   Vm_sys.register_unmapper vm (fun frame ->
       List.iter (fun vpn -> Page_table.unmap t.pt ~vpn) (Page_table.vpns_of_frame t.pt frame));
+  Vm_sys.register_space vm
+    {
+      Vm_sys.sv_id = t.id;
+      sv_regions = (fun () -> t.region_list);
+      sv_ptes =
+        (fun () ->
+          let acc = ref [] in
+          Page_table.iter t.pt (fun ~vpn pte -> acc := (vpn, pte) :: !acc);
+          !acc);
+    };
   t
 
 let vm t = t.vm

@@ -6,8 +6,19 @@ type handle = {
   objects : (Memory_object.t * int) list;
   direction : direction;
   space : Address_space.t;
+  registry_id : int;
   mutable active : bool;
 }
+
+(* Enter the handle into the VM system's in-flight I/O registry so the
+   invariant checker can audit reference counts and descriptor safety. *)
+let registered space direction ~frames ~objects =
+  Vm_sys.register_io (Address_space.vm space)
+    ~dir:
+      (match direction with
+      | For_input -> Vm_sys.Io_input
+      | For_output -> Vm_sys.Io_output)
+    ~frames ~objects
 
 let reference space ~addr ~len direction =
   let psize = Address_space.page_size space in
@@ -41,12 +52,14 @@ let reference space ~addr ~len direction =
     cursor := !cursor + n;
     remaining := !remaining - n
   done;
+  let frames = List.rev !frames in
   {
     desc = Memory.Io_desc.of_segs (List.rev !segs);
-    frames = List.rev !frames;
+    frames;
     objects = !objects;
     direction;
     space;
+    registry_id = registered space direction ~frames ~objects:!objects;
     active = true;
   }
 
@@ -75,18 +88,21 @@ let reference_region space (region : Region.t) ~len direction =
       [ (obj, npages) ]
     | For_output -> []
   in
+  let frames = List.rev !frames in
   {
     desc = Memory.Io_desc.of_segs (List.rev !segs);
-    frames = List.rev !frames;
+    frames;
     objects;
     direction;
     space;
+    registry_id = registered space direction ~frames ~objects;
     active = true;
   }
 
 let unreference handle =
   if not handle.active then invalid_arg "Page_ref.unreference: already dropped";
   handle.active <- false;
+  Vm_sys.forget_io (Address_space.vm handle.space) handle.registry_id;
   let phys = (Address_space.vm handle.space).Vm_sys.phys in
   List.iter
     (fun frame ->

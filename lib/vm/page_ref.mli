@@ -19,6 +19,8 @@ type handle = {
       (** per-object page counts, for the object input-reference totals *)
   direction : direction;
   space : Address_space.t;
+  registry_id : int;
+      (** id of this handle's {!Vm_sys.io_view} registry entry *)
   mutable active : bool;
 }
 

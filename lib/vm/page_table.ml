@@ -56,3 +56,5 @@ let vpns_of_frame t (frame : Memory.Frame.t) =
   | None -> []
 
 let entry_count t = Hashtbl.length t.entries
+
+let iter t f = Hashtbl.iter (fun vpn pte -> f ~vpn pte) t.entries

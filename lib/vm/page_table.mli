@@ -24,3 +24,6 @@ val replace_frame : t -> vpn:int -> Memory.Frame.t -> unit
 val unmap : t -> vpn:int -> unit
 val vpns_of_frame : t -> Memory.Frame.t -> int list
 val entry_count : t -> int
+
+val iter : t -> (vpn:int -> pte -> unit) -> unit
+(** Visit every translation (unspecified order; for checkers and tests). *)

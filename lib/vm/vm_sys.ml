@@ -1,3 +1,18 @@
+type space_view = {
+  sv_id : int;
+  sv_regions : unit -> Region.t list;
+  sv_ptes : unit -> (int * Page_table.pte) list;
+}
+
+type io_dir = Io_input | Io_output
+
+type io_view = {
+  io_id : int;
+  io_dir : io_dir;
+  io_frames : Memory.Frame.t list;
+  io_objects : (Memory_object.t * int) list;
+}
+
 type t = {
   spec : Machine.Machine_spec.t;
   phys : Memory.Phys_mem.t;
@@ -5,10 +20,26 @@ type t = {
   backing : Memory.Backing_store.t;
   frame_owner : (int, Memory_object.t * int) Hashtbl.t;
   mutable unmappers : (Memory.Frame.t -> unit) list;
+  mutable spaces : space_view list;
+  io_registry : (int, io_view) Hashtbl.t;
+  mutable next_io_id : int;
 }
 
 let page_size t = Memory.Phys_mem.page_size t.phys
 let register_unmapper t f = t.unmappers <- f :: t.unmappers
+
+let register_space t view = t.spaces <- view :: t.spaces
+let space_views t = t.spaces
+
+let register_io t ~dir ~frames ~objects =
+  let id = t.next_io_id in
+  t.next_io_id <- id + 1;
+  Hashtbl.replace t.io_registry id
+    { io_id = id; io_dir = dir; io_frames = frames; io_objects = objects };
+  id
+
+let forget_io t id = Hashtbl.remove t.io_registry id
+let io_views t = Hashtbl.fold (fun _ v acc -> v :: acc) t.io_registry []
 
 let insert_page t obj idx (frame : Memory.Frame.t) =
   Memory_object.set_slot obj idx (Memory_object.Resident frame);
@@ -79,6 +110,9 @@ let create spec =
       backing = Memory.Backing_store.create ~page_size:spec.Machine.Machine_spec.page_size;
       frame_owner = Hashtbl.create 256;
       unmappers = [];
+      spaces = [];
+      io_registry = Hashtbl.create 32;
+      next_io_id = 0;
     }
   in
   Memory.Pageout.set_evict_hook t.pageout (evict_frame t);

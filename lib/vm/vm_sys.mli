@@ -5,6 +5,30 @@
     eviction path needs.  Address spaces register an unmap callback here
     so that pageout can tear down translations. *)
 
+type space_view = {
+  sv_id : int;
+  sv_regions : unit -> Region.t list;
+  sv_ptes : unit -> (int * Page_table.pte) list;  (** (vpn, pte) pairs *)
+}
+(** Introspection window onto one address space, registered by
+    {!Address_space.create}.  The invariant checker walks these instead of
+    depending on the (higher-level) address-space module. *)
+
+type io_dir = Io_input | Io_output
+
+type io_view = {
+  io_id : int;
+  io_dir : io_dir;
+  io_frames : Memory.Frame.t list;
+      (** referenced frames, with multiplicity, in buffer order *)
+  io_objects : (Memory_object.t * int) list;
+      (** per-object page counts charged to the object input totals *)
+}
+(** One live page-referencing handle (an I/O in flight).  Registered by
+    [Page_ref.reference]/[reference_region], withdrawn at unreference, so
+    the registry is exactly the set of scatter/gather descriptors a
+    device may still read or write. *)
+
 type t = {
   spec : Machine.Machine_spec.t;
   phys : Memory.Phys_mem.t;
@@ -12,12 +36,29 @@ type t = {
   backing : Memory.Backing_store.t;
   frame_owner : (int, Memory_object.t * int) Hashtbl.t;
   mutable unmappers : (Memory.Frame.t -> unit) list;
+  mutable spaces : space_view list;
+  io_registry : (int, io_view) Hashtbl.t;
+  mutable next_io_id : int;
 }
 
 val create : Machine.Machine_spec.t -> t
 val page_size : t -> int
 
 val register_unmapper : t -> (Memory.Frame.t -> unit) -> unit
+
+val register_space : t -> space_view -> unit
+val space_views : t -> space_view list
+
+val register_io :
+  t ->
+  dir:io_dir ->
+  frames:Memory.Frame.t list ->
+  objects:(Memory_object.t * int) list ->
+  int
+(** Returns the registry id to pass to {!forget_io}. *)
+
+val forget_io : t -> int -> unit
+val io_views : t -> io_view list
 
 val insert_page : t -> Memory_object.t -> int -> Memory.Frame.t -> unit
 (** Enter a resident page into an object: updates the slot, the ownership

@@ -23,4 +23,5 @@ let () =
       ("rel-channel", Test_rel_channel.suite);
       ("endpoint", Test_endpoint.suite);
       ("properties", Test_properties.suite);
+      ("check", Test_check.suite);
     ]

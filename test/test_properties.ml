@@ -78,6 +78,44 @@ let semantics_dimensions_complete =
       List.for_all (fun c -> List.exists (Sem.equal c) Sem.all) corners
       && List.length Sem.all = 8)
 
+let semantics_name_roundtrip =
+  QCheck.Test.make ~name:"semantics name round-trips through of_name"
+    ~count:50
+    QCheck.(int_bound 7)
+    (fun i ->
+      let sem = List.nth Sem.all i in
+      match Sem.of_name (Sem.name sem) with
+      | Some sem' -> Sem.equal sem sem'
+      | None -> false)
+
+let flip_bit data bit =
+  let i = bit / 8 and k = bit mod 8 in
+  Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl k)))
+
+let checksum_detects_bit_flips =
+  QCheck.Test.make ~name:"rfc1071 checksum detects single-bit flips"
+    ~count:200
+    QCheck.(pair (int_range 1 2048) (int_bound 1_000_000))
+    (fun (len, r) ->
+      let data = Bytes.init len (fun i -> Char.chr ((i * 7 + 13) land 0xff)) in
+      let expect = Proto.Checksum.compute data ~off:0 ~len in
+      flip_bit data (r mod (len * 8));
+      not (Proto.Checksum.verify data ~off:0 ~len ~expect))
+
+let aal5_crc_detects_bit_flips =
+  QCheck.Test.make ~name:"aal5 crc32 detects single-bit flips" ~count:100
+    QCheck.(pair (int_range 1 8192) (int_bound 1_000_000))
+    (fun (len, r) ->
+      let payload = Bytes.init len (fun i -> Char.chr ((i * 31 + 5) land 0xff)) in
+      let flat = Bytes.concat Bytes.empty (Net.Aal5.encode payload) in
+      flip_bit flat (r mod (Bytes.length flat * 8));
+      let ncells = Bytes.length flat / Net.Aal5.cell_payload in
+      let cells =
+        List.init ncells (fun i ->
+            Bytes.sub flat (i * Net.Aal5.cell_payload) Net.Aal5.cell_payload)
+      in
+      Result.is_error (Net.Aal5.decode cells))
+
 let buf_pattern_roundtrip =
   QCheck.Test.make ~name:"buffer pattern read/write roundtrip" ~count:50
     QCheck.(pair (int_range 1 20_000) (int_bound 4095))
@@ -106,5 +144,8 @@ let suite =
       mixed_composition_consistent;
       aal5_wire_bytes_monotone;
       semantics_dimensions_complete;
+      semantics_name_roundtrip;
+      checksum_detects_bit_flips;
+      aal5_crc_detects_bit_flips;
       buf_pattern_roundtrip;
     ]

@@ -92,10 +92,44 @@ let test_tracing_disabled_is_silent () =
   Alcotest.(check int) "no events" 0
     (List.length (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer))
 
+let test_record_f_is_lazy () =
+  let t = Simcore.Tracer.create () in
+  let forced = ref false in
+  Simcore.Tracer.record_f t Simcore.Sim_time.zero (fun () ->
+      forced := true;
+      "never built");
+  Alcotest.(check bool) "thunk not forced while disabled" false !forced;
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Simcore.Tracer.events t));
+  Simcore.Tracer.enable t;
+  Simcore.Tracer.record_f t (Simcore.Sim_time.of_ns 5) (fun () ->
+      forced := true;
+      "built");
+  Alcotest.(check bool) "thunk forced while enabled" true !forced;
+  Alcotest.(check (list string)) "recorded" [ "built" ]
+    (List.map snd (Simcore.Tracer.events t))
+
+let test_last_n () =
+  let t = Simcore.Tracer.create ~enabled:true () in
+  List.iter
+    (fun i -> Simcore.Tracer.record t (Simcore.Sim_time.of_ns i) (string_of_int i))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list string)) "last three, oldest first" [ "3"; "4"; "5" ]
+    (List.map snd (Simcore.Tracer.last_n t 3));
+  Alcotest.(check (list string)) "n beyond length gives everything"
+    [ "1"; "2"; "3"; "4"; "5" ]
+    (List.map snd (Simcore.Tracer.last_n t 10));
+  Alcotest.(check (list string)) "zero gives nothing" []
+    (List.map snd (Simcore.Tracer.last_n t 0))
+
 let suite =
   [
     Alcotest.test_case "emulated copy pipeline order" `Quick
       test_emulated_copy_pipeline;
+    Alcotest.test_case "record_f is lazy while disabled" `Quick
+      test_record_f_is_lazy;
+    Alcotest.test_case "last_n returns recent events oldest first" `Quick
+      test_last_n;
     Alcotest.test_case "in-place input has no ready stage" `Quick
       test_in_place_has_no_ready_stage;
     Alcotest.test_case "threshold conversion visible" `Quick
