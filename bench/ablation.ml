@@ -5,10 +5,12 @@
 
 let header title = Printf.printf "\n--- %s ---\n" title
 
+module R = Stats.Bench_result
+
 (* TCOW: output 15 pages with emulated copy, overwrite the buffer right
    after the output call returns, and check what the receiver saw and
    how many pages were physically copied. *)
-let tcow () =
+let tcow c =
   header "TCOW vs overwriting applications (Section 5.1)";
   let run_with sem =
     let w = Genie.World.create () in
@@ -40,6 +42,14 @@ let tcow () =
   in
   let intact_tcow, pages = run_with Genie.Semantics.emulated_copy in
   let intact_share, _ = run_with Genie.Semantics.emulated_share in
+  R.scalar c ~name:"ablation.tcow.emulated_copy_intact" ~unit_:"bool"
+    ~better:R.Neutral
+    (if intact_tcow then 1. else 0.);
+  R.scalar c ~name:"ablation.tcow.emulated_share_intact" ~unit_:"bool"
+    ~better:R.Neutral
+    (if intact_share then 1. else 0.);
+  R.scalar c ~name:"ablation.tcow.pages_lazily_copied" ~unit_:"pages"
+    ~better:R.Neutral (float_of_int pages);
   Printf.printf
     "emulated copy  (TCOW):   receiver got pre-overwrite data: %b (%d pages \
      copied lazily, only because the app wrote during output)\n"
@@ -71,7 +81,7 @@ let tcow () =
 
 (* Input alignment: emulated copy with an application buffer at a large
    page offset, with system input alignment enabled vs disabled. *)
-let alignment () =
+let alignment c =
   header "Input alignment on/off (Section 5.2)";
   let run ~align =
     let cfg =
@@ -87,6 +97,10 @@ let alignment () =
     (Workload.Latency_probe.run cfg).Workload.Latency_probe.one_way_us
   in
   let on = run ~align:true and off = run ~align:false in
+  R.scalar c ~name:"ablation.alignment.on_us" ~unit_:"us" on;
+  R.scalar c ~name:"ablation.alignment.off_us" ~unit_:"us" off;
+  R.scalar c ~name:"ablation.alignment.saving_us" ~unit_:"us" ~better:R.Higher
+    (off -. on);
   Printf.printf
     "emulated copy, 60 KB, buffer at page offset 2048:\n\
     \  system input alignment ON:  %.0f usec (pages swapped)\n\
@@ -97,7 +111,7 @@ let alignment () =
 
 (* Input-disabled pageout: the share vs emulated-share gap is exactly the
    wiring cost that input-disabled pageout eliminates. *)
-let wiring () =
+let wiring c =
   header "Input-disabled pageout vs wiring (Section 3.2)";
   let probe sem len =
     let cfg =
@@ -112,6 +126,10 @@ let wiring () =
   let len = 4096 in
   let share = probe Genie.Semantics.share len in
   let emshare = probe Genie.Semantics.emulated_share len in
+  R.scalar c ~name:"ablation.wiring.share_us" ~unit_:"us" share;
+  R.scalar c ~name:"ablation.wiring.emulated_share_us" ~unit_:"us" emshare;
+  R.scalar c ~name:"ablation.wiring.overhead_avoided_us" ~unit_:"us"
+    ~better:R.Neutral (share -. emshare);
   Printf.printf
     "one-page datagram: share %.0f usec vs emulated share %.0f usec\n\
      wiring + unwiring overhead avoided: %.0f usec (paper: about %.0f usec \
@@ -121,7 +139,7 @@ let wiring () =
 
 (* Region hiding: emulated move avoids region removal and creation, and
    avoids zeroing for short datagrams. *)
-let region_hiding () =
+let region_hiding c =
   header "Region hiding vs region removal (Section 4)";
   let probe sem len =
     let cfg =
@@ -137,6 +155,11 @@ let region_hiding () =
     (fun len ->
       let mv = probe Genie.Semantics.move len in
       let emv = probe Genie.Semantics.emulated_move len in
+      R.scalar c ~name:(Printf.sprintf "ablation.region_hiding.%dB.move_us" len)
+        ~unit_:"us" mv;
+      R.scalar c
+        ~name:(Printf.sprintf "ablation.region_hiding.%dB.emulated_move_us" len)
+        ~unit_:"us" emv;
       Printf.printf
         "%6d bytes: move %.0f usec, emulated move %.0f usec (hiding saves \
          %.0f usec)\n"
@@ -145,7 +168,7 @@ let region_hiding () =
 
 (* Copy-conversion thresholds: sweep emulated copy with and without the
    automatic conversion. *)
-let thresholds () =
+let thresholds c =
   header "Copy-conversion thresholds (Section 6)";
   let probe ~th len =
     let cfg =
@@ -167,6 +190,10 @@ let thresholds () =
     (fun len ->
       let on = probe ~th:Genie.Thresholds.default len in
       let off = probe ~th:Genie.Thresholds.no_conversion len in
+      R.scalar c ~name:(Printf.sprintf "ablation.thresholds.%dB.with_us" len)
+        ~unit_:"us" on;
+      R.scalar c ~name:(Printf.sprintf "ablation.thresholds.%dB.without_us" len)
+        ~unit_:"us" off;
       Stats.Text_table.add_row t
         [
           string_of_int len;
@@ -178,10 +205,10 @@ let thresholds () =
   Stats.Text_table.print t;
   Printf.printf "(one-way latency, usec; conversion helps below ~1666 bytes)\n"
 
-let run_all () =
+let run_all c =
   Printf.printf "\nAblations\n=========\n";
-  tcow ();
-  alignment ();
-  wiring ();
-  region_hiding ();
-  thresholds ()
+  tcow c;
+  alignment c;
+  wiring c;
+  region_hiding c;
+  thresholds c

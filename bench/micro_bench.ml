@@ -70,7 +70,11 @@ let test_vm_fault =
           incr i;
           Vm.Address_space.write space ~addr (Bytes.make 8 'x')))
 
-let run () =
+let metric_name name =
+  Printf.sprintf "micro.%s.ns_per_run"
+    (String.map (function ' ' | '(' | ')' | ',' -> '_' | c -> c) name)
+
+let run c =
   Printf.printf "\nBechamel micro-benchmarks (real wall-clock time)\n";
   Printf.printf "================================================\n";
   let tests =
@@ -100,6 +104,10 @@ let run () =
   let t = Stats.Text_table.create ~header:[ "benchmark"; "per run" ] in
   List.iter
     (fun (name, ns) ->
+      (* Wall-clock: real time of the reproduction itself, machine-
+         dependent; recorded with the tolerant [Wall] kind. *)
+      Stats.Bench_result.scalar c ~name:(metric_name name) ~unit_:"ns"
+        ~kind:Stats.Bench_result.Wall ns;
       let pretty =
         if Float.is_nan ns then "n/a"
         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)

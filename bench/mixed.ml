@@ -57,7 +57,9 @@ let composed send_sem recv_sem =
   Workload.Estimate.mixed_latency_us costs Net.Net_params.oc3
     ~scheme:Workload.Estimate.Early_demux ~send_sem ~recv_sem ~len
 
-let run () =
+let slug s = String.map (function ' ' -> '_' | c -> c) s
+
+let run c =
   Printf.printf "\nCross-semantics latency matrix (60 KB, early demux, usec)\n";
   Printf.printf "==========================================================\n";
   Printf.printf
@@ -75,14 +77,21 @@ let run () =
         List.map
           (fun r ->
             let m = measure s r in
-            let c = composed s r in
-            let err = 100. *. Float.abs (m -. c) /. c in
+            let comp = composed s r in
+            let err = 100. *. Float.abs (m -. comp) /. comp in
             if err > !worst then worst := err;
-            Printf.sprintf "%.0f (%.0f)" m c)
+            Stats.Bench_result.scalar c
+              ~name:
+                (Printf.sprintf "mixed.%s__to__%s.one_way_us" (slug (Sem.name s))
+                   (slug (Sem.name r)))
+              ~unit_:"us" m;
+            Printf.sprintf "%.0f (%.0f)" m comp)
           Sem.all
       in
       Stats.Text_table.add_row t (Sem.name s :: cells))
     Sem.all;
   Stats.Text_table.print t;
+  Stats.Bench_result.scalar c ~name:"mixed.worst_model_deviation_pct" ~unit_:"%"
+    !worst;
   Printf.printf
     "\nWorst deviation from the breakdown-model composition: %.1f%%\n" !worst

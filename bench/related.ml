@@ -16,7 +16,7 @@ let costs = C.create Machine.Machine_spec.micron_p166
 
 let us op bytes = Simcore.Sim_time.to_us (C.cost costs op ~bytes)
 
-let checksum () =
+let checksum c =
   Printf.printf "\n--- Checksum integration vs copy avoidance (Section 9) ---\n";
   (* Memory rates: a copy costs 1/copy-bandwidth per byte (read+write);
      a checksum-only pass reads without writing, roughly twice the copy
@@ -39,6 +39,12 @@ let checksum () =
         us C.Reference b +. us C.Read_only b +. us C.Swap_pages b
         +. (read_rate *. fb) +. 3.
       in
+      Stats.Bench_result.scalar c
+        ~name:(Printf.sprintf "related.checksum.%dB.integrated_us" b) ~unit_:"us"
+        ~better:Stats.Bench_result.Neutral integrated;
+      Stats.Bench_result.scalar c
+        ~name:(Printf.sprintf "related.checksum.%dB.vm_pass_us" b) ~unit_:"us"
+        ~better:Stats.Bench_result.Neutral vm_pass;
       Stats.Text_table.add_row t
         [
           string_of_int b;
@@ -54,7 +60,7 @@ let checksum () =
      cost: checksumming into the application buffer overwrites it with\n\
      faulty data when the checksum is wrong - weak, not copy, semantics.\n"
 
-let fbufs () =
+let fbufs c =
   Printf.printf "\n--- Fbufs vs Genie's emulated semantics (Section 9) ---\n";
   let b = 61440 in
   (* Cached fbuf output: like emulated copy's referencing but the buffer
@@ -71,6 +77,11 @@ let fbufs () =
   in
   List.iter
     (fun (name, cost, api) ->
+      Stats.Bench_result.scalar c
+        ~name:
+          (Printf.sprintf "related.fbufs.%s.prepare_us"
+             (String.map (function ' ' | ',' -> '_' | ch -> ch) name))
+        ~unit_:"us" ~better:Stats.Bench_result.Neutral cost;
       Stats.Text_table.add_row t [ name; Printf.sprintf "%.0f us" cost; api ])
     [
       ("Genie emulated copy", genie_emcopy_out,
@@ -86,7 +97,7 @@ let fbufs () =
     "Genie's input-disabled pageout removes the wiring that fbufs pay, and\n\
      TCOW removes the long-term read-only restriction; see Section 9.\n"
 
-let run_all () =
+let run_all c =
   Printf.printf "\nRelated-work analyses\n=====================\n";
-  checksum ();
-  fbufs ()
+  checksum c;
+  fbufs c

@@ -206,6 +206,172 @@ let check_cmd =
           kernel-state invariants after every step.")
     Term.(const run $ steps_arg $ seed_arg $ check_every_arg)
 
+(* {1 bench: machine-readable benchmark runs and the regression gate} *)
+
+module Sections = Bench_sections.Sections
+
+let bench_run_cmd =
+  let out_arg =
+    Arg.(value & opt string "."
+         & info [ "out"; "o" ] ~docv:"DIR"
+             ~doc:"Directory to write BENCH_<section>.json files into.")
+  in
+  let sections_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SECTION"
+             ~doc:"Benchmark sections to run (default: all).")
+  in
+  let run out_dir requested =
+    let requested =
+      match requested with
+      | [] -> Sections.names ()
+      | args when List.mem "all" args -> Sections.names ()
+      | args -> args
+    in
+    let unknown = List.filter (fun n -> Sections.resolve n = None) requested in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown section%s %s (available: %s)\n"
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (String.concat " " (Sections.names ()));
+      exit 2
+    end;
+    if not (Sys.file_exists out_dir && Sys.is_directory out_dir) then begin
+      Printf.eprintf "output directory %s does not exist\n" out_dir;
+      exit 2
+    end;
+    let failures =
+      List.filter_map
+        (fun name ->
+          let name = Option.get (Sections.resolve name) in
+          match Sections.run_one ~out_dir name with
+          | Ok (Some path) ->
+            Printf.printf "[bench] wrote %s\n" path;
+            None
+          | Ok None -> None
+          | Error msg ->
+            Printf.eprintf "[bench] %s\n" msg;
+            Some name)
+        requested
+    in
+    if failures <> [] then begin
+      Printf.eprintf "[bench] %d section(s) failed: %s\n" (List.length failures)
+        (String.concat ", " failures);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run benchmark sections and write machine-readable \
+          BENCH_<section>.json results.")
+    Term.(const run $ out_arg $ sections_arg)
+
+let bench_compare_cmd =
+  let baseline_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_*.json file or directory.")
+  in
+  let current_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"CURRENT" ~doc:"Current BENCH_*.json file or directory.")
+  in
+  let sim_threshold_arg =
+    Arg.(value & opt float Stats.Bench_compare.default_sim_threshold
+         & info [ "sim-threshold" ] ~docv:"FRACTION"
+             ~doc:
+               "Allowed relative change for deterministic simulated-time \
+                metrics (default strict: $(docv)=0.001, i.e. 0.1%).")
+  in
+  let wall_threshold_arg =
+    Arg.(value & opt float Stats.Bench_compare.default_wall_threshold
+         & info [ "threshold"; "wall-threshold" ] ~docv:"FRACTION"
+             ~doc:
+               "Allowed relative change for wall-clock metrics (default \
+                tolerant: $(docv)=0.10, i.e. 10%).")
+  in
+  let ignore_wall_arg =
+    Arg.(value & flag
+         & info [ "ignore-wall" ]
+             ~doc:
+               "Report wall-clock regressions but do not fail on them \
+                (useful on noisy shared CI runners).")
+  in
+  (* A baseline file pairs with either the same-named file in the current
+     directory or the current path itself; a baseline directory pairs
+     every BENCH_*.json it contains. *)
+  let gather baseline current =
+    if Sys.is_directory baseline then begin
+      if not (Sys.file_exists current && Sys.is_directory current) then begin
+        Printf.eprintf "baseline is a directory, so current (%s) must be too\n"
+          current;
+        exit 2
+      end;
+      Sys.readdir baseline |> Array.to_list |> List.sort String.compare
+      |> List.filter (fun f ->
+             String.length f > 11
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.map (fun f -> (Filename.concat baseline f, Filename.concat current f))
+    end
+    else if Sys.file_exists current && Sys.is_directory current then
+      [ (baseline, Filename.concat current (Filename.basename baseline)) ]
+    else [ (baseline, current) ]
+  in
+  let run baseline current sim_threshold wall_threshold ignore_wall =
+    if not (Sys.file_exists baseline) then begin
+      Printf.eprintf "baseline %s does not exist\n" baseline;
+      exit 2
+    end;
+    let pairs = gather baseline current in
+    if pairs = [] then begin
+      Printf.eprintf "no BENCH_*.json files found under %s\n" baseline;
+      exit 2
+    end;
+    let ok =
+      List.for_all
+        (fun (bpath, cpath) ->
+          match Stats.Bench_result.read bpath with
+          | Error e ->
+            Printf.eprintf "error reading baseline: %s\n" e;
+            false
+          | Ok b ->
+            (match Stats.Bench_result.read cpath with
+            | Error e ->
+              Printf.eprintf "error reading current: %s\n" e;
+              false
+            | Ok cur ->
+              let report =
+                Stats.Bench_compare.compare ~sim_threshold
+                  ~wall_threshold ~baseline:b ~current:cur ()
+              in
+              print_string (Stats.Bench_compare.render report);
+              Stats.Bench_compare.passed ~ignore_wall report))
+        pairs
+    in
+    if ok then print_endline "bench compare: OK"
+    else begin
+      Printf.eprintf "bench compare: FAILED (regression or missing metric)\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff current BENCH_*.json results against a baseline; exit \
+          non-zero when any metric regresses beyond its threshold or \
+          disappears.")
+    Term.(const run $ baseline_arg $ current_arg $ sim_threshold_arg
+          $ wall_threshold_arg $ ignore_wall_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Machine-readable benchmark harness: run sections to JSON and \
+          gate on perf regressions.")
+    [ bench_run_cmd; bench_compare_cmd ]
+
 let () =
   let info =
     Cmd.info "genie_cli" ~version:"1.0"
@@ -215,4 +381,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd;
-            check_cmd ]))
+            check_cmd; bench_cmd ]))

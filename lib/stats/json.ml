@@ -1,0 +1,352 @@
+(* Minimal self-contained JSON: a value type, an emitter with correct
+   string escaping, and a recursive-descent parser.  No external
+   dependencies; only what the benchmark-result subsystem needs.
+
+   Integers and floats are kept distinct so that counts and seeds
+   round-trip exactly: the parser yields [Int] for number tokens with no
+   fraction or exponent (that fit in an OCaml int), [Float] otherwise,
+   and the emitter always prints a [Float] with a '.' or exponent so it
+   parses back as a [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* {1 Emission} *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest decimal form that parses back to the same float, forced to
+   contain '.' or 'e' so the parser keeps it a [Float].  JSON has no
+   NaN/infinity; those become null. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else begin
+    let s =
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
+
+let rec emit b ~indent ~level v =
+  let pad n = if indent > 0 then Buffer.add_string b (String.make (n * indent) ' ') in
+  let newline () = if indent > 0 then Buffer.add_char b '\n' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | Str s -> escape_string b s
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_char b '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char b ',';
+          newline ()
+        end;
+        pad (level + 1);
+        emit b ~indent ~level:(level + 1) item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_char b '{';
+    newline ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char b ',';
+          newline ()
+        end;
+        pad (level + 1);
+        escape_string b k;
+        Buffer.add_string b (if indent > 0 then ": " else ":");
+        emit b ~indent ~level:(level + 1) item)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char b '}'
+
+let to_string ?(indent = 2) v =
+  let b = Buffer.create 256 in
+  emit b ~indent ~level:0 v;
+  if indent > 0 then Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* {1 Parsing} *)
+
+exception Parse_error of string * int
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (msg, cur.pos))
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && (match cur.src.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some got when got = c -> advance cur
+  | Some got -> fail cur (Printf.sprintf "expected %C, got %C" c got)
+  | None -> fail cur (Printf.sprintf "expected %C, got end of input" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "invalid literal (expected %s)" word)
+
+(* Encode a Unicode code point as UTF-8 into the buffer. *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 cur =
+  if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = cur.src.[cur.pos] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail cur "invalid hex digit in \\u escape"
+    in
+    v := (!v * 16) + d;
+    advance cur
+  done;
+  !v
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | None -> fail cur "unterminated escape"
+      | Some c ->
+        advance cur;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          let cp = parse_hex4 cur in
+          (* Surrogate pair: combine with the low half if present. *)
+          if cp >= 0xD800 && cp <= 0xDBFF
+             && cur.pos + 1 < String.length cur.src
+             && cur.src.[cur.pos] = '\\'
+             && cur.src.[cur.pos + 1] = 'u'
+          then begin
+            advance cur;
+            advance cur;
+            let lo = parse_hex4 cur in
+            if lo >= 0xDC00 && lo <= 0xDFFF then
+              add_utf8 b (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+            else begin
+              add_utf8 b cp;
+              add_utf8 b lo
+            end
+          end
+          else add_utf8 b cp
+        | c -> fail cur (Printf.sprintf "invalid escape \\%c" c)));
+      go ()
+    | Some c ->
+      advance cur;
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let consume pred =
+    while (match peek cur with Some c -> pred c | None -> false) do
+      advance cur
+    done
+  in
+  if peek cur = Some '-' then advance cur;
+  consume (fun c -> c >= '0' && c <= '9');
+  if peek cur = Some '.' then begin
+    is_float := true;
+    advance cur;
+    consume (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek cur with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance cur;
+    (match peek cur with Some ('+' | '-') -> advance cur | _ -> ());
+    consume (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let s = String.sub cur.src start (cur.pos - start) in
+  if s = "" || s = "-" then fail cur "invalid number";
+  if !is_float then Float (float_of_string s)
+  else match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> Float (float_of_string s)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec fields_loop () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        fields := (k, v) :: !fields;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          fields_loop ()
+        | Some '}' -> advance cur
+        | _ -> fail cur "expected ',' or '}' in object"
+      in
+      fields_loop ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec items_loop () =
+        let v = parse_value cur in
+        items := v :: !items;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items_loop ()
+        | Some ']' -> advance cur
+        | _ -> fail cur "expected ',' or ']' in array"
+      in
+      items_loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+    skip_ws cur;
+    if cur.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+    else Ok v
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "%s at offset %d" msg pos)
+
+(* {1 Accessors} *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | List x, List y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | _ -> false

@@ -24,4 +24,5 @@ let () =
       ("endpoint", Test_endpoint.suite);
       ("properties", Test_properties.suite);
       ("check", Test_check.suite);
+      ("bench", Test_bench.suite);
     ]
