@@ -29,10 +29,11 @@ let tcow c =
       Genie.Buf.make sb ~addr:(Vm.Address_space.base_addr rregion ~page_size:psize) ~len
     in
     let got = ref Bytes.empty in
-    Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+    ignore
+    (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
       ~on_complete:(fun r ->
         ignore r;
-        got := Genie.Buf.read rbuf);
+        got := Genie.Buf.read rbuf));
     ignore (Genie.Endpoint.output ea ~sem ~buf ());
     (* Immediately after the call returns, scribble over the buffer. *)
     Genie.Buf.write buf (Bytes.make len 'X');

@@ -206,6 +206,68 @@ let check_cmd =
           kernel-state invariants after every step.")
     Term.(const run $ steps_arg $ seed_arg $ check_every_arg)
 
+(* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
+
+let trace_cmd =
+  let scenario_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SCENARIO" ~doc:"Named trace scenario to run.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:
+               "Write the Chrome trace_event JSON here (load it in \
+                Perfetto or chrome://tracing).")
+  in
+  let list_arg =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List available scenarios and exit.")
+  in
+  let list_scenarios () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-14s %s\n" s.Workload.Trace_scenarios.name
+          s.Workload.Trace_scenarios.descr)
+      Workload.Trace_scenarios.all
+  in
+  let run scenario out list =
+    if list then list_scenarios ()
+    else
+      match scenario with
+      | None ->
+        Printf.eprintf "missing SCENARIO (try --list)\n";
+        exit 2
+      | Some name ->
+        (match Workload.Trace_scenarios.find name with
+        | None ->
+          Printf.eprintf "unknown scenario %S (available: %s)\n" name
+            (String.concat " "
+               (List.map
+                  (fun s -> s.Workload.Trace_scenarios.name)
+                  Workload.Trace_scenarios.all));
+          exit 2
+        | Some s ->
+          let tracer = s.Workload.Trace_scenarios.run () in
+          (match out with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (Stats.Trace_export.to_chrome_string ~indent:1 tracer);
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "[trace] %d events -> %s\n"
+              (List.length (Simcore.Tracer.typed_events tracer))
+              path
+          | None -> ());
+          print_string (Stats.Trace_export.counter_summary tracer))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a named scenario with kernel-path tracing enabled; print \
+          the counter summary and optionally export the Chrome trace.")
+    Term.(const run $ scenario_arg $ out_arg $ list_arg)
+
 (* {1 bench: machine-readable benchmark runs and the regression gate} *)
 
 module Sections = Bench_sections.Sections
@@ -381,4 +443,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd;
-            check_cmd; bench_cmd ]))
+            check_cmd; trace_cmd; bench_cmd ]))

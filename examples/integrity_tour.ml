@@ -39,8 +39,9 @@ let run_one sem =
     end
   in
   let received = ref None in
-  Genie.Endpoint.input eb ~sem ~spec ~on_complete:(fun r ->
-      received := r.Genie.Input_path.buf);
+  ignore
+  (Genie.Endpoint.input eb ~sem ~spec ~on_complete:(fun r ->
+      received := r.Genie.Input_path.buf));
   ignore (Genie.Endpoint.output ea ~sem ~buf ());
 
   (* The application immediately overwrites its buffer. *)

@@ -43,12 +43,13 @@ let stream sem =
   let received = ref 0 in
   let t_start = ref 0. and t_end = ref 0. in
   let rec post_input () =
-    Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+    ignore
+    (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
       ~on_complete:(fun r ->
         if not r.Genie.Input_path.ok then failwith "frame dropped";
         incr received;
         if !received < frames_to_send then post_input ()
-        else t_end := Genie.Host.now_us world.Genie.World.b)
+        else t_end := Genie.Host.now_us world.Genie.World.b))
   in
   let sent = ref 0 in
   let rec send_next () =

@@ -33,7 +33,8 @@ let () =
   in
 
   let t_send = ref 0. in
-  Genie.Endpoint.input receiver_ep ~sem:Genie.Semantics.emulated_copy
+  ignore
+  (Genie.Endpoint.input receiver_ep ~sem:Genie.Semantics.emulated_copy
     ~spec:(Genie.Input_path.App_buffer recv_buf)
     ~on_complete:(fun result ->
       let now = Genie.Host.now_us world.Genie.World.b in
@@ -42,7 +43,7 @@ let () =
         result.Genie.Input_path.ok result.Genie.Input_path.seq;
       match result.Genie.Input_path.buf with
       | Some b -> Printf.printf "payload: %s\n" (Bytes.to_string (Genie.Buf.read b))
-      | None -> print_endline "no data");
+      | None -> print_endline "no data"));
 
   t_send := Genie.Host.now_us world.Genie.World.a;
   let outcome =

@@ -71,12 +71,12 @@ let vcs = [ (1, Net.Adapter.Early_demux); (2, Net.Adapter.Pooled); (3, Net.Adapt
 
 let pick rng l = List.nth l (R.int rng ~bound:(List.length l))
 
-let run cfg =
+let run ?trace cfg =
   let mspec =
     { Machine.Machine_spec.micron_p166 with memory_mb = cfg.memory_mb }
   in
   let w =
-    Genie.World.create ~spec_a:mspec ~spec_b:mspec
+    Genie.World.create ?trace ~spec_a:mspec ~spec_b:mspec
       ~pool_frames:cfg.pool_frames ()
   in
   let host_a = w.Genie.World.a and host_b = w.Genie.World.b in
@@ -217,7 +217,8 @@ let run cfg =
       let id = !started in
       let ao, reused, buf = send_buffer send send_sem len in
       Genie.Buf.fill_pattern buf ~seed:id;
-      if orphan then incr faults else post_input recv vc recv_sem len;
+      if orphan then incr faults else ignore
+                                      (post_input recv vc recv_sem len);
       let ep_out = List.assoc vc send.s_eps in
       ignore
         (Genie.Endpoint.output ep_out ~sem:send_sem ~buf

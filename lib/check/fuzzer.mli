@@ -47,8 +47,10 @@ type outcome = {
       (** most recent tracer events of both hosts at the end of the run *)
 }
 
-val run : config -> outcome
+val run : ?trace:Simcore.Tracer.t -> config -> outcome
 (** Build a fresh world and execute the schedule.  Deterministic in
-    [config]. *)
+    [config].  [trace] installs a shared tracer on both hosts (it is
+    enabled for the run), so callers can audit the typed event stream —
+    span nesting, counter monotonicity — under the fault schedule. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -20,7 +20,7 @@ let copy_all ops ~(buf : Buf.t) ~payload_len ~src_frames ~src_off =
     cursor := !cursor + n
   done;
   Vm.Address_space.write buf.Buf.space ~addr:buf.Buf.addr out;
-  Ops.charge ops Machine.Cost_model.Copyout ~bytes:payload_len;
+  Ops.charge ops Machine.Cost_model.Copyout ~unit:(`Bytes payload_len);
   {
     swapped_pages = 0;
     copied_bytes = payload_len;
@@ -97,7 +97,7 @@ let deliver ops ~(buf : Buf.t) ~payload_len ~src_frames ~src_off ~threshold
       end
     done;
     if !swapped > 0 then
-      Ops.charge_pages ops Machine.Cost_model.Swap_pages ~pages:!swapped;
-    if !copied > 0 then Ops.charge ops Machine.Cost_model.Copyout ~bytes:!copied;
+      Ops.charge ops Machine.Cost_model.Swap_pages ~unit:(`Pages !swapped);
+    if !copied > 0 then Ops.charge ops Machine.Cost_model.Copyout ~unit:(`Bytes !copied);
     { swapped_pages = !swapped; copied_bytes = !copied; consumed }
   end

@@ -59,6 +59,8 @@ let output t ~sem ~buf ?seq ?(on_complete = fun () -> ()) () =
   in
   Output_path.output t.host ~vc:t.vc ~sem ~buf ~seq ~on_complete
 
+type handle = { ep : t; p : Input_path.pending }
+
 let input t ~sem ~spec ~on_complete =
   let token = t.next_token in
   t.next_token <- t.next_token + 1;
@@ -71,7 +73,7 @@ let input t ~sem ~spec ~on_complete =
   | Some posted -> Net.Adapter.post_input t.host.Host.adapter posted
   | None -> ());
   (* Synchronous input: data may already be waiting (pooled/outboard). *)
-  match Queue.take_opt t.unclaimed with
+  (match Queue.take_opt t.unclaimed with
   | Some result ->
     take_pending t p;
     (match posted with
@@ -79,14 +81,20 @@ let input t ~sem ~spec ~on_complete =
       ignore (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc ~token)
     | None -> ());
     Input_path.handle_completion t.host p result
-  | None -> ()
+  | None -> ());
+  { ep = t; p }
 
-let drain t =
-  List.iter
-    (fun p ->
-      ignore
-        (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc
-           ~token:(Input_path.token p));
-      Input_path.abandon t.host p)
-    t.pendings;
-  t.pendings <- []
+let cancel (h : handle) =
+  let t = h.ep in
+  if List.memq h.p t.pendings then begin
+    take_pending t h.p;
+    ignore
+      (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc
+         ~token:(Input_path.token h.p));
+    Input_path.abandon t.host h.p;
+    true
+  end
+  else false
+
+let drain t = List.iter (fun p -> ignore (cancel { ep = t; p })) t.pendings
+let input_legacy t ~sem ~spec ~on_complete = ignore (input t ~sem ~spec ~on_complete)

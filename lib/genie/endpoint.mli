@@ -26,18 +26,40 @@ val output :
     header sequence number (endpoint-assigned by default) — transport
     protocols above Genie use it to identify retransmissions. *)
 
+type handle
+(** A posted input, cancellable until its completion is dispatched —
+    symmetric with {!output}'s outcome value. *)
+
 val input :
   t ->
   sem:Semantics.t ->
   spec:Input_path.spec ->
   on_complete:(Input_path.result -> unit) ->
-  unit
+  handle
 (** Post an input.  With early demultiplexing this preposts the buffer
     descriptors to the adapter; with pooled or outboard buffering the
     input matches arrivals in FIFO order (including PDUs that arrived
-    before the call). *)
+    before the call).  The returned handle cancels just this input via
+    {!cancel}; discard it with [ignore] when cancellation is not
+    needed. *)
+
+val cancel : handle -> bool
+(** Cancel one pending input: unposts its adapter descriptor and
+    abandons the prepared kernel state (dropping page references,
+    requeueing cached regions, releasing system buffers).  Returns
+    [false] if the input already completed, or was already cancelled —
+    nothing to undo. *)
 
 val pending_inputs : t -> int
 
 val drain : t -> unit
-(** Abandon all pending inputs (test teardown). *)
+(** Cancel all pending inputs, oldest first (test teardown); equivalent
+    to calling {!cancel} on every outstanding handle. *)
+
+val input_legacy :
+  t ->
+  sem:Semantics.t ->
+  spec:Input_path.spec ->
+  on_complete:(Input_path.result -> unit) ->
+  unit
+[@@ocaml.deprecated "use input and ignore (or keep) the returned handle"]

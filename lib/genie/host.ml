@@ -12,10 +12,11 @@ type t = {
   handlers : (int, Net.Adapter.rx_result -> unit) Hashtbl.t;
   mutable align_input : bool;
   tracer : Simcore.Tracer.t;
+  scope : Simcore.Tracer.scope;
   ledger : Ledger.t;
 }
 
-let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
+let create ?(pool_frames = 512) ?thresholds ?tracer engine params spec ~name =
   let costs = Machine.Cost_model.create spec in
   let cpu = Simcore.Cpu.create engine in
   let vm = Vm.Vm_sys.create spec in
@@ -28,6 +29,16 @@ let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
     | Some t -> t
     | None -> Thresholds.for_page_size spec.Machine.Machine_spec.page_size
   in
+  let tracer =
+    match tracer with Some t -> t | None -> Simcore.Tracer.create ()
+  in
+  Simcore.Tracer.set_clock tracer (fun () -> Simcore.Engine.now engine);
+  let scope sub = Simcore.Tracer.scope tracer ~host:name ~sub in
+  Vm.Vm_sys.set_trace_scope vm (scope Simcore.Tracer.Vm);
+  Memory.Phys_mem.set_trace_scope vm.Vm.Vm_sys.phys (scope Simcore.Tracer.Mem);
+  Net.Adapter.set_trace_scope adapter (scope Simcore.Tracer.Net);
+  let ops = Ops.create cpu costs in
+  Ops.set_trace_scope ops (scope Simcore.Tracer.Genie);
   let t =
     {
       name;
@@ -37,12 +48,13 @@ let create ?(pool_frames = 512) ?thresholds engine params spec ~name =
       cpu;
       vm;
       adapter;
-      ops = Ops.create cpu costs;
+      ops;
       thresholds;
       pool = Queue.create ();
       handlers = Hashtbl.create 8;
       align_input = true;
-      tracer = Simcore.Tracer.create ();
+      tracer;
+      scope = scope Simcore.Tracer.Genie;
       ledger = Ledger.create ();
     }
   in
@@ -72,7 +84,9 @@ let pool_take t =
 
 let pool_put t frame =
   Ledger.release t.ledger frame;
-  Queue.add frame t.pool
+  Queue.add frame t.pool;
+  if Simcore.Tracer.on t.scope then
+    Simcore.Tracer.add_counter t.scope "pool_recycles"
 
 let pool_level t = Queue.length t.pool
 
@@ -88,6 +102,7 @@ let free_sys_frames t frames =
 let frames_to_vm t frames = Ledger.release_all t.ledger frames
 
 let set_handler t ~vc handler = Hashtbl.replace t.handlers vc handler
-let trace t label = Simcore.Tracer.record t.tracer (Simcore.Engine.now t.engine) label
-let trace_f t label = Simcore.Tracer.record_f t.tracer (Simcore.Engine.now t.engine) label
+let trace t label = Simcore.Tracer.instant t.scope label
+let trace_f t label =
+  if Simcore.Tracer.on t.scope then Simcore.Tracer.instant t.scope (label ())
 let now_us t = Simcore.Sim_time.to_us (Simcore.Engine.now t.engine)

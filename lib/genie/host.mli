@@ -21,8 +21,12 @@ type t = {
           benchmark — system buffers are then allocated page-aligned
           regardless of the application buffer's offset *)
   tracer : Simcore.Tracer.t;
-      (** stage-level event trace of the data-passing paths (disabled by
-          default; enable with [Simcore.Tracer.enable]) *)
+      (** typed event trace of the kernel paths (disabled by default;
+          enable with [Simcore.Tracer.enable]).  May be shared with the
+          other host of a {!World}. *)
+  scope : Simcore.Tracer.scope;
+      (** this host's Genie-subsystem scope on [tracer]; the I/O paths
+          emit their stage spans through it *)
   ledger : Ledger.t;
       (** kernel-held frames and in-flight operations, for the invariant
           checker (see {!Ledger}) *)
@@ -31,12 +35,17 @@ type t = {
 val create :
   ?pool_frames:int ->
   ?thresholds:Thresholds.t ->
+  ?tracer:Simcore.Tracer.t ->
   Simcore.Engine.t ->
   Net.Net_params.t ->
   Machine.Machine_spec.t ->
   name:string ->
   t
-(** [pool_frames] (default 512) sizes the I/O module's overlay pool. *)
+(** [pool_frames] (default 512) sizes the I/O module's overlay pool.
+    [tracer] (default: a fresh disabled tracer) receives the typed
+    events of every subsystem on this host; its clock is pointed at the
+    engine, and per-subsystem scopes are installed into the VM system,
+    physical memory, the adapter and the charging context. *)
 
 val page_size : t -> int
 val new_space : t -> Vm.Address_space.t

@@ -23,6 +23,7 @@ type pending = {
       (* aligned / system buffer allocated at ready time *)
   mutable sys_off : int;  (* page offset of payload within sys_frames *)
   mutable ledger_id : int option;
+  mutable p_span : int;  (* typed-trace span id of the whole input path *)
   on_complete : result -> unit;
 }
 
@@ -63,7 +64,7 @@ let frames_desc host frames ~off ~len =
 
 let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
   let ops = host.Host.ops in
-  Ops.charge ops C.Syscall_entry ~bytes:0;
+  Ops.charge ops C.Syscall_entry ~unit:(`Bytes 0);
   (match (spec, Semantics.system_allocated sem) with
   | (App_buffer _, true) ->
     Vm.Vm_error.semantics
@@ -73,13 +74,20 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
     Vm.Vm_error.semantics "input with %s semantics requires an application buffer"
       (Semantics.name sem)
   | (App_buffer _, false) | (Sys_alloc _, true) -> ());
-  Host.trace_f host (fun () ->
-      Printf.sprintf "input.prepare %s len=%d" (Semantics.name sem) (spec_len spec));
   let p =
     { sem; spec; expected_len = spec_len spec; p_token = token; handle = None;
       region = None; hdr_frame = None; sys_frames = []; sys_off = 0;
-      ledger_id = None; on_complete }
+      ledger_id = None; p_span = 0; on_complete }
   in
+  if Simcore.Tracer.on host.Host.scope then
+    p.p_span <-
+      Simcore.Tracer.span_begin host.Host.scope "input.path"
+        ~args:
+          [
+            ("vc", Simcore.Tracer.Int vc);
+            ("sem", Simcore.Tracer.Str (Semantics.name sem));
+            ("len", Simcore.Tracer.Int (spec_len spec));
+          ];
   let strong = sem.Semantics.integrity = Semantics.Strong in
   (* Application-allocated, weak integrity (share / emulated share):
      reference the application pages for in-place input. *)
@@ -90,14 +98,14 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
       Vm.Page_ref.reference b.Buf.space ~addr:b.Buf.addr ~len:b.Buf.len
         Vm.Page_ref.For_input
     in
-    Ops.charge_pages ops C.Reference ~pages:(Vm.Page_ref.pages handle);
+    Ops.charge ops C.Reference ~unit:(`Pages (Vm.Page_ref.pages handle));
     p.handle <- Some handle;
     if not sem.Semantics.emulated then begin
       let region = Vm.Address_space.region_of_addr b.Buf.space ~vaddr:b.Buf.addr in
       let psize = Host.page_size host in
       let first = (b.Buf.addr / psize) - region.Vm.Region.start_vpn in
       let pages = Vm.Page_ref.pages handle in
-      Ops.charge_pages ops C.Wire ~pages;
+      Ops.charge ops C.Wire ~unit:(`Pages pages);
       Vm.Address_space.wire_range b.Buf.space region ~first ~pages
     end
   end;
@@ -118,21 +126,21 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
       match Vm.Address_space.dequeue_cached space ~kind ~npages with
       | Some r -> r
       | None ->
-        Ops.charge_pages ops C.Region_create ~pages:npages;
+        Ops.charge ops C.Region_create ~unit:(`Pages npages);
         let r = Vm.Address_space.map_region space ~npages ~state:Vm.Region.Moving_in in
         if strong then
           (* Hide the fresh region until dispose reinstates it. *)
           Vm.Address_space.invalidate space r ~first:0 ~pages:npages;
         r
     in
-    Ops.charge ops C.Region_mark_in ~bytes:0;
+    Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
     region.Vm.Region.state <- Vm.Region.Moving_in;
     let handle = Vm.Page_ref.reference_region space region ~len:span Vm.Page_ref.For_input in
-    Ops.charge_pages ops C.Reference ~pages:(Vm.Page_ref.pages handle);
+    Ops.charge ops C.Reference ~unit:(`Pages (Vm.Page_ref.pages handle));
     p.region <- Some region;
     p.handle <- Some handle;
     if (not sem.Semantics.emulated) && not strong then begin
-      Ops.charge_pages ops C.Wire ~pages:npages;
+      Ops.charge ops C.Wire ~unit:(`Pages npages);
       Vm.Address_space.wire space region
     end
   end;
@@ -164,8 +172,9 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
              when the device first needs it (ready time, overlapped). *)
           ( None,
             fun () ->
-              Host.trace host "input.ready aligned-buffer";
-              Ops.charge ops C.Sysbuf_allocate ~bytes:0;
+              Simcore.Tracer.instant host.Host.scope "input.ready"
+                ~args:[ ("buffer", Simcore.Tracer.Str "aligned") ];
+              Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
               let off =
                 if
                   Semantics.equal p.sem Semantics.emulated_copy
@@ -193,13 +202,22 @@ let retire_entry (host : Host.t) p =
   | None -> ()
 
 let finish (host : Host.t) p ~buf ~payload_len ~seq ~ok =
-  Host.trace_f host (fun () ->
-      Printf.sprintf "input.complete %s ok=%b len=%d" (Semantics.name p.sem) ok
-        payload_len);
+  if Simcore.Tracer.on host.Host.scope then
+    Simcore.Tracer.instant host.Host.scope "input.complete"
+      ~args:
+        [
+          ("sem", Simcore.Tracer.Str (Semantics.name p.sem));
+          ("ok", Simcore.Tracer.Bool ok);
+          ("len", Simcore.Tracer.Int payload_len);
+        ];
   retire_entry host p;
   let result = { buf; payload_len; seq; ok } in
+  let span = p.p_span in
+  p.p_span <- 0;
   Simcore.Engine.at host.Host.engine ~time:(Ops.completion_time host.Host.ops)
-    (fun () -> p.on_complete result)
+    (fun () ->
+      Simcore.Tracer.span_end host.Host.scope ~id:span "input.path";
+      p.on_complete result)
 
 let release_hdr_frame host p =
   match p.hdr_frame with
@@ -211,8 +229,8 @@ let release_hdr_frame host p =
 let unref (host : Host.t) p =
   match p.handle with
   | Some handle ->
-    Ops.charge_pages host.Host.ops C.Unreference
-      ~pages:(Vm.Page_ref.pages handle);
+    Ops.charge host.Host.ops C.Unreference
+      ~unit:(`Pages (Vm.Page_ref.pages handle));
     Vm.Page_ref.unreference handle;
     p.handle <- None
   | None -> ()
@@ -221,7 +239,7 @@ let unref (host : Host.t) p =
    it, re-home the pages (paper Section 6.2.1). *)
 let checked_region (host : Host.t) p ~charge =
   let region = Option.get p.region in
-  if charge then Ops.charge host.Host.ops C.Region_check ~bytes:0;
+  if charge then Ops.charge host.Host.ops C.Region_check ~unit:(`Bytes 0);
   let frames =
     match p.handle with Some h -> h.Vm.Page_ref.frames | None -> []
   in
@@ -258,7 +276,7 @@ let zero_complete (host : Host.t) frames ~off ~len =
   let total = List.length frames * psize in
   let zeroed = off + (total - (off + len)) in
   if zeroed > 0 then begin
-    Ops.charge host.Host.ops C.Zero_fill ~bytes:zeroed;
+    Ops.charge host.Host.ops C.Zero_fill ~unit:(`Bytes zeroed);
     List.iteri
       (fun i frame ->
         let lo = i * psize and hi = (i + 1) * psize in
@@ -285,9 +303,9 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
       let desc = frames_desc host p.sys_frames ~off:p.sys_off ~len:payload_len in
       let data = Memory.Io_desc.gather desc ~off:0 ~len:payload_len in
       Vm.Address_space.write b.Buf.space ~addr:b.Buf.addr data;
-      Ops.charge ops C.Copyout ~bytes:payload_len
+      Ops.charge ops C.Copyout ~unit:(`Bytes payload_len)
     end;
-    Ops.charge ops C.Sysbuf_deallocate ~bytes:0;
+    Ops.charge ops C.Sysbuf_deallocate ~unit:(`Bytes 0);
     Host.free_sys_frames host p.sys_frames;
     p.sys_frames <- [];
     finish host p ~buf:(if ok then Some { b with Buf.len = payload_len } else None)
@@ -323,7 +341,7 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
       let region = Vm.Address_space.region_of_addr b.Buf.space ~vaddr:b.Buf.addr in
       let first = (b.Buf.addr / psize) - region.Vm.Region.start_vpn in
       let pages = Buf.pages b in
-      Ops.charge_pages ops C.Unwire ~pages;
+      Ops.charge ops C.Unwire ~unit:(`Pages pages);
       Vm.Address_space.unwire_range b.Buf.space region ~first ~pages
     end;
     unref host p;
@@ -344,20 +362,20 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
       Host.frames_to_vm host used;
       zero_complete host used ~off:0 ~len:payload_len;
       let space = spec_space p.spec in
-      Ops.charge_pages ops C.Region_create ~pages:npages;
+      Ops.charge ops C.Region_create ~unit:(`Pages npages);
       let region =
         Vm.Address_space.map_region space ~npages ~state:Vm.Region.Moving_in
           ~populate:false
       in
-      Ops.charge_pages ops C.Region_fill ~pages:npages;
+      Ops.charge ops C.Region_fill ~unit:(`Pages npages);
       List.iteri
         (fun i frame ->
           Vm.Vm_sys.insert_page (Vm.Address_space.vm space) region.Vm.Region.obj
             i frame)
         used;
-      Ops.charge_pages ops C.Region_map ~pages:npages;
+      Ops.charge ops C.Region_map ~unit:(`Pages npages);
       Vm.Address_space.map_object_pages space region;
-      Ops.charge ops C.Region_mark_in ~bytes:0;
+      Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
       region.Vm.Region.state <- Vm.Region.Moved_in;
       p.sys_frames <- [];
       finish host p
@@ -372,8 +390,8 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
   | (true, true, true) ->
     (* Emulated move: reinstate the hidden region. *)
     if ok then begin
-      Ops.charge_pages ops C.Region_check_unref_reinstate_mark_in
-        ~pages:(pages_of host (max payload_len 1));
+      Ops.charge ops C.Region_check_unref_reinstate_mark_in
+        ~unit:(`Pages (pages_of host (max payload_len 1)));
       let region = checked_region host p ~charge:false in
       (match p.handle with
       | Some h -> Vm.Page_ref.unreference h
@@ -397,18 +415,18 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
       let region = checked_region host p ~charge:(not emulated) in
       let space = spec_space p.spec in
       if emulated then begin
-        Ops.charge_pages ops C.Region_check_unref_mark_in
-          ~pages:(pages_of host (max payload_len 1));
+        Ops.charge ops C.Region_check_unref_mark_in
+          ~unit:(`Pages (pages_of host (max payload_len 1)));
         (match p.handle with
         | Some h -> Vm.Page_ref.unreference h
         | None -> ());
         p.handle <- None
       end
       else begin
-        Ops.charge_pages ops C.Unwire ~pages:region.Vm.Region.npages;
+        Ops.charge ops C.Unwire ~unit:(`Pages region.Vm.Region.npages);
         Vm.Address_space.unwire space region;
         unref host p;
-        Ops.charge ops C.Region_mark_in ~bytes:0
+        Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0)
       end;
       region.Vm.Region.state <- Vm.Region.Moved_in;
       finish host p
@@ -432,12 +450,12 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
   let psize = Host.page_size host in
   (* Ready-time operations for pooled buffering are driver work performed
      at interrupt time: build the overlay chain, account the pool. *)
-  Ops.charge ops C.Overlay_allocate ~bytes:0;
-  Ops.charge ops C.Overlay ~bytes:0;
+  Ops.charge ops C.Overlay_allocate ~unit:(`Bytes 0);
+  Ops.charge ops C.Overlay ~unit:(`Bytes 0);
   let chain_pages = List.length chain in
   let chain_bytes = chain_pages * psize in
   let charge_overlay_dealloc () =
-    Ops.charge ops C.Overlay_deallocate ~bytes:chain_bytes
+    Ops.charge ops C.Overlay_deallocate ~unit:(`Bytes chain_bytes)
   in
   let pool_all frames = List.iter (fun f -> Host.pool_put host f) frames in
   let deliver_to_app b =
@@ -463,7 +481,7 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
       let desc = frames_desc host chain ~off:hdr_len ~len:payload_len in
       let data = Memory.Io_desc.gather desc ~off:0 ~len:payload_len in
       Vm.Address_space.write b.Buf.space ~addr:b.Buf.addr data;
-      Ops.charge ops C.Copyout ~bytes:payload_len
+      Ops.charge ops C.Copyout ~unit:(`Bytes payload_len)
     end;
     charge_overlay_dealloc ();
     pool_all chain;
@@ -483,7 +501,7 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
       let region = Vm.Address_space.region_of_addr b.Buf.space ~vaddr:b.Buf.addr in
       let first = (b.Buf.addr / psize) - region.Vm.Region.start_vpn in
       let pages = Buf.pages b in
-      Ops.charge_pages ops C.Unwire ~pages;
+      Ops.charge ops C.Unwire ~unit:(`Pages pages);
       Vm.Address_space.unwire_range b.Buf.space region ~first ~pages
     end;
     unref host p;
@@ -497,12 +515,12 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
     if ok then begin
       zero_complete host chain ~off:hdr_len ~len:payload_len;
       let space = spec_space p.spec in
-      Ops.charge_pages ops C.Region_create ~pages:chain_pages;
+      Ops.charge ops C.Region_create ~unit:(`Pages chain_pages);
       let region =
         Vm.Address_space.map_region space ~npages:chain_pages
           ~state:Vm.Region.Moving_in ~populate:false
       in
-      Ops.charge_pages ops C.Region_fill_overlay_refill ~pages:chain_pages;
+      Ops.charge ops C.Region_fill_overlay_refill ~unit:(`Pages chain_pages);
       Host.frames_to_vm host chain;
       List.iteri
         (fun i frame ->
@@ -511,9 +529,9 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
         chain;
       List.iter (fun f -> Host.pool_put host f)
         (Memory.Phys_mem.alloc_many host.Host.vm.Vm.Vm_sys.phys chain_pages);
-      Ops.charge_pages ops C.Region_map ~pages:chain_pages;
+      Ops.charge ops C.Region_map ~unit:(`Pages chain_pages);
       Vm.Address_space.map_object_pages space region;
-      Ops.charge ops C.Region_mark_in ~bytes:0;
+      Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
       region.Vm.Region.state <- Vm.Region.Moved_in;
       charge_overlay_dealloc ();
       finish host p
@@ -533,12 +551,12 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
       let region = checked_region host p ~charge:true in
       let space = spec_space p.spec in
       if (not p.sem.Semantics.emulated) && not strong then begin
-        Ops.charge_pages ops C.Unwire ~pages:region.Vm.Region.npages;
+        Ops.charge ops C.Unwire ~unit:(`Pages region.Vm.Region.npages);
         Vm.Address_space.unwire space region
       end;
       unref host p;
       if chain_pages <= region.Vm.Region.npages then begin
-        Ops.charge_pages ops C.Swap_pages ~pages:chain_pages;
+        Ops.charge ops C.Swap_pages ~unit:(`Pages chain_pages);
         Host.frames_to_vm host chain;
         List.iteri
           (fun i frame ->
@@ -550,7 +568,7 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
            swapped chain are still invalidated and must be reinstated
            before the region is exposed as moved in. *)
         if strong then Vm.Address_space.reinstate space region;
-        Ops.charge ops C.Region_mark_in ~bytes:0;
+        Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
         region.Vm.Region.state <- Vm.Region.Moved_in;
         charge_overlay_dealloc ();
         finish host p
@@ -565,12 +583,12 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
            the new region, as basic move does. *)
         requeue_failed_region host p;
         zero_complete host chain ~off:hdr_len ~len:payload_len;
-        Ops.charge_pages ops C.Region_create ~pages:chain_pages;
+        Ops.charge ops C.Region_create ~unit:(`Pages chain_pages);
         let fresh =
           Vm.Address_space.map_region space ~npages:chain_pages
             ~state:Vm.Region.Moving_in ~populate:false
         in
-        Ops.charge_pages ops C.Region_fill_overlay_refill ~pages:chain_pages;
+        Ops.charge ops C.Region_fill_overlay_refill ~unit:(`Pages chain_pages);
         Host.frames_to_vm host chain;
         List.iteri
           (fun i frame ->
@@ -579,9 +597,9 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
           chain;
         List.iter (fun f -> Host.pool_put host f)
           (Memory.Phys_mem.alloc_many host.Host.vm.Vm.Vm_sys.phys chain_pages);
-        Ops.charge_pages ops C.Region_map ~pages:chain_pages;
+        Ops.charge ops C.Region_map ~unit:(`Pages chain_pages);
         Vm.Address_space.map_object_pages space fresh;
-        Ops.charge ops C.Region_mark_in ~bytes:0;
+        Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
         fresh.Vm.Region.state <- Vm.Region.Moved_in;
         p.region <- Some fresh;
         charge_overlay_dealloc ();
@@ -622,13 +640,19 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
         Vm.Page_ref.reference b.Buf.space ~addr:b.Buf.addr ~len:b.Buf.len
           Vm.Page_ref.For_input
       in
-      Ops.charge_pages ops C.Reference ~pages:(Vm.Page_ref.pages handle);
+      Ops.charge ops C.Reference ~unit:(`Pages (Vm.Page_ref.pages handle));
       let data = Net.Adapter.outboard_read adapter ~id ~off:hdr_len ~len:payload_len in
-      Simcore.Engine.schedule engine ~delay:(dma_delay host ~bytes:payload_len)
+      let dma = dma_delay host ~bytes:payload_len in
+      if Simcore.Tracer.on host.Host.scope then
+        Simcore.Tracer.complete host.Host.scope "input.dma"
+          ~start:(Simcore.Engine.now engine)
+          ~dur:dma
+          ~args:[ ("bytes", Simcore.Tracer.Int payload_len) ];
+      Simcore.Engine.schedule engine ~delay:dma
         (fun () ->
           Memory.Io_desc.scatter handle.Vm.Page_ref.desc ~off:0 ~src:data
             ~src_off:0 ~len:payload_len;
-          Ops.charge_pages ops C.Unreference ~pages:(Vm.Page_ref.pages handle);
+          Ops.charge ops C.Unreference ~unit:(`Pages (Vm.Page_ref.pages handle));
           Vm.Page_ref.unreference handle;
           Net.Adapter.outboard_free adapter ~id;
           finish host p ~buf:(Some { b with Buf.len = payload_len })
@@ -648,7 +672,7 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
       || Semantics.equal p.sem Semantics.move
     in
     if needs_sys_buffer && p.sys_frames = [] then begin
-      Ops.charge ops C.Sysbuf_allocate ~bytes:0;
+      Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
       p.sys_frames <- Host.alloc_sys_frames host (pages_of host (max payload_len 1));
       p.sys_off <- 0
     end;
@@ -663,7 +687,13 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
     | (true, Some desc) ->
       let len = min payload_len (Memory.Io_desc.total_len desc) in
       let data = Net.Adapter.outboard_read adapter ~id ~off:hdr_len ~len in
-      Simcore.Engine.schedule engine ~delay:(dma_delay host ~bytes:len) (fun () ->
+      let dma = dma_delay host ~bytes:len in
+      if Simcore.Tracer.on host.Host.scope then
+        Simcore.Tracer.complete host.Host.scope "input.dma"
+          ~start:(Simcore.Engine.now engine)
+          ~dur:dma
+          ~args:[ ("bytes", Simcore.Tracer.Int len) ];
+      Simcore.Engine.schedule engine ~delay:dma (fun () ->
           Memory.Io_desc.scatter desc ~off:0 ~src:data ~src_off:0 ~len;
           Net.Adapter.outboard_free adapter ~id;
           dispose_direct host p ~payload_len ~seq ~ok)
@@ -676,9 +706,10 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
 
 let handle_completion (host : Host.t) p (r : Net.Adapter.rx_result) =
   let ops = host.Host.ops in
-  Host.trace_f host (fun () ->
-      Printf.sprintf "input.dispose %s" (Semantics.name p.sem));
-  Ops.charge ops C.Interrupt_dispatch ~bytes:0;
+  if Simcore.Tracer.on host.Host.scope then
+    Simcore.Tracer.instant host.Host.scope "input.dispose"
+      ~args:[ ("sem", Simcore.Tracer.Str (Semantics.name p.sem)) ];
+  Ops.charge ops C.Interrupt_dispatch ~unit:(`Bytes 0);
   let hdr_len = Proto.Dgram_header.length in
   let hdr_bytes, payload_len =
     match r.Net.Adapter.completion with
@@ -714,6 +745,13 @@ let handle_completion (host : Host.t) p (r : Net.Adapter.rx_result) =
     dispose_outboard host p ~id ~hdr_len ~payload_len ~seq ~ok
 
 let abandon (host : Host.t) p =
+  if Simcore.Tracer.on host.Host.scope then begin
+    Simcore.Tracer.instant host.Host.scope "input.cancel"
+      ~args:[ ("sem", Simcore.Tracer.Str (Semantics.name p.sem)) ];
+    Simcore.Tracer.span_end host.Host.scope ~id:p.p_span "input.path"
+      ~args:[ ("cancelled", Simcore.Tracer.Bool true) ];
+    p.p_span <- 0
+  end;
   (match p.handle with
   | Some h ->
     Vm.Page_ref.unreference h;

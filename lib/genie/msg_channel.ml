@@ -41,9 +41,10 @@ let recv t ~buf ~on_complete =
   List.iter
     (fun (off, len) ->
       let piece = Buf.make buf.Buf.space ~addr:(buf.Buf.addr + off) ~len in
-      Endpoint.input t.ep ~sem:t.sem ~spec:(Input_path.App_buffer piece)
+      ignore
+      (Endpoint.input t.ep ~sem:t.sem ~spec:(Input_path.App_buffer piece)
         ~on_complete:(fun r ->
           if not r.Input_path.ok then all_ok := false;
           decr remaining;
-          if !remaining = 0 then on_complete ~ok:!all_ok))
+          if !remaining = 0 then on_complete ~ok:!all_ok)))
     pieces

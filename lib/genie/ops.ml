@@ -1,18 +1,41 @@
+module C = Machine.Cost_model
+module T = Simcore.Tracer
+
 type t = {
   cpu : Simcore.Cpu.t;
   costs : Machine.Cost_model.t;
   mutable recorder : Op_recorder.t option;
+  mutable trace : Simcore.Tracer.scope option;
 }
 
-let create cpu costs = { cpu; costs; recorder = None }
-
-let charge t op ~bytes =
-  let cost = Machine.Cost_model.cost t.costs op ~bytes in
-  ignore (Simcore.Cpu.charge t.cpu ~cost);
-  match t.recorder with
-  | Some r -> Op_recorder.record r op ~bytes ~us:(Simcore.Sim_time.to_us cost)
-  | None -> ()
-
+let create cpu costs = { cpu; costs; recorder = None; trace = None }
+let set_trace_scope t scope = t.trace <- Some scope
 let page_size t = (Machine.Cost_model.spec t.costs).Machine.Machine_spec.page_size
-let charge_pages t op ~pages = charge t op ~bytes:(pages * page_size t)
+
+let charge t op ~unit =
+  let bytes =
+    match unit with `Bytes n -> n | `Pages n -> n * page_size t
+  in
+  let cost = Machine.Cost_model.cost t.costs op ~bytes in
+  let finish = Simcore.Cpu.charge t.cpu ~cost in
+  (match t.recorder with
+  | Some r -> Op_recorder.record r op ~bytes ~us:(Simcore.Sim_time.to_us cost)
+  | None -> ());
+  match t.trace with
+  | Some s when T.on s ->
+    T.complete s
+      ~start:(Simcore.Sim_time.diff finish cost)
+      ~dur:cost
+      ~args:[ ("bytes", T.Int bytes) ]
+      (C.op_name op);
+    (match op with
+    | C.Copyin | C.Copyout ->
+      T.add_counter s "copies";
+      T.add_counter s ~n:bytes "copied_bytes"
+    | C.Wire -> T.add_counter s ~n:(bytes / page_size t) "wires"
+    | _ -> ())
+  | _ -> ()
+
 let completion_time t = Simcore.Cpu.busy_until t.cpu
+let charge_bytes t op ~bytes = charge t op ~unit:(`Bytes bytes)
+let charge_pages t op ~pages = charge t op ~unit:(`Pages pages)

@@ -4,17 +4,32 @@
     simulated substrate {e and} charges the operation's modeled latency
     to the host CPU through this context, optionally recording the sample
     for the Table 6 reproduction.  Operations queue sequentially on the
-    CPU; [completion_time] is when everything charged so far retires. *)
+    CPU; [completion_time] is when everything charged so far retires.
+
+    When a trace scope is installed (see {!set_trace_scope}), every
+    charge additionally emits a [Complete] trace event spanning the
+    operation's CPU occupancy and bumps the per-run copy/wire counters. *)
 
 type t = {
   cpu : Simcore.Cpu.t;
   costs : Machine.Cost_model.t;
   mutable recorder : Op_recorder.t option;
+  mutable trace : Simcore.Tracer.scope option;
 }
 
 val create : Simcore.Cpu.t -> Machine.Cost_model.t -> t
 
-val charge : t -> Machine.Cost_model.op -> bytes:int -> unit
-val charge_pages : t -> Machine.Cost_model.op -> pages:int -> unit
+val set_trace_scope : t -> Simcore.Tracer.scope -> unit
+
+val charge : t -> Machine.Cost_model.op -> unit:[ `Bytes of int | `Pages of int ] -> unit
+(** [charge t op ~unit:(`Bytes n)] charges the modeled cost of [op] on
+    [n] bytes; [`Pages n] charges [n] whole pages ([n * page_size]). *)
+
 val completion_time : t -> Simcore.Sim_time.t
 val page_size : t -> int
+
+val charge_bytes : t -> Machine.Cost_model.op -> bytes:int -> unit
+[@@ocaml.deprecated "use Ops.charge ~unit:(`Bytes n)"]
+
+val charge_pages : t -> Machine.Cost_model.op -> pages:int -> unit
+[@@ocaml.deprecated "use Ops.charge ~unit:(`Pages n)"]

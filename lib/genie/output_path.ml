@@ -20,7 +20,7 @@ let copyin_to_system_buffer (host : Host.t) (buf : Buf.t) =
   let ops = host.Host.ops in
   let psize = Host.page_size host in
   let npages = (buf.Buf.len + psize - 1) / psize in
-  Ops.charge ops C.Sysbuf_allocate ~bytes:0;
+  Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
   let frames = Host.alloc_sys_frames host npages in
   let data = Buf.read buf in
   let segs =
@@ -32,7 +32,7 @@ let copyin_to_system_buffer (host : Host.t) (buf : Buf.t) =
         { Memory.Io_desc.frame; off = 0; len })
       frames
   in
-  Ops.charge ops C.Copyin ~bytes:buf.Buf.len;
+  Ops.charge ops C.Copyin ~unit:(`Bytes buf.Buf.len);
   (Memory.Io_desc.of_segs segs, frames)
 
 let check_system_allocated (buf : Buf.t) sem =
@@ -62,10 +62,21 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
   (* The system-allocation constraint applies to the semantics the caller
      asked for, before any threshold conversion. *)
   if Semantics.system_allocated sem then ignore (check_system_allocated buf sem);
-  Ops.charge ops C.Syscall_entry ~bytes:0;
+  Ops.charge ops C.Syscall_entry ~unit:(`Bytes 0);
   let sem_eff = effective_semantics host sem len in
-  Host.trace_f host (fun () ->
-      Printf.sprintf "output.prepare %s len=%d" (Semantics.name sem_eff) len);
+  let scope = host.Host.scope in
+  let span =
+    if Simcore.Tracer.on scope then
+      Simcore.Tracer.span_begin scope "output.path"
+        ~args:
+          [
+            ("vc", Simcore.Tracer.Int vc);
+            ("sem", Simcore.Tracer.Str (Semantics.name sem_eff));
+            ("len", Simcore.Tracer.Int len);
+            ("seq", Simcore.Tracer.Int seq);
+          ]
+    else 0
+  in
   let hdr =
     Proto.Dgram_header.encode
       { Proto.Dgram_header.src_vc = vc; dst_vc = vc; seq; payload_len = len }
@@ -82,7 +93,7 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
       in
       ( desc,
         (fun () ->
-          Ops.charge ops C.Sysbuf_deallocate ~bytes:0;
+          Ops.charge ops C.Sysbuf_deallocate ~unit:(`Bytes 0);
           Host.free_sys_frames host frames),
         entry )
     end
@@ -93,26 +104,26 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
       let handle = Vm.Page_ref.reference space ~addr:buf.Buf.addr ~len
           Vm.Page_ref.For_output
       in
-      Ops.charge_pages ops C.Reference ~pages;
+      Ops.charge ops C.Reference ~unit:(`Pages pages);
       let unref () =
-        Ops.charge_pages ops C.Unreference ~pages;
+        Ops.charge ops C.Unreference ~unit:(`Pages pages);
         Vm.Page_ref.unreference handle
       in
       (* Wiring covers the buffer's pages (Table 6's wire cost is linear
          in the data length), nesting with any other wirings. *)
       let wire () =
-        Ops.charge_pages ops C.Wire ~pages;
+        Ops.charge ops C.Wire ~unit:(`Pages pages);
         Vm.Address_space.wire_range space region ~first ~pages
       and unwire () =
-        Ops.charge_pages ops C.Unwire ~pages;
+        Ops.charge ops C.Unwire ~unit:(`Pages pages);
         Vm.Address_space.unwire_range space region ~first ~pages
       in
       let mark state op =
-        Ops.charge ops op ~bytes:0;
+        Ops.charge ops op ~unit:(`Bytes 0);
         region.Vm.Region.state <- state
       in
       let invalidate_region () =
-        Ops.charge_pages ops C.Invalidate ~pages:region.Vm.Region.npages;
+        Ops.charge ops C.Invalidate ~unit:(`Pages region.Vm.Region.npages);
         Vm.Address_space.invalidate space region ~first:0
           ~pages:region.Vm.Region.npages
       in
@@ -122,7 +133,7 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
         with
         | (Semantics.Application, Semantics.Strong, true) ->
           (* Emulated copy: arm TCOW on the buffer's pages. *)
-          Ops.charge_pages ops C.Read_only ~pages;
+          Ops.charge ops C.Read_only ~unit:(`Pages pages);
           Vm.Address_space.make_readonly space region ~first ~pages;
           fun () -> unref ()
         | (Semantics.Application, Semantics.Weak, false) ->
@@ -143,7 +154,7 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
           fun () ->
             unwire ();
             unref ();
-            Ops.charge_pages ops C.Region_remove ~pages:region.Vm.Region.npages;
+            Ops.charge ops C.Region_remove ~unit:(`Pages region.Vm.Region.npages);
             Vm.Address_space.remove_region space region
         | (Semantics.System, Semantics.Strong, true) ->
           (* Emulated move: region hiding instead of removal. *)
@@ -185,9 +196,12 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
   Simcore.Engine.at engine ~time:prepared_at (fun () ->
       Net.Adapter.transmit host.Host.adapter ~vc ~hdr ~desc
         ~on_tx_complete:(fun () ->
-          Host.trace_f host (fun () ->
-              Printf.sprintf "output.dispose %s" (Semantics.name sem_eff));
+          if Simcore.Tracer.on scope then
+            Simcore.Tracer.instant scope "output.dispose"
+              ~args:[ ("sem", Simcore.Tracer.Str (Semantics.name sem_eff)) ];
           dispose ();
           Ledger.retire host.Host.ledger ledger_entry;
-          Simcore.Engine.at engine ~time:(Ops.completion_time ops) on_complete));
+          Simcore.Engine.at engine ~time:(Ops.completion_time ops) (fun () ->
+              Simcore.Tracer.span_end scope ~id:span "output.path";
+              on_complete ())));
   { semantics_used = sem_eff; prepared_at }

@@ -84,9 +84,10 @@ let send t ~buf ~on_complete =
     end;
     if not !finished then post_ack_input ()
   and post_ack_input () =
-    Endpoint.input t.ack ~sem:Semantics.copy
+    ignore
+    (Endpoint.input t.ack ~sem:Semantics.copy
       ~spec:(Input_path.App_buffer ack_bufs.(0))
-      ~on_complete:on_ack
+      ~on_complete:on_ack)
   in
   post_ack_input ();
   ignore ack_bufs;
@@ -104,7 +105,8 @@ let recv t ~buf ~on_complete =
   in
   let rec post_expected () =
     if !expected < n then
-      Endpoint.input t.data ~sem:t.sem
+      ignore
+      (Endpoint.input t.data ~sem:t.sem
         ~spec:(Input_path.App_buffer (chunk_buf t buf !expected))
         ~on_complete:(fun r ->
           if r.Input_path.ok && r.Input_path.seq = !expected then begin
@@ -118,7 +120,7 @@ let recv t ~buf ~on_complete =
                the real chunk will overwrite it. *)
             send_ack ();
             post_expected ()
-          end)
+          end))
     else on_complete ~ok:true
   in
   post_expected ()

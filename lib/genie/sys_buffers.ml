@@ -4,7 +4,7 @@ let alloc (host : Host.t) space ~len =
   if len <= 0 then invalid_arg "Sys_buffers.alloc: len must be positive";
   let psize = Host.page_size host in
   let npages = (len + psize - 1) / psize in
-  Ops.charge_pages host.Host.ops C.Region_create ~pages:npages;
+  Ops.charge host.Host.ops C.Region_create ~unit:(`Pages npages);
   let region = Vm.Address_space.map_region space ~npages ~state:Vm.Region.Moved_in in
   Buf.make space ~addr:(Vm.Address_space.base_addr region ~page_size:psize) ~len
 
@@ -13,5 +13,5 @@ let dealloc (host : Host.t) (buf : Buf.t) =
   if region.Vm.Region.state <> Vm.Region.Moved_in then
     Vm.Vm_error.semantics "Sys_buffers.dealloc: region is %s, not moved-in"
       (Vm.Region.movability_name region.Vm.Region.state);
-  Ops.charge_pages host.Host.ops C.Region_remove ~pages:region.Vm.Region.npages;
+  Ops.charge host.Host.ops C.Region_remove ~unit:(`Pages region.Vm.Region.npages);
   Vm.Address_space.remove_region buf.Buf.space region

@@ -5,13 +5,21 @@ type t = {
 }
 
 let create ?(params = Net.Net_params.oc3) ?(spec_a = Machine.Machine_spec.micron_p166)
-    ?(spec_b = Machine.Machine_spec.micron_p166) ?thresholds ?pool_frames () =
+    ?(spec_b = Machine.Machine_spec.micron_p166) ?thresholds ?pool_frames ?trace
+    () =
   let engine = Simcore.Engine.create () in
-  let a = Host.create ?pool_frames ?thresholds engine params spec_a ~name:"host-a" in
-  let b = Host.create ?pool_frames ?thresholds engine params spec_b ~name:"host-b" in
+  let a =
+    Host.create ?pool_frames ?thresholds ?tracer:trace engine params spec_a
+      ~name:"host-a"
+  in
+  let b =
+    Host.create ?pool_frames ?thresholds ?tracer:trace engine params spec_b
+      ~name:"host-b"
+  in
   Net.Adapter.connect a.Host.adapter b.Host.adapter;
   { engine; a; b }
 
+let hosts t = [ t.a; t.b ]
 let run t = Simcore.Engine.run t.engine
 
 let run_for t duration =

@@ -13,10 +13,18 @@ val create :
   ?spec_b:Machine.Machine_spec.t ->
   ?thresholds:Thresholds.t ->
   ?pool_frames:int ->
+  ?trace:Simcore.Tracer.t ->
   unit ->
   t
 (** Defaults: OC-3 link between two Micron P166s with the paper's
-    thresholds. *)
+    thresholds.  [trace] installs one shared tracer on both hosts, so a
+    single event stream covers the whole testbed (events carry the host
+    name); create it with [Simcore.Tracer.create ~enabled:true ()] to
+    record from the first instant. *)
+
+val hosts : t -> Host.t list
+(** Both hosts, sender first — for tooling that iterates without
+    reaching into the record fields. *)
 
 val run : t -> unit
 (** Drain all simulation events. *)

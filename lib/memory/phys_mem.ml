@@ -3,7 +3,13 @@ type t = {
   free : int Queue.t;
   page_size : int;
   mutable zombies : int;
+  mutable trace : Simcore.Tracer.scope option;
 }
+
+let traced t f =
+  match t.trace with
+  | Some s when Simcore.Tracer.on s -> f s
+  | _ -> ()
 
 exception Out_of_frames
 
@@ -24,9 +30,10 @@ let create spec =
   in
   let free = Queue.create () in
   Array.iter (fun (f : Frame.t) -> Queue.add f.Frame.id free) frames;
-  { frames; free; page_size; zombies = 0 }
+  { frames; free; page_size; zombies = 0; trace = None }
 
 let page_size t = t.page_size
+let set_trace_scope t scope = t.trace <- Some scope
 let total_frames t = Array.length t.frames
 let free_frames t = Queue.length t.free
 let frame_by_id t id = t.frames.(id)
@@ -39,6 +46,7 @@ let alloc t =
     assert (frame.Frame.state = Frame.Free);
     frame.Frame.state <- Frame.Allocated;
     Frame.fill frame '\xAA';
+    traced t (fun s -> Simcore.Tracer.add_counter s "frame_allocs");
     frame
 
 let alloc_zeroed t =
@@ -54,7 +62,8 @@ let release t (frame : Frame.t) =
   frame.Frame.state <- Frame.Free;
   frame.Frame.pageable <- false;
   frame.Frame.wired <- 0;
-  Queue.add frame.Frame.id t.free
+  Queue.add frame.Frame.id t.free;
+  traced t (fun s -> Simcore.Tracer.add_counter s "frame_frees")
 
 (* Chaos switch for the invariant checker: pretend I/O-deferred page
    deallocation was never implemented, freeing frames devices still
@@ -68,7 +77,11 @@ let deallocate t (frame : Frame.t) =
   | Frame.Allocated ->
     if Frame.io_referenced frame && not !skip_deferred_dealloc then begin
       frame.Frame.state <- Frame.Zombie;
-      t.zombies <- t.zombies + 1
+      t.zombies <- t.zombies + 1;
+      traced t (fun s ->
+          Simcore.Tracer.add_counter s "deferred_deallocs";
+          Simcore.Tracer.instant s "frame.deferred_dealloc"
+            ~args:[ ("frame", Simcore.Tracer.Int frame.Frame.id) ])
     end
     else release t frame
 

@@ -18,6 +18,10 @@ val page_size : t -> int
 val total_frames : t -> int
 val free_frames : t -> int
 
+val set_trace_scope : t -> Simcore.Tracer.scope -> unit
+(** Install the typed trace scope for memory-layer events (frame
+    alloc/free counters, I/O-deferred deallocations). *)
+
 val alloc : t -> Frame.t
 (** Take a frame off the free list; contents are unspecified (frames are
     poisoned with [0xAA] to surface missing-zeroing bugs).

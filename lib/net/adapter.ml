@@ -52,6 +52,7 @@ type t = {
   credits : (int, credit_state) Hashtbl.t;
   mutable stalls : int;
   corrupt_pending : (int, int ref) Hashtbl.t;  (* vc -> PDUs to corrupt *)
+  mutable trace : Simcore.Tracer.scope option;
 }
 
 and credit_state = {
@@ -73,6 +74,7 @@ and flight = {
   fl_total : int;  (* hdr + payload *)
   fl_hdr_len : int;
   mutable fl_crc : Crc32.t;
+  mutable fl_span : int;  (* typed-trace span id of the whole flight *)
 }
 
 let create engine p ~page_size ~name =
@@ -96,6 +98,7 @@ let create engine p ~page_size ~name =
     credits = Hashtbl.create 4;
     stalls = 0;
     corrupt_pending = Hashtbl.create 4;
+    trace = None;
   }
 
 let connect a b =
@@ -103,6 +106,12 @@ let connect a b =
   b.peer <- Some a
 
 let params t = t.p
+let set_trace_scope t scope = t.trace <- Some scope
+
+let traced t f =
+  match t.trace with
+  | Some s when Simcore.Tracer.on s -> f s
+  | _ -> ()
 let set_rx_mode t ~vc mode = Hashtbl.replace t.rx_modes vc mode
 let rx_mode t vc = Option.value ~default:Early_demux (Hashtbl.find_opt t.rx_modes vc)
 let set_pool_supply t supply = t.pool_supply <- supply
@@ -281,6 +290,15 @@ let rx_burst t ~vc ~chunk ~pdu_off ~hdr_len ~total_len ~is_last ~tx_crc ~cells =
         Outboard_stored { id; hdr_len; payload_len = total_len - hdr_len }
     in
     f.partial <- Rx_idle;
+    traced t (fun s ->
+        Simcore.Tracer.add_counter s "rx_pdus";
+        Simcore.Tracer.instant s "rx.pdu"
+          ~args:
+            [
+              ("vc", Simcore.Tracer.Int vc);
+              ("bytes", Simcore.Tracer.Int total_len);
+              ("crc_ok", Simcore.Tracer.Bool crc_ok);
+            ]);
     (* Fixed adapter completion cost before the host sees the interrupt. *)
     Simcore.Engine.schedule t.engine ~delay:t.p.Net_params.rx_fixed (fun () ->
         t.rx_complete { vc; completion; crc_ok })
@@ -343,6 +361,16 @@ let rec send_burst t job ~i ~cells_done =
     in
     let end_time = Simcore.Sim_time.add (Simcore.Engine.now t.engine) serialization in
     t.tx_busy_until <- Simcore.Sim_time.max t.tx_busy_until end_time;
+    traced t (fun s ->
+        Simcore.Tracer.complete s "tx.burst"
+          ~start:(Simcore.Engine.now t.engine)
+          ~dur:serialization
+          ~args:
+            [
+              ("vc", Simcore.Tracer.Int fl.fl_vc);
+              ("bytes", Simcore.Tracer.Int len);
+              ("cells", Simcore.Tracer.Int burst_cells);
+            ]);
     let arrival = Simcore.Sim_time.add end_time t.p.Net_params.prop_delay in
     let tx_crc = Crc32.finish fl.fl_crc in
     Simcore.Engine.at t.engine ~time:arrival (fun () ->
@@ -351,6 +379,8 @@ let rec send_burst t job ~i ~cells_done =
     Simcore.Engine.at t.engine ~time:end_time (fun () ->
         if is_last then begin
           t.tx_active <- false;
+          traced t (fun s ->
+              Simcore.Tracer.span_end s ~id:fl.fl_span "tx.pdu");
           job.job_done ();
           pump t
         end
@@ -360,6 +390,14 @@ let rec send_burst t job ~i ~cells_done =
   | Some cs when cs.available < burst_cells ->
     (* Stall until the receiver returns enough credits. *)
     t.stalls <- t.stalls + 1;
+    traced t (fun s ->
+        Simcore.Tracer.add_counter s "tx_stalls";
+        Simcore.Tracer.instant s "tx.credit_stall"
+          ~args:
+            [
+              ("vc", Simcore.Tracer.Int fl.fl_vc);
+              ("cells_needed", Simcore.Tracer.Int burst_cells);
+            ]);
     cs.waiting <- Some (fun () -> send_burst t job ~i ~cells_done)
   | Some _ | None -> proceed ()
 
@@ -392,7 +430,7 @@ let transmit t ~vc ~hdr ~desc ~on_tx_complete =
   | None -> ());
   let fl =
     { fl_vc = vc; fl_hdr = Bytes.copy hdr; fl_desc = desc; fl_total = total;
-      fl_hdr_len = hdr_len; fl_crc = Crc32.init }
+      fl_hdr_len = hdr_len; fl_crc = Crc32.init; fl_span = 0 }
   in
   (* Advisory busy estimate (ignores credit stalls). *)
   let now = Simcore.Engine.now t.engine in
@@ -402,6 +440,15 @@ let transmit t ~vc ~hdr ~desc ~on_tx_complete =
   in
   t.tx_busy_until <-
     Simcore.Sim_time.add tx_start (Net_params.wire_time t.p ~payload_len:total);
+  traced t (fun s ->
+      fl.fl_span <-
+        Simcore.Tracer.span_begin s "tx.pdu"
+          ~args:
+            [
+              ("vc", Simcore.Tracer.Int vc);
+              ("bytes", Simcore.Tracer.Int total);
+              ("cells", Simcore.Tracer.Int (Aal5.cells_for_len total));
+            ]);
   Queue.add { job_vc = vc; job_fl = fl; job_done = on_tx_complete } t.tx_queue;
   pump t
 

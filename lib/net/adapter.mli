@@ -55,6 +55,11 @@ val connect : t -> t -> unit
 
 val params : t -> Net_params.t
 
+val set_trace_scope : t -> Simcore.Tracer.scope -> unit
+(** Install the typed trace scope for adapter events: per-PDU transmit
+    spans, per-burst serialization windows, credit stalls and received
+    PDUs. *)
+
 val set_rx_mode : t -> vc:int -> rx_mode -> unit
 (** Default mode for unknown VCs is [Early_demux]. *)
 

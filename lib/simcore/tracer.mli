@@ -1,24 +1,113 @@
-(** Lightweight event trace for debugging simulations.
+(** Typed kernel-path event trace.
 
-    Disabled by default; when enabled it records (time, label) pairs in
-    order.  Cheap enough to leave compiled into the hot paths. *)
+    Events are stamped with sim-time, host and subsystem, and carry a
+    structured payload: instants, span begin/end pairs (for nesting
+    stages such as an input path's prepare→complete window), complete
+    events (a span whose duration is known up front, e.g. a CPU charge),
+    and monotonic named counters (faults, copies, COW breaks, ...).
+
+    Disabled by default and near-zero cost while disabled: emitters test
+    one boolean and return, and argument lists can be guarded with {!on}
+    so hot paths build no payload at all.  The legacy string API
+    ([record] / [events] / [last_n]) is preserved on top of the typed
+    model for trace tails and debugging. *)
+
+type subsystem = Vm | Mem | Genie | Net | Sim
+
+val subsystem_name : subsystem -> string
+(** Lower-case short name, e.g. ["vm"]. *)
+
+type arg = Int of int | Str of string | Bool of bool | Float of float
+
+type kind =
+  | Instant
+  | Begin of int  (** span opens; payload is the span id *)
+  | End of int  (** span closes; payload is the matching span id *)
+  | Complete of Sim_time.t
+      (** a span known in full when emitted: the event [time] is the
+          start and the payload the duration *)
+  | Counter of int  (** counter value {e after} this update *)
+
+type event = {
+  seq : int;  (** recording order, 0-based *)
+  time : Sim_time.t;
+  host : string;  (** [""] for events recorded via the legacy API *)
+  sub : subsystem;
+  name : string;
+  kind : kind;
+  args : (string * arg) list;
+}
 
 type t
 
 val create : ?enabled:bool -> unit -> t
 val enable : t -> unit
 val disable : t -> unit
-val record : t -> Sim_time.t -> string -> unit
+val enabled : t -> bool
 
-val record_f : t -> Sim_time.t -> (unit -> string) -> unit
-(** Lazy variant of {!record}: the label thunk is forced only while the
-    tracer is enabled, so tracing in hot paths costs nothing when off. *)
+val set_clock : t -> (unit -> Sim_time.t) -> unit
+(** Install the sim clock used to stamp events emitted through scopes
+    (typically [fun () -> Engine.now engine]).  Defaults to a constant
+    zero clock. *)
 
-val events : t -> (Sim_time.t * string) list
-(** Events in chronological (recording) order. *)
+(** {1 Scopes and typed emission}
 
-val last_n : t -> int -> (Sim_time.t * string) list
-(** The [n] most recent events, oldest first (all events if fewer). *)
+    A scope fixes the (host, subsystem) coordinates once; instrumented
+    code keeps a scope and emits through it. *)
+
+type scope
+
+val scope : t -> host:string -> sub:subsystem -> scope
+val tracer : scope -> t
+
+val on : scope -> bool
+(** [on s] is true while the underlying tracer is enabled.  Guard
+    argument construction with it in hot paths. *)
+
+val instant : scope -> ?args:(string * arg) list -> string -> unit
+
+val span_begin : scope -> ?args:(string * arg) list -> string -> int
+(** Returns the span id to pass to {!span_end} (0 while disabled). *)
+
+val span_end : scope -> ?args:(string * arg) list -> id:int -> string -> unit
+(** No-op for [id = 0], so a span begun while the tracer was disabled
+    closes silently even if tracing was enabled in between. *)
+
+val complete :
+  scope ->
+  ?args:(string * arg) list ->
+  start:Sim_time.t ->
+  dur:Sim_time.t ->
+  string ->
+  unit
+
+val add_counter : scope -> ?n:int -> string -> unit
+(** Bump the per-(host, name) counter by [n] (default 1) and record a
+    [Counter] event with the updated value. *)
+
+(** {1 Reading back} *)
+
+val typed_events : t -> event list
+(** All events in recording order. *)
+
+val counter : t -> host:string -> string -> int
+(** Current value of a counter ([0] if never bumped). *)
+
+val counters : t -> (string * string * int) list
+(** All (host, counter name, value) triples, sorted. *)
 
 val clear : t -> unit
+(** Drop recorded events and reset counters (keeps enablement). *)
+
+(** {1 Legacy string API}
+
+    Kept for trace tails and existing tooling: typed events are rendered
+    to strings on read-out, and [record] wraps the string in an instant
+    event. *)
+
+val record : t -> Sim_time.t -> string -> unit
+val record_f : t -> Sim_time.t -> (unit -> string) -> unit
+val render : event -> string
+val events : t -> (Sim_time.t * string) list
+val last_n : t -> int -> (Sim_time.t * string) list
 val pp : Format.formatter -> t -> unit

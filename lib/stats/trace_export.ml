@@ -1,0 +1,148 @@
+module T = Simcore.Tracer
+
+let ts_us time = float_of_int (Simcore.Sim_time.to_ns time) /. 1000.
+
+(* Stable process ids: hosts in order of first appearance.  Pid 0 is
+   reserved for events recorded through the legacy string API (host ""). *)
+let pid_table events =
+  let next = ref 0 in
+  let pids = Hashtbl.create 4 in
+  Hashtbl.add pids "" 0;
+  List.iter
+    (fun (ev : T.event) ->
+      if not (Hashtbl.mem pids ev.T.host) then begin
+        incr next;
+        Hashtbl.add pids ev.T.host !next
+      end)
+    events;
+  pids
+
+let tid_of_sub = function
+  | T.Vm -> 1
+  | T.Mem -> 2
+  | T.Genie -> 3
+  | T.Net -> 4
+  | T.Sim -> 5
+
+let arg_json = function
+  | T.Int n -> Json.Int n
+  | T.Str s -> Json.Str s
+  | T.Bool b -> Json.Bool b
+  | T.Float f -> Json.Float f
+
+let event_json pids (ev : T.event) =
+  let pid = try Hashtbl.find pids ev.T.host with Not_found -> 0 in
+  let base =
+    [
+      ("name", Json.Str ev.T.name);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int (tid_of_sub ev.T.sub));
+      ("ts", Json.Float (ts_us ev.T.time));
+    ]
+  in
+  let args = List.map (fun (k, v) -> (k, arg_json v)) ev.T.args in
+  let with_args fields =
+    if args = [] then fields else fields @ [ ("args", Json.Obj args) ]
+  in
+  let cat = T.subsystem_name ev.T.sub in
+  match ev.T.kind with
+  | T.Instant ->
+    Json.Obj (base @ with_args [ ("ph", Json.Str "i"); ("s", Json.Str "t") ])
+  | T.Begin id ->
+    Json.Obj
+      (base
+      @ with_args
+          [
+            ("ph", Json.Str "b");
+            ("cat", Json.Str cat);
+            ("id", Json.Str (string_of_int id));
+          ])
+  | T.End id ->
+    Json.Obj
+      (base
+      @ with_args
+          [
+            ("ph", Json.Str "e");
+            ("cat", Json.Str cat);
+            ("id", Json.Str (string_of_int id));
+          ])
+  | T.Complete dur ->
+    Json.Obj
+      (base @ with_args [ ("ph", Json.Str "X"); ("dur", Json.Float (ts_us dur)) ])
+  | T.Counter value ->
+    (* Counter tracks take their series from args; the running value is
+       the only series. *)
+    Json.Obj
+      (base
+      @ [ ("ph", Json.Str "C"); ("args", Json.Obj [ ("value", Json.Int value) ])
+        ])
+
+let metadata_events pids events =
+  let name_of_pid =
+    Hashtbl.fold
+      (fun host pid acc -> (pid, if host = "" then "sim" else host) :: acc)
+      pids []
+    |> List.sort compare
+  in
+  let process_names =
+    List.map
+      (fun (pid, name) ->
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int pid);
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ])
+      name_of_pid
+  in
+  let threads = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : T.event) ->
+      let pid = Hashtbl.find pids ev.T.host in
+      Hashtbl.replace threads (pid, tid_of_sub ev.T.sub)
+        (T.subsystem_name ev.T.sub))
+    events;
+  let thread_names =
+    Hashtbl.fold (fun (pid, tid) name acc -> (pid, tid, name) :: acc) threads []
+    |> List.sort compare
+    |> List.map (fun (pid, tid, name) ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int pid);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.Str name) ]);
+             ])
+  in
+  process_names @ thread_names
+
+let to_chrome tracer =
+  let events = T.typed_events tracer in
+  let pids = pid_table events in
+  (* Stable sort by timestamp; recording order breaks ties, so nested
+     span ends stay after their begins. *)
+  let ordered =
+    List.stable_sort
+      (fun (a : T.event) (b : T.event) ->
+        Simcore.Sim_time.compare a.T.time b.T.time)
+      events
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (metadata_events pids events @ List.map (event_json pids) ordered)
+      );
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let to_chrome_string ?indent tracer = Json.to_string ?indent (to_chrome tracer)
+
+let counter_summary tracer =
+  let table = Text_table.create ~header:[ "host"; "counter"; "value" ] in
+  List.iter
+    (fun (host, name, value) ->
+      Text_table.add_row table [ host; name; string_of_int value ])
+    (T.counters tracer);
+  Text_table.render table

@@ -39,6 +39,13 @@ let create vm =
 
 let vm t = t.vm
 let id t = t.id
+
+(* Typed tracing: the scope lives on the VM system (installed by the
+   host); [traced] short-circuits to a no-op while tracing is off. *)
+let traced t f =
+  match t.vm.Vm_sys.trace with
+  | Some s when Simcore.Tracer.on s -> f s
+  | _ -> ()
 let page_size t = Vm_sys.page_size t.vm
 let regions t = t.region_list
 
@@ -107,9 +114,24 @@ let cow_copy t (region : Region.t) idx owner =
   let dst = Vm_sys.alloc_pressured t.vm in
   Memory.Frame.copy_contents ~src ~dst;
   Vm_sys.insert_page t.vm region.Region.obj idx dst;
+  traced t (fun s ->
+      Simcore.Tracer.add_counter s "cow_breaks";
+      Simcore.Tracer.instant s "cow.copy"
+        ~args:
+          [
+            ("space", Simcore.Tracer.Int t.id);
+            ("vpn", Simcore.Tracer.Int (region.Region.start_vpn + idx));
+          ]);
   dst
 
 let handle_read_fault t vpn =
+  traced t (fun s ->
+      Simcore.Tracer.add_counter s "faults";
+      Simcore.Tracer.instant s "fault.read"
+        ~args:
+          [
+            ("space", Simcore.Tracer.Int t.id); ("vpn", Simcore.Tracer.Int vpn);
+          ]);
   let region = fault_region t vpn in
   let idx = vpn - region.Region.start_vpn in
   let obj = region.Region.obj in
@@ -130,6 +152,13 @@ let handle_read_fault t vpn =
     frame
 
 let handle_write_fault t vpn =
+  traced t (fun s ->
+      Simcore.Tracer.add_counter s "faults";
+      Simcore.Tracer.instant s "fault.write"
+        ~args:
+          [
+            ("space", Simcore.Tracer.Int t.id); ("vpn", Simcore.Tracer.Int vpn);
+          ]);
   let region = fault_region t vpn in
   let idx = vpn - region.Region.start_vpn in
   let obj = region.Region.obj in
@@ -139,6 +168,14 @@ let handle_write_fault t vpn =
     | Some (Memory_object.Resident frame) when frame == pte.Page_table.frame ->
       (* Page present in the top object: this is the TCOW case. *)
       if frame.Memory.Frame.output_refs > 0 then begin
+        traced t (fun s ->
+            Simcore.Tracer.add_counter s "cow_breaks";
+            Simcore.Tracer.instant s "tcow.break"
+              ~args:
+                [
+                  ("space", Simcore.Tracer.Int t.id);
+                  ("vpn", Simcore.Tracer.Int vpn);
+                ]);
         let fresh = Vm_sys.alloc_pressured t.vm in
         Memory.Frame.copy_contents ~src:frame ~dst:fresh;
         let displaced = Vm_sys.replace_page t.vm obj idx fresh in
@@ -257,6 +294,14 @@ let make_readonly t region ~first ~pages =
 
 let invalidate t region ~first ~pages =
   page_range_check region ~first ~pages;
+  traced t (fun s ->
+      Simcore.Tracer.instant s "region.hide"
+        ~args:
+          [
+            ("space", Simcore.Tracer.Int t.id);
+            ("vpn", Simcore.Tracer.Int (region.Region.start_vpn + first));
+            ("pages", Simcore.Tracer.Int pages);
+          ]);
   for i = first to first + pages - 1 do
     let vpn = region.Region.start_vpn + i in
     match Page_table.find t.pt vpn with
@@ -265,6 +310,14 @@ let invalidate t region ~first ~pages =
   done
 
 let reinstate t region =
+  traced t (fun s ->
+      Simcore.Tracer.instant s "region.reinstate"
+        ~args:
+          [
+            ("space", Simcore.Tracer.Int t.id);
+            ("vpn", Simcore.Tracer.Int region.Region.start_vpn);
+            ("pages", Simcore.Tracer.Int region.Region.npages);
+          ]);
   iter_region_vpns region (fun vpn ->
       match Page_table.find t.pt vpn with
       | Some pte -> pte.Page_table.prot <- Prot.Read_write

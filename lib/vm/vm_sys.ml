@@ -23,9 +23,11 @@ type t = {
   mutable spaces : space_view list;
   io_registry : (int, io_view) Hashtbl.t;
   mutable next_io_id : int;
+  mutable trace : Simcore.Tracer.scope option;
 }
 
 let page_size t = Memory.Phys_mem.page_size t.phys
+let set_trace_scope t scope = t.trace <- Some scope
 let register_unmapper t f = t.unmappers <- f :: t.unmappers
 
 let register_space t view = t.spaces <- view :: t.spaces
@@ -99,6 +101,12 @@ let evict_frame t (frame : Memory.Frame.t) =
     Memory_object.set_slot obj idx (Memory_object.Swapped slot);
     Hashtbl.remove t.frame_owner frame.Memory.Frame.id;
     Memory.Phys_mem.deallocate t.phys frame;
+    (match t.trace with
+    | Some s when Simcore.Tracer.on s ->
+      Simcore.Tracer.instant s "pageout.evict"
+        ~args:[ ("frame", Simcore.Tracer.Int frame.Memory.Frame.id) ];
+      Simcore.Tracer.add_counter s "pageouts"
+    | _ -> ());
     true
 
 let create spec =
@@ -113,6 +121,7 @@ let create spec =
       spaces = [];
       io_registry = Hashtbl.create 32;
       next_io_id = 0;
+      trace = None;
     }
   in
   Memory.Pageout.set_evict_hook t.pageout (evict_frame t);

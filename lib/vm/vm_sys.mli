@@ -39,10 +39,16 @@ type t = {
   mutable spaces : space_view list;
   io_registry : (int, io_view) Hashtbl.t;
   mutable next_io_id : int;
+  mutable trace : Simcore.Tracer.scope option;
+      (** typed trace scope for VM-layer events (faults, TCOW breaks,
+          pageout, region hiding); installed by the host, [None] until
+          then *)
 }
 
 val create : Machine.Machine_spec.t -> t
 val page_size : t -> int
+
+val set_trace_scope : t -> Simcore.Tracer.scope -> unit
 
 val register_unmapper : t -> (Memory.Frame.t -> unit) -> unit
 

@@ -121,8 +121,9 @@ let run ?recorder cfg =
       (* Prepost the echo input after the send: its prepare-stage work
          overlaps with the outbound transfer, off the critical path, as
          preposted input does in the paper's breakdown model. *)
-      Genie.Endpoint.input a.ep ~sem:cfg.sem ~spec:(a.recv_spec ())
-        ~on_complete:on_a_recv
+      ignore
+      (Genie.Endpoint.input a.ep ~sem:cfg.sem ~spec:(a.recv_spec ())
+        ~on_complete:on_a_recv)
     end
   and on_b_recv (r : Genie.Input_path.result) =
     if not r.Genie.Input_path.ok then failwith "Latency_probe: corrupt forward leg";
@@ -137,16 +138,18 @@ let run ?recorder cfg =
     (* Prepost the next round's input; A's next send is a round trip
        away, so this overlaps harmlessly with the echo transfer. *)
     if !round < total_rounds then
-      Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
-        ~on_complete:on_b_recv
+      ignore
+      (Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
+        ~on_complete:on_b_recv)
   and on_a_recv (r : Genie.Input_path.result) =
     if not r.Genie.Input_path.ok then failwith "Latency_probe: corrupt echo leg";
     if !round > cfg.warmup then Simcore.Stat.add rtt (now () -. !t_send);
     update_send a r;
     start_round ()
   in
-  Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
-    ~on_complete:on_b_recv;
+  ignore
+  (Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
+    ~on_complete:on_b_recv);
   start_round ();
   Genie.World.run world;
   let elapsed = now () -. !meas_start in

@@ -70,7 +70,8 @@ let run cfg =
   let t_first_send = ref nan and t_last_recv = ref nan in
   (* Receiver: keep all buffers preposted, reposting on completion. *)
   let rec post_input i =
-    Genie.Endpoint.input eb ~sem:cfg.sem
+    ignore
+    (Genie.Endpoint.input eb ~sem:cfg.sem
       ~spec:(Genie.Input_path.App_buffer recv_bufs.(i))
       ~on_complete:(fun r ->
         if r.Genie.Input_path.ok then begin
@@ -82,7 +83,7 @@ let run cfg =
           | None -> ());
           if !received + 8 <= cfg.datagrams then post_input i
         end
-        else post_input i)
+        else post_input i))
   in
   for i = 0 to Array.length recv_bufs - 1 do
     post_input i

@@ -189,8 +189,9 @@ let test_breakdown_composes_across_semantics () =
       ~len
   in
   let t_done = ref 0. in
-  Genie.Endpoint.input eb ~sem:Sem.copy ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> t_done := Genie.Host.now_us w.Genie.World.b);
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.copy ~spec:(Genie.Input_path.App_buffer rbuf)
+    ~on_complete:(fun _ -> t_done := Genie.Host.now_us w.Genie.World.b));
   let t0 = Genie.Host.now_us w.Genie.World.a in
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
   Genie.World.run w;

@@ -21,9 +21,10 @@ let test_pending_counts () =
   let w, _, eb = setup Net.Adapter.Early_demux in
   Alcotest.(check int) "none" 0 (Genie.Endpoint.pending_inputs eb);
   let rbuf = make_buf w.Genie.World.b ~len:4096 in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
+    ~on_complete:(fun _ -> ()));
   Alcotest.(check int) "one pending" 1 (Genie.Endpoint.pending_inputs eb);
   Alcotest.(check int) "posted to the adapter" 1
     (Net.Adapter.posted_count w.Genie.World.b.Genie.Host.adapter ~vc:1);
@@ -37,9 +38,10 @@ let test_drain_releases_references () =
      pages remain pageable and reclaimable. *)
   let w, _, eb = setup Net.Adapter.Early_demux in
   let rbuf = make_buf w.Genie.World.b ~len:8192 in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
+    ~on_complete:(fun _ -> ()));
   let frame =
     As.resolve_read rbuf.Genie.Buf.space
       ~vpn:(rbuf.Genie.Buf.addr / psize)
@@ -47,6 +49,36 @@ let test_drain_releases_references () =
   Alcotest.(check int) "input ref held" 1 frame.Memory.Frame.input_refs;
   Genie.Endpoint.drain eb;
   Alcotest.(check int) "reference dropped" 0 frame.Memory.Frame.input_refs
+
+let test_cancel_one_handle () =
+  (* Cancelling one of several pending inputs unposts just that one;
+     a second cancel — or a cancel after completion — is a no-op. *)
+  let w, ea, eb = setup Net.Adapter.Early_demux in
+  let adapter = w.Genie.World.b.Genie.Host.adapter in
+  let post () =
+    let rbuf = make_buf w.Genie.World.b ~len:4096 in
+    Genie.Endpoint.input eb ~sem:Sem.emulated_share
+      ~spec:(Genie.Input_path.App_buffer rbuf)
+      ~on_complete:(fun _ -> ())
+  in
+  let h1 = post () in
+  let h2 = post () in
+  Alcotest.(check int) "two pending" 2 (Genie.Endpoint.pending_inputs eb);
+  Alcotest.(check int) "two posted" 2 (Net.Adapter.posted_count adapter ~vc:1);
+  Alcotest.(check bool) "first cancel succeeds" true (Genie.Endpoint.cancel h1);
+  Alcotest.(check int) "one pending left" 1 (Genie.Endpoint.pending_inputs eb);
+  Alcotest.(check int) "one posted left" 1 (Net.Adapter.posted_count adapter ~vc:1);
+  Alcotest.(check bool) "second cancel is a no-op" false
+    (Genie.Endpoint.cancel h1);
+  Alcotest.(check int) "still one pending" 1 (Genie.Endpoint.pending_inputs eb);
+  (* The surviving input still completes a real transfer. *)
+  let buf = make_buf w.Genie.World.a ~len:4096 in
+  Genie.Buf.fill_pattern buf ~seed:9;
+  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
+  Genie.World.run w;
+  Alcotest.(check int) "completed" 0 (Genie.Endpoint.pending_inputs eb);
+  Alcotest.(check bool) "cancel after completion is a no-op" false
+    (Genie.Endpoint.cancel h2)
 
 let test_back_to_back_pipelining () =
   (* Ten sends issued in one burst, received in order into ten posted
@@ -58,9 +90,10 @@ let test_back_to_back_pipelining () =
   let seqs = ref [] in
   Array.iter
     (fun rbuf ->
-      Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+      ignore
+      (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
         ~spec:(Genie.Input_path.App_buffer rbuf)
-        ~on_complete:(fun r -> seqs := r.Genie.Input_path.seq :: !seqs))
+        ~on_complete:(fun r -> seqs := r.Genie.Input_path.seq :: !seqs)))
     recvs;
   let t0 = Genie.Host.now_us w.Genie.World.a in
   for i = 0 to 9 do
@@ -131,6 +164,7 @@ let suite =
     Alcotest.test_case "pending counts and drain" `Quick test_pending_counts;
     Alcotest.test_case "drain releases references" `Quick
       test_drain_releases_references;
+    Alcotest.test_case "cancel one handle" `Quick test_cancel_one_handle;
     Alcotest.test_case "back-to-back pipelining" `Quick test_back_to_back_pipelining;
     Alcotest.test_case "ARQ over a credited link" `Quick test_arq_over_credited_link;
     Alcotest.test_case "unknown VC ignored" `Quick test_unknown_vc_ignored;

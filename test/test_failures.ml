@@ -45,7 +45,8 @@ let corrupt_transfer mode sem =
     end
   in
   let result = ref None in
-  Genie.Endpoint.input rig.eb ~sem ~spec ~on_complete:(fun r -> result := Some r);
+  ignore
+  (Genie.Endpoint.input rig.eb ~sem ~spec ~on_complete:(fun r -> result := Some r));
   Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
   Genie.World.run rig.w;
@@ -120,9 +121,10 @@ let test_region_requeued_after_corruption () =
   let buf1 = sender_buf rig sem in
   Genie.Buf.fill_pattern buf1 ~seed:71;
   let r1 = ref None in
-  Genie.Endpoint.input rig.eb ~sem
+  ignore
+  (Genie.Endpoint.input rig.eb ~sem
     ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len })
-    ~on_complete:(fun r -> r1 := Some r);
+    ~on_complete:(fun r -> r1 := Some r));
   Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf:buf1 ());
   Genie.World.run rig.w;
@@ -135,9 +137,10 @@ let test_region_requeued_after_corruption () =
   let buf2 = sender_buf rig sem in
   Genie.Buf.fill_pattern buf2 ~seed:72;
   let r2 = ref None in
-  Genie.Endpoint.input rig.eb ~sem
+  ignore
+  (Genie.Endpoint.input rig.eb ~sem
     ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len })
-    ~on_complete:(fun r -> r2 := Some r);
+    ~on_complete:(fun r -> r2 := Some r));
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf:buf2 ());
   Genie.World.run rig.w;
   match !r2 with
@@ -161,8 +164,9 @@ let test_recovery_after_corruption () =
   let results = ref [] in
   let send seed ~corrupt =
     Genie.Buf.fill_pattern buf ~seed;
-    Genie.Endpoint.input rig.eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
-      ~on_complete:(fun r -> results := r.Genie.Input_path.ok :: !results);
+    ignore
+    (Genie.Endpoint.input rig.eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+      ~on_complete:(fun r -> results := r.Genie.Input_path.ok :: !results));
     if corrupt then
       Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
     ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());

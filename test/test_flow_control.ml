@@ -25,11 +25,12 @@ let one_way ?credit_cells len =
     Genie.Buf.make sb ~addr:(Vm.Address_space.base_addr rregion ~page_size:psize) ~len
   in
   let done_at = ref None in
-  Genie.Endpoint.input eb ~sem:Genie.Semantics.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Genie.Semantics.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
     ~on_complete:(fun r ->
       if not r.Genie.Input_path.ok then Alcotest.fail "transfer failed";
-      done_at := Some (Genie.Host.now_us w.Genie.World.b));
+      done_at := Some (Genie.Host.now_us w.Genie.World.b)));
   ignore (Genie.Endpoint.output ea ~sem:Genie.Semantics.emulated_share ~buf ());
   Genie.World.run w;
   let latency = match !done_at with Some t -> t | None -> Alcotest.fail "no completion" in

@@ -33,9 +33,10 @@ let test_emcopy_short_converts_to_copy () =
   let _, region, buf = app_buf w.Genie.World.a ~len:1000 () in
   Genie.Buf.fill_pattern buf ~seed:1;
   let _, _, rbuf = app_buf w.Genie.World.b ~len:1000 () in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
+    ~on_complete:(fun _ -> ()));
   let outcome = Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf () in
   Alcotest.(check bool) "converted" true
     (Sem.equal outcome.Genie.Output_path.semantics_used Sem.copy);
@@ -50,9 +51,10 @@ let test_emcopy_large_arms_tcow () =
   let _, region, buf = app_buf w.Genie.World.a ~len:(4 * psize) () in
   Genie.Buf.fill_pattern buf ~seed:1;
   let _, _, rbuf = app_buf w.Genie.World.b ~len:(4 * psize) () in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
+    ~on_complete:(fun _ -> ()));
   let outcome = Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf () in
   Alcotest.(check bool) "not converted" true
     (Sem.equal outcome.Genie.Output_path.semantics_used Sem.emulated_copy);
@@ -72,9 +74,10 @@ let test_emshare_threshold () =
   let _, _, buf = app_buf w.Genie.World.a ~len:200 () in
   Genie.Buf.fill_pattern buf ~seed:2;
   let _, _, rbuf = app_buf w.Genie.World.b ~len:200 () in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
+    ~on_complete:(fun _ -> ()));
   let outcome = Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf () in
   Alcotest.(check bool) "200 B emulated share converts" true
     (Sem.equal outcome.Genie.Output_path.semantics_used Sem.copy);
@@ -88,10 +91,11 @@ let test_move_region_removed () =
   let space_a, region, buf = moved_in_buf w.Genie.World.a ~len:8192 in
   Genie.Buf.fill_pattern buf ~seed:3;
   let space_b = Genie.Host.new_space w.Genie.World.b in
-  Genie.Endpoint.input eb ~sem:Sem.move
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.move
     ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len = 8192 })
     ~on_complete:(fun r ->
-      Alcotest.(check bool) "ok" true r.Genie.Input_path.ok);
+      Alcotest.(check bool) "ok" true r.Genie.Input_path.ok));
   ignore (Genie.Endpoint.output ea ~sem:Sem.move ~buf ());
   Genie.World.run w;
   Alcotest.(check bool) "region removed after move output" false region.R.valid;
@@ -108,9 +112,10 @@ let test_emulated_move_region_hidden_then_reused () =
   Genie.Buf.fill_pattern buf ~seed:4;
   let space_b = Genie.Host.new_space w.Genie.World.b in
   let returned = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_move
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_move
     ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len = 8192 })
-    ~on_complete:(fun r -> returned := r.Genie.Input_path.buf);
+    ~on_complete:(fun r -> returned := r.Genie.Input_path.buf));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_move ~buf ());
   Genie.World.run w;
   (* Sender side: region hidden, not removed. *)
@@ -123,9 +128,10 @@ let test_emulated_move_region_hidden_then_reused () =
      with Vm.Vm_error.Unrecoverable_fault _ -> true);
   (* A subsequent input on the sender reuses the hidden region. *)
   let returned_a = ref None in
-  Genie.Endpoint.input ea ~sem:Sem.emulated_move
+  ignore
+  (Genie.Endpoint.input ea ~sem:Sem.emulated_move
     ~spec:(Genie.Input_path.Sys_alloc { space = space_a; len = 8192 })
-    ~on_complete:(fun r -> returned_a := r.Genie.Input_path.buf);
+    ~on_complete:(fun r -> returned_a := r.Genie.Input_path.buf));
   (match !returned with
   | Some echo_buf ->
     Genie.Buf.fill_pattern echo_buf ~seed:9;
@@ -148,9 +154,10 @@ let test_weak_move_output_leaves_pages_mapped () =
   let space_a, region, buf = moved_in_buf w.Genie.World.a ~len:4096 in
   Genie.Buf.fill_pattern buf ~seed:5;
   let space_b = Genie.Host.new_space w.Genie.World.b in
-  Genie.Endpoint.input eb ~sem:Sem.weak_move
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.weak_move
     ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len = 4096 })
-    ~on_complete:(fun _ -> ());
+    ~on_complete:(fun _ -> ()));
   ignore (Genie.Endpoint.output ea ~sem:Sem.weak_move ~buf ());
   Genie.World.run w;
   Alcotest.(check bool) "weakly moved out" true
@@ -175,16 +182,18 @@ let test_input_spec_mismatch_rejected () =
   let space = Genie.Host.new_space w.Genie.World.b in
   Alcotest.(check bool) "App_buffer with move rejected" true
     (try
-       Genie.Endpoint.input eb ~sem:Sem.move
+       ignore
+       (Genie.Endpoint.input eb ~sem:Sem.move
          ~spec:(Genie.Input_path.App_buffer rbuf)
-         ~on_complete:(fun _ -> ());
+         ~on_complete:(fun _ -> ()));
        false
      with Vm.Vm_error.Semantics_error _ -> true);
   Alcotest.(check bool) "Sys_alloc with copy rejected" true
     (try
-       Genie.Endpoint.input eb ~sem:Sem.copy
+       ignore
+       (Genie.Endpoint.input eb ~sem:Sem.copy
          ~spec:(Genie.Input_path.Sys_alloc { space; len = 4096 })
-         ~on_complete:(fun _ -> ());
+         ~on_complete:(fun _ -> ()));
        false
      with Vm.Vm_error.Semantics_error _ -> true)
 
@@ -201,9 +210,10 @@ let reverse_copyout_case ~len ~offset =
   let total_pages = (offset + len + psize - 1) / psize in
   As.write space_b ~addr:page_base (Bytes.make (total_pages * psize) 'S');
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
   Genie.World.run w;
   (match !got with
@@ -253,9 +263,10 @@ let test_pool_conservation () =
           let _, _, buf = moved_in_buf w.Genie.World.a ~len:8192 in
           Genie.Buf.fill_pattern buf ~seed:i;
           let space_b = Genie.Host.new_space w.Genie.World.b in
-          Genie.Endpoint.input eb ~sem
+          ignore
+          (Genie.Endpoint.input eb ~sem
             ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len = 8192 })
-            ~on_complete:(fun _ -> ());
+            ~on_complete:(fun _ -> ()));
           ignore (Genie.Endpoint.output ea ~sem ~buf ())
         end
         else begin
@@ -264,9 +275,10 @@ let test_pool_conservation () =
           let _, _, rbuf =
             app_buf w.Genie.World.b ~offset:Proto.Dgram_header.length ~len:8192 ()
           in
-          Genie.Endpoint.input eb ~sem
+          ignore
+          (Genie.Endpoint.input eb ~sem
             ~spec:(Genie.Input_path.App_buffer rbuf)
-            ~on_complete:(fun _ -> ());
+            ~on_complete:(fun _ -> ()));
           ignore (Genie.Endpoint.output ea ~sem ~buf ())
         end;
         Genie.World.run w
@@ -291,9 +303,10 @@ let test_frame_conservation_steady_state () =
           let _, _, buf = moved_in_buf w.Genie.World.a ~len:8192 in
           Genie.Buf.fill_pattern buf ~seed:i;
           let result = ref None in
-          Genie.Endpoint.input eb ~sem
+          ignore
+          (Genie.Endpoint.input eb ~sem
             ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len = 8192 })
-            ~on_complete:(fun r -> result := Some r);
+            ~on_complete:(fun r -> result := Some r));
           ignore (Genie.Endpoint.output ea ~sem ~buf ());
           Genie.World.run w;
           (* Release the received region so rounds are comparable. *)
@@ -306,9 +319,10 @@ let test_frame_conservation_steady_state () =
         else begin
           let _, _, buf = app_buf w.Genie.World.a ~len:8192 () in
           Genie.Buf.fill_pattern buf ~seed:i;
-          Genie.Endpoint.input eb ~sem
+          ignore
+          (Genie.Endpoint.input eb ~sem
             ~spec:(Genie.Input_path.App_buffer rbuf)
-            ~on_complete:(fun _ -> ());
+            ~on_complete:(fun _ -> ()));
           ignore (Genie.Endpoint.output ea ~sem ~buf ());
           Genie.World.run w
         end
@@ -339,9 +353,10 @@ let test_overrun_fails_strong_input_cleanly () =
   let _, _, small = app_buf w.Genie.World.b ~len:psize () in
   Genie.Buf.write small (Bytes.make psize 'U');
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.copy
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.copy
     ~spec:(Genie.Input_path.App_buffer small)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output ea ~sem:Sem.copy ~buf:big ());
   Genie.World.run w;
   (match !got with
@@ -381,8 +396,9 @@ let test_mixed_semantics_matrix () =
             end
           in
           let got = ref None in
-          Genie.Endpoint.input eb ~sem:recv_sem ~spec ~on_complete:(fun r ->
-              got := Some r);
+          ignore
+          (Genie.Endpoint.input eb ~sem:recv_sem ~spec ~on_complete:(fun r ->
+              got := Some r));
           ignore (Genie.Endpoint.output ea ~sem:send_sem ~buf ());
           Genie.World.run w;
           match !got with
@@ -409,9 +425,10 @@ let test_synchronous_input_pooled () =
   Genie.World.run w;
   let _, _, rbuf = app_buf w.Genie.World.b ~len:5000 () in
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.copy
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   Genie.World.run w;
   match !got with
   | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->

@@ -50,8 +50,9 @@ let overwrite_after_output sem =
   let buf = sender_buf rig sem ~len in
   Genie.Buf.fill_pattern buf ~seed:21;
   let got = ref None in
-  Genie.Endpoint.input rig.eb ~sem ~spec:(receiver_spec rig sem ~len)
-    ~on_complete:(fun r -> got := Some r);
+  ignore
+  (Genie.Endpoint.input rig.eb ~sem ~spec:(receiver_spec rig sem ~len)
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
   let overwrite_outcome =
     try
@@ -110,7 +111,8 @@ let observe_mid_flight sem =
     | Genie.Input_path.Sys_alloc _ -> assert false
   in
   Genie.Buf.write rbuf (Bytes.make len 'U');
-  Genie.Endpoint.input rig.eb ~sem ~spec:rspec ~on_complete:(fun _ -> ());
+  ignore
+  (Genie.Endpoint.input rig.eb ~sem ~spec:rspec ~on_complete:(fun _ -> ()));
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());
   (* 60 KB takes ~3.6 ms on the wire; peek half-way through. *)
   Genie.World.run_for rig.w (Simcore.Sim_time.of_us 2000.);
@@ -145,9 +147,10 @@ let test_tcow_partial_overwrite () =
   let buf = sender_buf rig Sem.emulated_copy ~len in
   Genie.Buf.fill_pattern buf ~seed:23;
   let got = ref None in
-  Genie.Endpoint.input rig.eb ~sem:Sem.emulated_copy
+  ignore
+  (Genie.Endpoint.input rig.eb ~sem:Sem.emulated_copy
     ~spec:(receiver_spec rig Sem.emulated_copy ~len)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output rig.ea ~sem:Sem.emulated_copy ~buf ());
   (* Overwrite pages 0, 2, 4, 6 immediately. *)
   for p = 0 to 3 do

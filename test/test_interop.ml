@@ -41,8 +41,9 @@ let cross_machine_case send_sem recv_sem mode =
         else Genie.Input_path.App_buffer (mk w.Genie.World.b recv_sem)
       in
       let got = ref None in
-      Genie.Endpoint.input eb ~sem:recv_sem ~spec ~on_complete:(fun r ->
-          got := Some r);
+      ignore
+      (Genie.Endpoint.input eb ~sem:recv_sem ~spec ~on_complete:(fun r ->
+          got := Some r));
       ignore (Genie.Endpoint.output ea ~sem:send_sem ~buf ());
       Genie.World.run w;
       match !got with
@@ -81,14 +82,15 @@ let test_concurrent_vcs () =
       let rbuf =
         Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:psize) ~len
       in
-      Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+      ignore
+      (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
         ~on_complete:(fun r ->
           if not r.Genie.Input_path.ok then Alcotest.failf "vc %d failed" vc;
           Test_util.check_bytes
             (Printf.sprintf "vc %d" vc)
             (Genie.Buf.expected_pattern ~len ~seed:vc)
             (Genie.Buf.read rbuf);
-          incr completions);
+          incr completions));
       ignore (Genie.Endpoint.output ea ~sem ~buf ()))
     cases;
   Genie.World.run w;
@@ -116,16 +118,18 @@ let test_bidirectional_simultaneous () =
   Genie.Buf.fill_pattern a_out ~seed:101;
   Genie.Buf.fill_pattern b_out ~seed:202;
   let done_count = ref 0 in
-  Genie.Endpoint.input ea ~sem:Sem.emulated_copy
+  ignore
+  (Genie.Endpoint.input ea ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer a_in)
     ~on_complete:(fun r ->
       Alcotest.(check bool) "a<-b ok" true r.Genie.Input_path.ok;
-      incr done_count);
-  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+      incr done_count));
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer b_in)
     ~on_complete:(fun r ->
       Alcotest.(check bool) "b<-a ok" true r.Genie.Input_path.ok;
-      incr done_count);
+      incr done_count));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf:a_out ());
   ignore (Genie.Endpoint.output eb ~sem:Sem.emulated_copy ~buf:b_out ());
   Genie.World.run w;

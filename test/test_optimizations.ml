@@ -31,9 +31,10 @@ let test_exit_during_output () =
   Genie.Buf.fill_pattern buf ~seed:31;
   let rbuf = plain_buf w.Genie.World.b ~len in
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
   let phys_a = w.Genie.World.a.Genie.Host.vm.Vm.Vm_sys.phys in
   (* The process dies; all its memory is deallocated mid-transfer. *)
@@ -60,9 +61,10 @@ let test_pageout_during_output () =
   Genie.Buf.fill_pattern buf ~seed:32;
   let rbuf = plain_buf w.Genie.World.b ~len in
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
   (* Mid-transmission, the pageout daemon sweeps aggressively. *)
   Simcore.Engine.schedule w.Genie.World.engine ~delay:(Simcore.Sim_time.of_us 500.)
@@ -91,9 +93,10 @@ let test_pageout_during_pending_input () =
   Genie.Buf.fill_pattern buf ~seed:33;
   let rbuf = plain_buf w.Genie.World.b ~len in
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   (* Sweep the receiver before anything arrives: the posted pages carry
      input references and must survive. *)
   ignore (Vm.Vm_sys.run_pageout w.Genie.World.b.Genie.Host.vm ~target:1000);
@@ -116,9 +119,10 @@ let test_fork_during_input () =
   let rbuf = plain_buf w.Genie.World.b ~len in
   Genie.Buf.write rbuf (Bytes.make len 'O');
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_share
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
   let child = ref None in
   Simcore.Engine.schedule w.Genie.World.engine ~delay:(Simcore.Sim_time.of_us 1500.)

@@ -63,9 +63,10 @@ let test_transfer_under_pressure () =
   let rregion = As.map_region sb ~npages:15 in
   let rbuf = Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:4096) ~len in
   let ok = ref false in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> ok := r.Genie.Input_path.ok);
+    ~on_complete:(fun r -> ok := r.Genie.Input_path.ok));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
   Genie.World.run w;
   Alcotest.(check bool) "transfer ok under pressure" true !ok;
@@ -88,10 +89,11 @@ let test_sys_buffers_alloc_output () =
   let buf = Genie.Sys_buffers.alloc w.Genie.World.a space ~len:10_000 in
   Genie.Buf.fill_pattern buf ~seed:5;
   let got = ref None in
-  Genie.Endpoint.input eb ~sem:Sem.move
+  ignore
+  (Genie.Endpoint.input eb ~sem:Sem.move
     ~spec:(Genie.Input_path.Sys_alloc
              { space = Genie.Host.new_space w.Genie.World.b; len = 10_000 })
-    ~on_complete:(fun r -> got := Some r);
+    ~on_complete:(fun r -> got := Some r));
   (* Explicitly allocated buffers are moved-in: output with move works. *)
   ignore (Genie.Endpoint.output ea ~sem:Sem.move ~buf ());
   Genie.World.run w;

@@ -1,139 +1,392 @@
-(* Stage-trace tests: the recorded pipeline for one transfer documents
-   (and pins down) the order of the data-passing stages. *)
+(* Typed kernel-path trace tests: stage spans for one transfer, span
+   nesting under fuzzer fault schedules, counters cross-checked against
+   the operation recorder, and the Chrome-trace exporter round-tripped
+   through the JSON layer. *)
 
 module As = Vm.Address_space
 module Sem = Genie.Semantics
+module T = Simcore.Tracer
 
 let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
 
-let traced_transfer sem =
-  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
-  Simcore.Tracer.enable w.Genie.World.a.Genie.Host.tracer;
-  Simcore.Tracer.enable w.Genie.World.b.Genie.Host.tracer;
+let traced_world () =
+  let trace = T.create ~enabled:true () in
+  (trace, Genie.World.create ~trace ~spec_a:light ~spec_b:light ())
+
+let make_buf host ~npages ~len =
+  let space = Genie.Host.new_space host in
+  let region = As.map_region space ~npages in
+  Genie.Buf.make space ~addr:(As.base_addr region ~page_size:4096) ~len
+
+let traced_transfer ?(len = 8192) sem =
+  let trace, w = traced_world () in
   let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
-  let len = 8192 in
-  let sa = Genie.Host.new_space w.Genie.World.a in
-  let region = As.map_region sa ~npages:2 in
-  let buf = Genie.Buf.make sa ~addr:(As.base_addr region ~page_size:4096) ~len in
+  let npages = ((len + 4095) / 4096) + 1 in
+  let rbuf = make_buf w.Genie.World.b ~npages ~len in
+  ignore
+    (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+       ~on_complete:(fun _ -> ()));
+  let buf = make_buf w.Genie.World.a ~npages ~len in
   Genie.Buf.fill_pattern buf ~seed:1;
-  let sb = Genie.Host.new_space w.Genie.World.b in
-  let rregion = As.map_region sb ~npages:2 in
-  let rbuf = Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:4096) ~len in
-  Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
   ignore (Genie.Endpoint.output ea ~sem ~buf ());
   Genie.World.run w;
-  ( List.map snd (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer),
-    List.map snd (Simcore.Tracer.events w.Genie.World.b.Genie.Host.tracer),
-    Simcore.Tracer.events w.Genie.World.b.Genie.Host.tracer )
+  (trace, w)
 
-let has_prefix prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+let named name (ev : T.event) = ev.T.name = name
+let on_host host (ev : T.event) = ev.T.host = host
 
-let test_emulated_copy_pipeline () =
-  let a_events, b_events, b_timed = traced_transfer Sem.emulated_copy in
-  (match a_events with
-  | [ prep; disp ] ->
-    Alcotest.(check bool) "prepare first" true
-      (has_prefix "output.prepare emulated copy" prep);
-    Alcotest.(check bool) "dispose second" true
-      (has_prefix "output.dispose emulated copy" disp)
-  | _ -> Alcotest.failf "sender events: %s" (String.concat "; " a_events));
-  (match b_events with
-  | [ prep; ready; disp; complete ] ->
-    Alcotest.(check bool) "input prepare" true
-      (has_prefix "input.prepare emulated copy" prep);
-    Alcotest.(check bool) "ready stage (aligned buffer)" true
-      (has_prefix "input.ready" ready);
-    Alcotest.(check bool) "dispose stage" true
-      (has_prefix "input.dispose" disp);
-    Alcotest.(check bool) "completion" true
-      (has_prefix "input.complete emulated copy ok=true" complete)
-  | _ -> Alcotest.failf "receiver events: %s" (String.concat "; " b_events));
-  (* The ready stage must run strictly before dispose in simulated time
-     (it overlaps arrival). *)
-  match b_timed with
-  | [ _; (t_ready, _); (t_disp, _); _ ] ->
-    Alcotest.(check bool) "ready overlaps arrival" true
-      (Simcore.Sim_time.compare t_ready t_disp < 0)
-  | _ -> Alcotest.fail "unexpected receiver trace shape"
+let find_one what pred events =
+  match List.filter pred events with
+  | [ ev ] -> ev
+  | l -> Alcotest.failf "%s: expected exactly one event, got %d" what (List.length l)
+
+let str_arg (ev : T.event) key =
+  match List.assoc_opt key ev.T.args with
+  | Some (T.Str s) -> s
+  | _ -> Alcotest.failf "event %s: missing string arg %s" ev.T.name key
+
+let bool_arg (ev : T.event) key =
+  match List.assoc_opt key ev.T.args with
+  | Some (T.Bool b) -> b
+  | _ -> Alcotest.failf "event %s: missing bool arg %s" ev.T.name key
+
+let test_output_path_span () =
+  let trace, _ = traced_transfer Sem.emulated_copy in
+  let events = List.filter (on_host "host-a") (T.typed_events trace) in
+  let b = find_one "output.path begin" (fun ev ->
+      named "output.path" ev && match ev.T.kind with T.Begin _ -> true | _ -> false)
+      events
+  in
+  let e = find_one "output.path end" (fun ev ->
+      named "output.path" ev && match ev.T.kind with T.End _ -> true | _ -> false)
+      events
+  in
+  (match (b.T.kind, e.T.kind) with
+  | T.Begin ib, T.End ie -> Alcotest.(check int) "span ids match" ib ie
+  | _ -> assert false);
+  Alcotest.(check string) "effective semantics recorded" "emulated copy"
+    (str_arg b "sem");
+  Alcotest.(check string) "subsystem" "genie" (T.subsystem_name b.T.sub);
+  (* The dispose instant fires inside the span. *)
+  let disp = find_one "output.dispose" (named "output.dispose") events in
+  Alcotest.(check bool) "dispose after begin" true (disp.T.seq > b.T.seq);
+  Alcotest.(check bool) "dispose before end" true (disp.T.seq < e.T.seq);
+  (* The span covers sim time: end strictly after begin. *)
+  Alcotest.(check bool) "span has duration" true
+    (Simcore.Sim_time.compare b.T.time e.T.time < 0)
+
+let test_input_pipeline_order () =
+  let trace, _ = traced_transfer Sem.emulated_copy in
+  let events = List.filter (on_host "host-b") (T.typed_events trace) in
+  let ready = find_one "input.ready" (named "input.ready") events in
+  let disp = find_one "input.dispose" (named "input.dispose") events in
+  let comp = find_one "input.complete" (named "input.complete") events in
+  Alcotest.(check bool) "ready overlaps arrival (before dispose)" true
+    (Simcore.Sim_time.compare ready.T.time disp.T.time < 0);
+  Alcotest.(check bool) "completion delivered ok" true (bool_arg comp "ok");
+  Alcotest.(check string) "completion semantics" "emulated copy"
+    (str_arg comp "sem");
+  let b = find_one "input.path begin" (fun ev ->
+      named "input.path" ev && match ev.T.kind with T.Begin _ -> true | _ -> false)
+      events
+  in
+  let e = find_one "input.path end" (fun ev ->
+      named "input.path" ev && match ev.T.kind with T.End _ -> true | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "input span brackets the stages" true
+    (b.T.seq < ready.T.seq && ready.T.seq < e.T.seq && comp.T.seq < e.T.seq)
 
 let test_in_place_has_no_ready_stage () =
-  let _, b_events, _ = traced_transfer Sem.emulated_share in
+  let trace, _ = traced_transfer Sem.emulated_share in
   Alcotest.(check bool) "no aligned-buffer ready stage" true
-    (not (List.exists (has_prefix "input.ready") b_events))
+    (not (List.exists (named "input.ready") (T.typed_events trace)))
 
 let test_conversion_visible_in_trace () =
   (* Short emulated-copy output is traced as copy (post-conversion). *)
-  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
-  Simcore.Tracer.enable w.Genie.World.a.Genie.Host.tracer;
-  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
-  let sa = Genie.Host.new_space w.Genie.World.a in
-  let region = As.map_region sa ~npages:1 in
-  let buf = Genie.Buf.make sa ~addr:(As.base_addr region ~page_size:4096) ~len:100 in
-  Genie.Buf.fill_pattern buf ~seed:1;
-  let sb = Genie.Host.new_space w.Genie.World.b in
-  let rregion = As.map_region sb ~npages:1 in
-  let rbuf = Genie.Buf.make sb ~addr:(As.base_addr rregion ~page_size:4096) ~len:100 in
-  Genie.Endpoint.input eb ~sem:Sem.emulated_copy
-    ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun _ -> ());
-  ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
-  Genie.World.run w;
-  let events = List.map snd (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer) in
-  Alcotest.(check bool) "traced as converted copy" true
-    (List.exists (has_prefix "output.prepare copy") events)
+  let trace, _ = traced_transfer ~len:100 Sem.emulated_copy in
+  let b = find_one "output.path begin" (fun ev ->
+      named "output.path" ev && match ev.T.kind with T.Begin _ -> true | _ -> false)
+      (T.typed_events trace)
+  in
+  Alcotest.(check string) "traced as converted copy" "copy" (str_arg b "sem")
 
 let test_tracing_disabled_is_silent () =
-  let _, _, _ = traced_transfer Sem.copy in
-  (* A fresh world without enabling records nothing. *)
   let w = Genie.World.create ~spec_a:light ~spec_b:light () in
-  Alcotest.(check int) "no events" 0
-    (List.length (Simcore.Tracer.events w.Genie.World.a.Genie.Host.tracer))
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let len = 8192 in
+  let rbuf = make_buf w.Genie.World.b ~npages:3 ~len in
+  ignore
+    (Genie.Endpoint.input eb ~sem:Sem.copy
+       ~spec:(Genie.Input_path.App_buffer rbuf)
+       ~on_complete:(fun _ -> ()));
+  let buf = make_buf w.Genie.World.a ~npages:3 ~len in
+  Genie.Buf.fill_pattern buf ~seed:1;
+  ignore (Genie.Endpoint.output ea ~sem:Sem.copy ~buf ());
+  Genie.World.run w;
+  let tracer = w.Genie.World.a.Genie.Host.tracer in
+  Alcotest.(check int) "no events" 0 (List.length (T.typed_events tracer));
+  Alcotest.(check (list (triple string string int))) "no counters" []
+    (T.counters tracer)
+
+(* {1 Counters vs the operation recorder} *)
+
+let test_counters_match_op_recorder () =
+  let trace, w = traced_world () in
+  let rec_a = Genie.Op_recorder.create () in
+  let rec_b = Genie.Op_recorder.create () in
+  w.Genie.World.a.Genie.Host.ops.Genie.Ops.recorder <- Some rec_a;
+  w.Genie.World.b.Genie.Host.ops.Genie.Ops.recorder <- Some rec_b;
+  let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  List.iteri
+    (fun i (sem, len) ->
+      let npages = ((len + 4095) / 4096) + 1 in
+      let rbuf = make_buf w.Genie.World.b ~npages ~len in
+      ignore
+        (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
+           ~on_complete:(fun _ -> ()));
+      let buf = make_buf w.Genie.World.a ~npages ~len in
+      Genie.Buf.fill_pattern buf ~seed:i;
+      ignore (Genie.Endpoint.output ea ~sem ~buf ()))
+    [ (Sem.copy, 1024); (Sem.emulated_copy, 16384); (Sem.share, 8192) ];
+  Genie.World.run w;
+  let check_host host recorder =
+    let name = host.Genie.Host.name in
+    let copy_samples =
+      Genie.Op_recorder.samples recorder Machine.Cost_model.Copyin
+      @ Genie.Op_recorder.samples recorder Machine.Cost_model.Copyout
+    in
+    Alcotest.(check int) (name ^ ": copies = recorded copy ops")
+      (List.length copy_samples)
+      (T.counter trace ~host:name "copies");
+    Alcotest.(check int) (name ^ ": copied_bytes = recorded copy bytes")
+      (List.fold_left (fun acc s -> acc + s.Genie.Op_recorder.bytes) 0 copy_samples)
+      (T.counter trace ~host:name "copied_bytes");
+    let wired_pages =
+      List.fold_left
+        (fun acc s -> acc + (s.Genie.Op_recorder.bytes / 4096))
+        0
+        (Genie.Op_recorder.samples recorder Machine.Cost_model.Wire)
+    in
+    Alcotest.(check int) (name ^ ": wires = recorded wired pages") wired_pages
+      (T.counter trace ~host:name "wires")
+  in
+  check_host w.Genie.World.a rec_a;
+  check_host w.Genie.World.b rec_b;
+  (* The TCOW transfer wired sender pages; make sure the cross-check is
+     not vacuous. *)
+  Alcotest.(check bool) "sender wired pages" true
+    (T.counter trace ~host:"host-a" "wires" > 0)
+
+(* {1 Span nesting under fuzzer fault schedules} *)
+
+let check_spans_well_formed events =
+  (* Per (host, subsystem) stream: every End matches the most recent
+     unmatched Begin id seen for that name is too strict (spans overlap
+     across concurrent transfers), so check the weaker global contract:
+     ids are unique per Begin, every End has a Begin with the same id and
+     name, recorded earlier. *)
+  let begins = Hashtbl.create 64 in
+  let ended = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : T.event) ->
+      match ev.T.kind with
+      | T.Begin id ->
+        Alcotest.(check bool)
+          (Printf.sprintf "span id %d unique" id)
+          false (Hashtbl.mem begins id);
+        Hashtbl.add begins id ev
+      | T.End id ->
+        (match Hashtbl.find_opt begins id with
+        | None -> Alcotest.failf "end without begin: %s #%d" ev.T.name id
+        | Some (b : T.event) ->
+          Alcotest.(check string)
+            (Printf.sprintf "span #%d name" id)
+            b.T.name ev.T.name;
+          Alcotest.(check bool)
+            (Printf.sprintf "span #%d begin before end" id)
+            true (b.T.seq < ev.T.seq));
+        Alcotest.(check bool)
+          (Printf.sprintf "span #%d ends once" id)
+          false (Hashtbl.mem ended id);
+        Hashtbl.add ended id ()
+      | _ -> ())
+    events
+
+let test_span_nesting_under_fuzzer () =
+  let trace = T.create () in
+  let cfg = { Check.Fuzzer.default_config with steps = 300; seed = 11 } in
+  let outcome = Check.Fuzzer.run ~trace cfg in
+  (match outcome.Check.Fuzzer.stop with
+  | Check.Fuzzer.Completed -> ()
+  | Check.Fuzzer.Violations _ ->
+    Alcotest.failf "fuzzer hit invariant violations:@.%s"
+      (Format.asprintf "%a" Check.Fuzzer.pp_outcome outcome));
+  let events = T.typed_events trace in
+  Alcotest.(check bool) "fuzzer produced events" true (List.length events > 100);
+  check_spans_well_formed events;
+  (* After the drain every input span is closed: equal begin/end counts. *)
+  let count k =
+    List.length
+      (List.filter
+         (fun (ev : T.event) ->
+           match (ev.T.kind, k) with
+           | T.Begin _, `B | T.End _, `E -> true
+           | _ -> false)
+         events)
+  in
+  Alcotest.(check int) "all spans closed after drain" (count `B) (count `E);
+  (* Sim time never runs backwards in recording order.  Complete events
+     are exempt: they are stamped with the operation's start, which may
+     precede the recording instant when the CPU queue is busy. *)
+  let events =
+    List.filter
+      (fun (ev : T.event) ->
+        match ev.T.kind with T.Complete _ -> false | _ -> true)
+      events
+  in
+  let rec monotone = function
+    | (a : T.event) :: (b : T.event) :: rest ->
+      Alcotest.(check bool) "time monotone in recording order" true
+        (Simcore.Sim_time.compare a.T.time b.T.time <= 0);
+      monotone (b :: rest)
+    | _ -> ()
+  in
+  monotone events;
+  (* Fault injections leave counter traces: the schedule includes TCOW
+     pokes and pageout pressure, so the VM counters must be live. *)
+  Alcotest.(check bool) "faults counted" true
+    (T.counter trace ~host:"host-a" "faults"
+     + T.counter trace ~host:"host-b" "faults"
+    > 0)
+
+(* {1 Chrome-trace export round-trip} *)
+
+let test_chrome_export_round_trip () =
+  let trace, _ = traced_transfer Sem.emulated_copy in
+  let s = Stats.Trace_export.to_chrome_string ~indent:1 trace in
+  match Stats.Json.of_string s with
+  | Error e -> Alcotest.failf "exporter output does not parse: %s" e
+  | Ok json ->
+    let events =
+      match json with
+      | Stats.Json.Obj fields ->
+        (match List.assoc_opt "traceEvents" fields with
+        | Some (Stats.Json.List l) -> l
+        | _ -> Alcotest.fail "missing traceEvents list")
+      | _ -> Alcotest.fail "top level is not an object"
+    in
+    let ph ev =
+      match ev with
+      | Stats.Json.Obj fields ->
+        (match List.assoc_opt "ph" fields with
+        | Some (Stats.Json.Str s) -> s
+        | _ -> Alcotest.fail "event without ph")
+      | _ -> Alcotest.fail "event is not an object"
+    in
+    let phases = List.map ph events in
+    let n p = List.length (List.filter (String.equal p) phases) in
+    Alcotest.(check bool) "has metadata" true (n "M" > 0);
+    Alcotest.(check bool) "has complete events" true (n "X" > 0);
+    Alcotest.(check int) "begin/end balanced" (n "b") (n "e");
+    Alcotest.(check int) "typed events all exported"
+      (List.length (T.typed_events trace))
+      (List.length events - n "M")
+
+(* {1 Legacy string API} *)
 
 let test_record_f_is_lazy () =
-  let t = Simcore.Tracer.create () in
+  let t = T.create () in
   let forced = ref false in
-  Simcore.Tracer.record_f t Simcore.Sim_time.zero (fun () ->
+  T.record_f t Simcore.Sim_time.zero (fun () ->
       forced := true;
       "never built");
   Alcotest.(check bool) "thunk not forced while disabled" false !forced;
-  Alcotest.(check int) "nothing recorded" 0
-    (List.length (Simcore.Tracer.events t));
-  Simcore.Tracer.enable t;
-  Simcore.Tracer.record_f t (Simcore.Sim_time.of_ns 5) (fun () ->
+  Alcotest.(check int) "nothing recorded" 0 (List.length (T.events t));
+  T.enable t;
+  T.record_f t (Simcore.Sim_time.of_ns 5) (fun () ->
       forced := true;
       "built");
   Alcotest.(check bool) "thunk forced while enabled" true !forced;
   Alcotest.(check (list string)) "recorded" [ "built" ]
-    (List.map snd (Simcore.Tracer.events t))
+    (List.map snd (T.events t))
 
 let test_last_n () =
-  let t = Simcore.Tracer.create ~enabled:true () in
+  let t = T.create ~enabled:true () in
   List.iter
-    (fun i -> Simcore.Tracer.record t (Simcore.Sim_time.of_ns i) (string_of_int i))
+    (fun i -> T.record t (Simcore.Sim_time.of_ns i) (string_of_int i))
     [ 1; 2; 3; 4; 5 ];
   Alcotest.(check (list string)) "last three, oldest first" [ "3"; "4"; "5" ]
-    (List.map snd (Simcore.Tracer.last_n t 3));
+    (List.map snd (T.last_n t 3));
   Alcotest.(check (list string)) "n beyond length gives everything"
     [ "1"; "2"; "3"; "4"; "5" ]
-    (List.map snd (Simcore.Tracer.last_n t 10));
+    (List.map snd (T.last_n t 10));
   Alcotest.(check (list string)) "zero gives nothing" []
-    (List.map snd (Simcore.Tracer.last_n t 0))
+    (List.map snd (T.last_n t 0))
+
+(* {1 Deprecated compatibility wrappers (one-PR grace period)} *)
+
+module Deprecated_wrappers = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let test_charge_wrappers () =
+    let engine = Simcore.Engine.create () in
+    let cpu = Simcore.Cpu.create engine in
+    let costs = Machine.Cost_model.create Machine.Machine_spec.micron_p166 in
+    let ops = Genie.Ops.create cpu costs in
+    let r = Genie.Op_recorder.create () in
+    ops.Genie.Ops.recorder <- Some r;
+    Genie.Ops.charge_bytes ops Machine.Cost_model.Copyin ~bytes:1000;
+    Genie.Ops.charge_pages ops Machine.Cost_model.Wire ~pages:2;
+    let bytes_of op =
+      List.map
+        (fun s -> s.Genie.Op_recorder.bytes)
+        (Genie.Op_recorder.samples r op)
+    in
+    Alcotest.(check (list int)) "charge_bytes = charge ~unit:(`Bytes n)"
+      [ 1000 ]
+      (bytes_of Machine.Cost_model.Copyin);
+    Alcotest.(check (list int)) "charge_pages = charge ~unit:(`Pages n)"
+      [ 2 * 4096 ]
+      (bytes_of Machine.Cost_model.Wire)
+
+  let test_input_legacy () =
+    let _, w = traced_world () in
+    let _, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+    let rbuf = make_buf w.Genie.World.b ~npages:2 ~len:4096 in
+    Genie.Endpoint.input_legacy eb ~sem:Sem.copy
+      ~spec:(Genie.Input_path.App_buffer rbuf)
+      ~on_complete:(fun _ -> ());
+    Alcotest.(check int) "legacy input posts a pending input" 1
+      (Genie.Endpoint.pending_inputs eb);
+    Genie.Endpoint.drain eb;
+    Alcotest.(check int) "drain cancels it" 0 (Genie.Endpoint.pending_inputs eb)
+end
 
 let suite =
   [
-    Alcotest.test_case "emulated copy pipeline order" `Quick
-      test_emulated_copy_pipeline;
-    Alcotest.test_case "record_f is lazy while disabled" `Quick
-      test_record_f_is_lazy;
-    Alcotest.test_case "last_n returns recent events oldest first" `Quick
-      test_last_n;
+    Alcotest.test_case "output path span and dispose ordering" `Quick
+      test_output_path_span;
+    Alcotest.test_case "input pipeline order" `Quick test_input_pipeline_order;
     Alcotest.test_case "in-place input has no ready stage" `Quick
       test_in_place_has_no_ready_stage;
     Alcotest.test_case "threshold conversion visible" `Quick
       test_conversion_visible_in_trace;
     Alcotest.test_case "tracing disabled is silent" `Quick
       test_tracing_disabled_is_silent;
+    Alcotest.test_case "counters match the operation recorder" `Quick
+      test_counters_match_op_recorder;
+    Alcotest.test_case "span nesting under fuzzer fault schedules" `Quick
+      test_span_nesting_under_fuzzer;
+    Alcotest.test_case "chrome export round-trips through Stats.Json" `Quick
+      test_chrome_export_round_trip;
+    Alcotest.test_case "record_f is lazy while disabled" `Quick
+      test_record_f_is_lazy;
+    Alcotest.test_case "last_n returns recent events oldest first" `Quick
+      test_last_n;
+    Alcotest.test_case "deprecated charge wrappers still work" `Quick
+      Deprecated_wrappers.test_charge_wrappers;
+    Alcotest.test_case "deprecated input wrapper still works" `Quick
+      Deprecated_wrappers.test_input_legacy;
   ]

@@ -54,9 +54,10 @@ let one_way ?(mode = Net.Adapter.Early_demux) ?(send_sem = Genie.Semantics.copy)
   in
   let result = ref None in
   let t_send = ref 0. and t_recv = ref 0. in
-  Genie.Endpoint.input eb ~sem:recv_sem ~spec:recv_spec_v ~on_complete:(fun r ->
+  ignore
+  (Genie.Endpoint.input eb ~sem:recv_sem ~spec:recv_spec_v ~on_complete:(fun r ->
       t_recv := Genie.Host.now_us w.Genie.World.b;
-      result := Some r);
+      result := Some r));
   t_send := Genie.Host.now_us w.Genie.World.a;
   ignore (Genie.Endpoint.output ea ~sem:send_sem ~buf:send_buf ());
   Genie.World.run w;
