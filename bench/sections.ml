@@ -537,7 +537,7 @@ let all : (string * (R.collector -> unit)) list =
     ("table7", table7); ("table8", table8); ("oc12", oc12);
     ("outboard", outboard); ("mixed", Mixed.run); ("load", load);
     ("ablations", Ablation.run_all); ("related", Related.run_all);
-    ("micro_bench", Micro_bench.run);
+    ("micro_bench", Micro_bench.run); ("wall_data", Wall_metrics.run);
   ]
 
 (* Legacy spellings still accepted on the command line. *)

@@ -72,6 +72,18 @@ let vcs = [ (1, Net.Adapter.Early_demux); (2, Net.Adapter.Pooled); (3, Net.Adapt
 let pick rng l = List.nth l (R.int rng ~bound:(List.length l))
 
 let run ?trace cfg =
+  (* Poison recycled memory for the whole run: frames get 0xAA at alloc
+     and pooled staging buffers 0xA5 at give, so any path that reads
+     stale or unfilled bytes corrupts a checksum instead of silently
+     passing. *)
+  let saved_frame_poison = !Memory.Phys_mem.debug_poison
+  and saved_buf_poison = !Memory.Buf_pool.debug_poison in
+  Memory.Phys_mem.debug_poison := true;
+  Memory.Buf_pool.debug_poison := true;
+  Fun.protect ~finally:(fun () ->
+      Memory.Phys_mem.debug_poison := saved_frame_poison;
+      Memory.Buf_pool.debug_poison := saved_buf_poison)
+  @@ fun () ->
   let mspec =
     { Machine.Machine_spec.micron_p166 with memory_mb = cfg.memory_mb }
   in

@@ -638,6 +638,19 @@ let io_desc_safety host =
     (VS.io_views host.Genie.Host.vm);
   !out
 
+(* {1 pte-rmap} *)
+
+let pte_rmap host =
+  List.concat_map
+    (fun (sv : VS.space_view) ->
+      List.map
+        (fun detail ->
+          violation "pte-rmap" host
+            (Printf.sprintf "space#%d" sv.VS.sv_id)
+            "%s" detail)
+        (sv.VS.sv_rmap_errors ()))
+    (VS.space_views host.Genie.Host.vm)
+
 (* {1 Catalogue} *)
 
 let all =
@@ -653,6 +666,7 @@ let all =
     ("tcow-protection", tcow_protection);
     ("io-refcounts", io_refcounts);
     ("io-desc-safety", io_desc_safety);
+    ("pte-rmap", pte_rmap);
   ]
 
 let check_host host = List.concat_map (fun (_, f) -> f host) all

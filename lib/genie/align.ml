@@ -7,19 +7,20 @@ type outcome = {
 let is_aligned ~buf ~src_off = Buf.page_offset buf = src_off
 
 let copy_all ops ~(buf : Buf.t) ~payload_len ~src_frames ~src_off =
-  (* Unaligned: gather the payload from the source pages and copy it out
-     through the application's mappings. *)
+  (* Unaligned: copy the payload out through the application's mappings,
+     as a gather view over the source pages — frame to frame, no
+     intermediate staging buffer. *)
   let psize = Ops.page_size ops in
-  let out = Bytes.create payload_len in
-  let cursor = ref 0 in
+  let slices = ref [] and cursor = ref 0 in
   while !cursor < payload_len do
     let pos = src_off + !cursor in
     let j = pos / psize and o = pos mod psize in
     let n = min (payload_len - !cursor) (psize - o) in
-    Memory.Frame.blit_out src_frames.(j) ~src_off:o ~dst:out ~dst_off:!cursor ~len:n;
+    slices := Memory.Iovec.of_frame src_frames.(j) ~off:o ~len:n :: !slices;
     cursor := !cursor + n
   done;
-  Vm.Address_space.write buf.Buf.space ~addr:buf.Buf.addr out;
+  Vm.Address_space.write_iov buf.Buf.space ~addr:buf.Buf.addr
+    (Memory.Iovec.concat (List.rev !slices));
   Ops.charge ops Machine.Cost_model.Copyout ~unit:(`Bytes payload_len);
   {
     swapped_pages = 0;
@@ -64,16 +65,11 @@ let deliver ops ~(buf : Buf.t) ~payload_len ~src_frames ~src_off ~threshold
         in
         if data_len = psize then swap_in ()
         else if data_len < threshold then begin
-          (* Reverse copyout, short case: copy the partial data out. *)
-          let chunk =
-            Bytes.sub
-              (let b = Bytes.create data_len in
-               Memory.Frame.blit_out src_frames.(j) ~src_off:(lo - page_lo)
-                 ~dst:b ~dst_off:0 ~len:data_len;
-               b)
-              0 data_len
-          in
-          Vm.Address_space.write space ~addr:(base_vaddr + lo) chunk;
+          (* Reverse copyout, short case: copy the partial data out,
+             straight from the source frame. *)
+          Vm.Address_space.write_iov space ~addr:(base_vaddr + lo)
+            (Memory.Iovec.of_frame src_frames.(j) ~off:(lo - page_lo)
+               ~len:data_len);
           copied := !copied + data_len
         end
         else begin
@@ -82,11 +78,11 @@ let deliver ops ~(buf : Buf.t) ~payload_len ~src_frames ~src_off ~threshold
           let complete range_lo range_hi =
             let n = range_hi - range_lo in
             if n > 0 then begin
-              let app_bytes =
-                Vm.Address_space.read space ~addr:(base_vaddr + range_lo) ~len:n
-              in
-              Memory.Frame.blit_in src_frames.(j) ~dst_off:(range_lo - page_lo)
-                ~src:app_bytes ~src_off:0 ~len:n;
+              Vm.Address_space.iter_read space ~addr:(base_vaddr + range_lo)
+                ~len:n (fun ~buf_off src ~off ~len ->
+                  Memory.Frame.blit_in src_frames.(j)
+                    ~dst_off:(range_lo - page_lo + buf_off)
+                    ~src:src.Memory.Frame.data ~src_off:off ~len);
               copied := !copied + n
             end
           in

@@ -301,8 +301,8 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
     let b = app_buffer p in
     if ok then begin
       let desc = frames_desc host p.sys_frames ~off:p.sys_off ~len:payload_len in
-      let data = Memory.Io_desc.gather desc ~off:0 ~len:payload_len in
-      Vm.Address_space.write b.Buf.space ~addr:b.Buf.addr data;
+      Vm.Address_space.write_iov b.Buf.space ~addr:b.Buf.addr
+        (Memory.Io_desc.to_iovec desc);
       Ops.charge ops C.Copyout ~unit:(`Bytes payload_len)
     end;
     Ops.charge ops C.Sysbuf_deallocate ~unit:(`Bytes 0);
@@ -479,8 +479,8 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
     let b = app_buffer p in
     if ok then begin
       let desc = frames_desc host chain ~off:hdr_len ~len:payload_len in
-      let data = Memory.Io_desc.gather desc ~off:0 ~len:payload_len in
-      Vm.Address_space.write b.Buf.space ~addr:b.Buf.addr data;
+      Vm.Address_space.write_iov b.Buf.space ~addr:b.Buf.addr
+        (Memory.Io_desc.to_iovec desc);
       Ops.charge ops C.Copyout ~unit:(`Bytes payload_len)
     end;
     charge_overlay_dealloc ();

@@ -22,14 +22,27 @@ let copyin_to_system_buffer (host : Host.t) (buf : Buf.t) =
   let npages = (buf.Buf.len + psize - 1) / psize in
   Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
   let frames = Host.alloc_sys_frames host npages in
-  let data = Buf.read buf in
+  (* Copy frame to frame through the application's mappings; a source
+     chunk may straddle two destination frames when the buffer address
+     is not page-aligned. *)
+  let frames_arr = Array.of_list frames in
+  Vm.Address_space.iter_read buf.Buf.space ~addr:buf.Buf.addr ~len:buf.Buf.len
+    (fun ~buf_off src ~off ~len ->
+      let rec put buf_off src_off remaining =
+        if remaining > 0 then begin
+          let i = buf_off / psize and o = buf_off mod psize in
+          let n = min remaining (psize - o) in
+          Memory.Frame.blit_in frames_arr.(i) ~dst_off:o
+            ~src:src.Memory.Frame.data ~src_off ~len:n;
+          put (buf_off + n) (src_off + n) (remaining - n)
+        end
+      in
+      put buf_off off len);
   let segs =
     List.mapi
       (fun i frame ->
         let off = i * psize in
-        let len = min psize (buf.Buf.len - off) in
-        Memory.Frame.blit_in frame ~dst_off:0 ~src:data ~src_off:off ~len;
-        { Memory.Io_desc.frame; off = 0; len })
+        { Memory.Io_desc.frame; off = 0; len = min psize (buf.Buf.len - off) })
       frames
   in
   Ops.charge ops C.Copyin ~unit:(`Bytes buf.Buf.len);

@@ -8,6 +8,7 @@ type t = {
   mutable wired : int;
   mutable state : state;
   mutable pageable : bool;
+  mutable known_zero : bool;
 }
 
 let io_referenced t = t.input_refs > 0 || t.output_refs > 0

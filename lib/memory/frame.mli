@@ -23,6 +23,11 @@ type t = {
   mutable wired : int;
   mutable state : state;
   mutable pageable : bool;  (** on the pageout daemon's candidate list *)
+  mutable known_zero : bool;
+      (** contents are provably all-zero (never-yet-allocated frames);
+          maintained by {!Phys_mem} alone and cleared whenever the frame
+          is handed out, so [alloc_zeroed] can skip the O(page_size)
+          refill without trusting owners to report their writes *)
 }
 
 val io_referenced : t -> bool

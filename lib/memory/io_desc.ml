@@ -33,6 +33,16 @@ let iter_range t ~off ~len f =
   in
   go t.segs off len
 
+let to_iovec ?(off = 0) ?len t =
+  let len = match len with Some l -> l | None -> t.total_len - off in
+  if len = 0 then Iovec.empty
+  else begin
+    let acc = ref [] in
+    iter_range t ~off ~len (fun seg seg_off n ->
+        acc := Iovec.of_frame seg.frame ~off:(seg.off + seg_off) ~len:n :: !acc);
+    Iovec.concat (List.rev !acc)
+  end
+
 let gather t ~off ~len =
   let out = Bytes.create len in
   let cursor = ref 0 in

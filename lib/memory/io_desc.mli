@@ -20,6 +20,10 @@ val single : Frame.t -> off:int -> len:int -> t
 val gather : t -> off:int -> len:int -> bytes
 (** Read [len] bytes starting at logical offset [off] of the descriptor. *)
 
+val to_iovec : ?off:int -> ?len:int -> t -> Iovec.t
+(** Zero-copy view over the descriptor's byte range ([off] defaults to
+    0, [len] to the rest); aliases the underlying frames. *)
+
 val scatter : t -> off:int -> src:bytes -> src_off:int -> len:int -> unit
 (** Write bytes into the descriptor starting at logical offset [off]. *)
 

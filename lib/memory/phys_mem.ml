@@ -20,12 +20,15 @@ let create spec =
     Array.init n (fun id ->
         {
           Frame.id;
-          data = Bytes.create page_size;
+          (* Bytes.make (not Bytes.create): the initial known_zero claim
+             must actually be true. *)
+          data = Bytes.make page_size '\x00';
           input_refs = 0;
           output_refs = 0;
           wired = 0;
           state = Frame.Free;
           pageable = false;
+          known_zero = true;
         })
   in
   let free = Queue.create () in
@@ -38,25 +41,35 @@ let total_frames t = Array.length t.frames
 let free_frames t = Queue.length t.free
 let frame_by_id t id = t.frames.(id)
 
-let alloc t =
+(* Debug switch: poison freshly allocated frames with 0xAA so consumers
+   that rely on uninitialized frame contents trip byte-correctness
+   checks.  Off by default — the fuzzer and the poisoning tests turn it
+   on — so the common [alloc] is O(1) instead of O(page_size). *)
+let debug_poison = ref false
+
+let take_free t =
   match Queue.take_opt t.free with
   | None -> raise Out_of_frames
   | Some id ->
     let frame = t.frames.(id) in
     assert (frame.Frame.state = Frame.Free);
     frame.Frame.state <- Frame.Allocated;
-    Frame.fill frame '\xAA';
     traced t (fun s -> Simcore.Tracer.add_counter s "frame_allocs");
     frame
 
-let alloc_zeroed t =
-  let frame = alloc t in
-  Frame.fill frame '\x00';
+let alloc t =
+  let frame = take_free t in
+  if !debug_poison then Frame.fill frame '\xAA';
+  frame.Frame.known_zero <- false;
   frame
 
-let alloc_many t n =
-  let rec take acc k = if k = 0 then List.rev acc else take (alloc t :: acc) (k - 1) in
-  take [] n
+let alloc_zeroed t =
+  let frame = take_free t in
+  (* Frames whose contents are provably zero (never handed out since
+     [create]) skip the O(page_size) refill. *)
+  if not frame.Frame.known_zero then Frame.fill frame '\x00';
+  frame.Frame.known_zero <- false;
+  frame
 
 let release t (frame : Frame.t) =
   frame.Frame.state <- Frame.Free;
@@ -64,6 +77,20 @@ let release t (frame : Frame.t) =
   frame.Frame.wired <- 0;
   Queue.add frame.Frame.id t.free;
   traced t (fun s -> Simcore.Tracer.add_counter s "frame_frees")
+
+let alloc_many t n =
+  let rec take acc k =
+    if k = 0 then List.rev acc
+    else
+      match alloc t with
+      | frame -> take (frame :: acc) (k - 1)
+      | exception Out_of_frames ->
+        (* Don't leak the partial batch: hand every frame already taken
+           back to the free list before reporting exhaustion. *)
+        List.iter (fun f -> release t f) acc;
+        raise Out_of_frames
+  in
+  take [] n
 
 (* Chaos switch for the invariant checker: pretend I/O-deferred page
    deallocation was never implemented, freeing frames devices still

@@ -23,12 +23,19 @@ val set_trace_scope : t -> Simcore.Tracer.scope -> unit
     alloc/free counters, I/O-deferred deallocations). *)
 
 val alloc : t -> Frame.t
-(** Take a frame off the free list; contents are unspecified (frames are
-    poisoned with [0xAA] to surface missing-zeroing bugs).
+(** Take a frame off the free list; contents are unspecified.  When
+    {!debug_poison} is set the frame is filled with [0xAA] to surface
+    missing-zeroing bugs; otherwise allocation is O(1).
     @raise Out_of_frames when physical memory is exhausted. *)
 
 val alloc_zeroed : t -> Frame.t
+(** Like {!alloc} but with all-zero contents.  Frames whose bytes are
+    provably zero already (tracked via [Frame.known_zero]) skip the
+    O(page_size) refill. *)
+
 val alloc_many : t -> int -> Frame.t list
+(** Allocate a batch.  On [Out_of_frames] the partially allocated batch
+    is released back to the free list before the exception propagates. *)
 
 val deallocate : t -> Frame.t -> unit
 (** Release an [Allocated] frame.  If the frame has I/O references it
@@ -58,6 +65,11 @@ val frame_by_id : t -> int -> Frame.t
 val free_ids : t -> int list
 (** Contents of the free list, in allocation order (for the invariant
     checker). *)
+
+val debug_poison : bool ref
+(** Poison frames with [0xAA] on allocation (the historical default).
+    The fuzzer and the byte-correctness tests set it; production-path
+    benchmarks leave it off so [alloc] stays O(1). *)
 
 val skip_deferred_dealloc : bool ref
 (** Test-only chaos switch: when set, [deallocate] frees frames even while

@@ -26,8 +26,17 @@ val wire_bytes : int -> int
 
 type error = [ `Bad_crc | `Bad_length | `Truncated ]
 
+val encode_iov : Memory.Iovec.t -> Memory.Iovec.t list
+(** Cellify a payload view.  Each returned cell is a zero-copy slice of
+    payload-plus-trailer; the only byte movement is the CRC fold and the
+    (< 56 byte) trailer build. *)
+
+val decode_iov : Memory.Iovec.t list -> (Memory.Iovec.t, error) result
+(** Reassemble cell views; the result aliases the cells' storage. *)
+
 val encode : bytes -> bytes list
-(** Split a payload into 48-byte cell payloads, padded, with trailer. *)
+(** Split a payload into 48-byte cell payloads, padded, with trailer.
+    Materializing wrapper over {!encode_iov}. *)
 
 val decode : bytes list -> (bytes, error) result
 

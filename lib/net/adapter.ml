@@ -52,6 +52,7 @@ type t = {
   credits : (int, credit_state) Hashtbl.t;
   mutable stalls : int;
   corrupt_pending : (int, int ref) Hashtbl.t;  (* vc -> PDUs to corrupt *)
+  tx_pool : Memory.Buf_pool.t;  (* recycled burst staging buffers *)
   mutable trace : Simcore.Tracer.scope option;
 }
 
@@ -71,6 +72,7 @@ and flight = {
   fl_vc : int;
   fl_hdr : bytes;
   fl_desc : Memory.Io_desc.t;
+  fl_iov : Memory.Iovec.t;  (* hdr ++ payload, zero-copy *)
   fl_total : int;  (* hdr + payload *)
   fl_hdr_len : int;
   mutable fl_crc : Crc32.t;
@@ -98,6 +100,7 @@ let create engine p ~page_size ~name =
     credits = Hashtbl.create 4;
     stalls = 0;
     corrupt_pending = Hashtbl.create 4;
+    tx_pool = Memory.Buf_pool.create ();
     trace = None;
   }
 
@@ -168,8 +171,8 @@ let corrupt_next_pdu t ~vc =
 (* Flip one byte of the first burst of a PDU marked for corruption; the
    sender-side CRC has already been computed, so the receiver's check
    fails exactly as for a line error. *)
-let maybe_corrupt t ~vc ~first_burst (chunk : bytes) =
-  if first_burst && Bytes.length chunk > 0 then
+let maybe_corrupt t ~vc ~first_burst (chunk : bytes) ~len =
+  if first_burst && len > 0 then
     match Hashtbl.find_opt t.corrupt_pending vc with
     | Some n when !n > 0 ->
       decr n;
@@ -209,7 +212,7 @@ let start_rx t vc total_len =
 
 (* Scatter PDU bytes [f.received, f.received+len) into the pooled chain,
    allocating pool pages on demand. *)
-let pooled_scatter t st (chunk : bytes) pdu_off =
+let pooled_scatter t st (chunk : bytes) ~chunk_len pdu_off =
   let rec put frames_rev filled src_off remaining =
     if remaining = 0 then frames_rev
     else begin
@@ -228,11 +231,11 @@ let pooled_scatter t st (chunk : bytes) pdu_off =
     end
   in
   match st with
-  | Rx_pooled s -> s.frames <- put s.frames pdu_off (0 : int) (Bytes.length chunk)
+  | Rx_pooled s -> s.frames <- put s.frames pdu_off (0 : int) chunk_len
   | Rx_idle | Rx_demux _ | Rx_outboard _ -> assert false
 
-let demux_scatter (posted : posted) (chunk : bytes) pdu_off ~hdr_len ~overrun =
-  let chunk_len = Bytes.length chunk in
+let demux_scatter (posted : posted) (chunk : bytes) ~chunk_len pdu_off ~hdr_len
+    ~overrun =
   (* Header portion of this chunk. *)
   let hdr_take = max 0 (min (hdr_len - pdu_off) chunk_len) in
   if hdr_take > 0 then
@@ -257,7 +260,10 @@ let demux_scatter (posted : posted) (chunk : bytes) pdu_off ~hdr_len ~overrun =
     if n < pay_chunk then overrun ()
   end
 
-let rx_burst t ~vc ~chunk ~pdu_off ~hdr_len ~total_len ~is_last ~tx_crc ~cells =
+(* [chunk] is a recycled staging buffer that may be larger than the
+   burst; only the first [chunk_len] bytes are live. *)
+let rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
+    ~tx_crc ~cells =
   (* Consuming the burst frees receive buffering: return the credits to
      the sender after the propagation delay. *)
   (match t.peer with
@@ -267,13 +273,15 @@ let rx_burst t ~vc ~chunk ~pdu_off ~hdr_len ~total_len ~is_last ~tx_crc ~cells =
   | None -> ());
   if pdu_off = 0 then start_rx t vc total_len;
   let f = flow t vc in
-  f.crc <- Crc32.update f.crc chunk ~off:0 ~len:(Bytes.length chunk);
+  f.crc <- Crc32.update f.crc chunk ~off:0 ~len:chunk_len;
   (match f.partial with
   | Rx_idle -> assert false
-  | Rx_demux d -> demux_scatter d.posted chunk pdu_off ~hdr_len ~overrun:(fun () -> d.overrun <- true)
-  | Rx_pooled _ -> pooled_scatter t f.partial chunk pdu_off
-  | Rx_outboard { buf; _ } -> Buffer.add_bytes buf chunk);
-  f.received <- f.received + Bytes.length chunk;
+  | Rx_demux d ->
+    demux_scatter d.posted chunk ~chunk_len pdu_off ~hdr_len ~overrun:(fun () ->
+        d.overrun <- true)
+  | Rx_pooled _ -> pooled_scatter t f.partial chunk ~chunk_len pdu_off
+  | Rx_outboard { buf; _ } -> Buffer.add_subbytes buf chunk 0 chunk_len);
+  f.received <- f.received + chunk_len;
   if is_last then begin
     let crc_ok = Crc32.finish f.crc = tx_crc in
     let completion =
@@ -306,17 +314,15 @@ let rx_burst t ~vc ~chunk ~pdu_off ~hdr_len ~total_len ~is_last ~tx_crc ~cells =
 
 (* {1 Transmit path} *)
 
-let gather_pdu_range fl ~off ~len =
-  (* PDU layout: header bytes then payload gathered from the descriptor. *)
-  let out = Bytes.create len in
-  let hdr_take = max 0 (min (fl.fl_hdr_len - off) len) in
-  if hdr_take > 0 then Bytes.blit fl.fl_hdr off out 0 hdr_take;
-  let pay_len = len - hdr_take in
-  if pay_len > 0 then begin
-    let pay_off = off + hdr_take - fl.fl_hdr_len in
-    let payload = Memory.Io_desc.gather fl.fl_desc ~off:pay_off ~len:pay_len in
-    Bytes.blit payload 0 out hdr_take pay_len
-  end;
+(* Stage one burst into a pooled buffer with a single gather pass over
+   the flight's hdr++payload view.  Bursts must be materialized at
+   serialization time — weak-integrity overwrites corrupt only later
+   bursts — so this copy is semantic, but it is the only one: the
+   buffer is recycled and the gather never builds intermediate bytes. *)
+let gather_pdu_range t fl ~off ~len =
+  let out = Memory.Buf_pool.take t.tx_pool ~len in
+  Memory.Iovec.blit_to (Memory.Iovec.sub fl.fl_iov ~off ~len) ~dst:out
+    ~dst_off:0;
   out
 
 let cell_time_ns t = Net_params.cell_time_ns t.p
@@ -352,9 +358,9 @@ let rec send_burst t job ~i ~cells_done =
     (match Hashtbl.find_opt t.credits fl.fl_vc with
     | Some cs -> cs.available <- cs.available - burst_cells
     | None -> ());
-    let chunk = gather_pdu_range fl ~off ~len in
+    let chunk = gather_pdu_range t fl ~off ~len in
     fl.fl_crc <- Crc32.update fl.fl_crc chunk ~off:0 ~len;
-    maybe_corrupt t ~vc:fl.fl_vc ~first_burst:(off = 0) chunk;
+    maybe_corrupt t ~vc:fl.fl_vc ~first_burst:(off = 0) chunk ~len;
     let serialization =
       Simcore.Sim_time.of_ns
         (int_of_float (Float.round (float_of_int burst_cells *. cell_time_ns t)))
@@ -374,8 +380,11 @@ let rec send_burst t job ~i ~cells_done =
     let arrival = Simcore.Sim_time.add end_time t.p.Net_params.prop_delay in
     let tx_crc = Crc32.finish fl.fl_crc in
     Simcore.Engine.at t.engine ~time:arrival (fun () ->
-        rx_burst peer ~vc:fl.fl_vc ~chunk ~pdu_off:off ~hdr_len:fl.fl_hdr_len
-          ~total_len:fl.fl_total ~is_last ~tx_crc ~cells:burst_cells);
+        rx_burst peer ~vc:fl.fl_vc ~chunk ~chunk_len:len ~pdu_off:off
+          ~hdr_len:fl.fl_hdr_len ~total_len:fl.fl_total ~is_last ~tx_crc
+          ~cells:burst_cells;
+        (* rx_burst consumed the staging buffer synchronously; recycle it. *)
+        Memory.Buf_pool.give t.tx_pool chunk);
     Simcore.Engine.at t.engine ~time:end_time (fun () ->
         if is_last then begin
           t.tx_active <- false;
@@ -428,9 +437,13 @@ let transmit t ~vc ~hdr ~desc ~on_tx_complete =
     if cs.limit < worst then
       invalid_arg "Adapter.transmit: credit window smaller than one burst"
   | None -> ());
+  let fl_hdr = Bytes.copy hdr in
   let fl =
-    { fl_vc = vc; fl_hdr = Bytes.copy hdr; fl_desc = desc; fl_total = total;
-      fl_hdr_len = hdr_len; fl_crc = Crc32.init; fl_span = 0 }
+    { fl_vc = vc; fl_hdr; fl_desc = desc;
+      fl_iov =
+        Memory.Iovec.concat
+          [ Memory.Iovec.of_bytes fl_hdr; Memory.Io_desc.to_iovec desc ];
+      fl_total = total; fl_hdr_len = hdr_len; fl_crc = Crc32.init; fl_span = 0 }
   in
   (* Advisory busy estimate (ignores credit stalls). *)
   let now = Simcore.Engine.now t.engine in

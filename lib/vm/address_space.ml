@@ -3,6 +3,13 @@ type t = {
   vm : Vm_sys.t;
   pt : Page_table.t;
   mutable region_list : Region.t list;  (* sorted by start_vpn *)
+  (* Region-lookup fast path: a sorted array rebuilt lazily after any
+     region_list mutation, searched by bisection, fronted by a last-hit
+     cache (lookups are heavily clustered: iter_pages resolves the same
+     region once per page). *)
+  mutable region_arr : Region.t array;
+  mutable arr_dirty : bool;
+  mutable last_hit : Region.t option;
   moved_out_q : Region.t Queue.t;
   weak_q : Region.t Queue.t;
   mutable next_vpn : int;
@@ -18,6 +25,9 @@ let create vm =
       vm;
       pt = Page_table.create ();
       region_list = [];
+      region_arr = [||];
+      arr_dirty = false;
+      last_hit = None;
       moved_out_q = Queue.create ();
       weak_q = Queue.create ();
       next_vpn = 16;  (* leave a null guard area *)
@@ -34,6 +44,7 @@ let create vm =
           let acc = ref [] in
           Page_table.iter t.pt (fun ~vpn pte -> acc := (vpn, pte) :: !acc);
           !acc);
+      sv_rmap_errors = (fun () -> Page_table.check_rmap t.pt);
     };
   t
 
@@ -52,6 +63,41 @@ let regions t = t.region_list
 let vpn_of_addr t addr = addr / page_size t
 let base_addr (r : Region.t) ~page_size = r.Region.start_vpn * page_size
 
+(* {1 Region lookup} *)
+
+let invalidate_lookup t =
+  t.arr_dirty <- true;
+  t.last_hit <- None
+
+let region_of_vpn t vpn =
+  match t.last_hit with
+  | Some r when r.Region.valid && Region.contains_vpn r vpn -> Some r
+  | _ ->
+    if t.arr_dirty then begin
+      t.region_arr <- Array.of_list t.region_list;
+      t.arr_dirty <- false
+    end;
+    let arr = t.region_arr in
+    (* Bisect for the region with the greatest start_vpn <= vpn; the list
+       is sorted by construction (map_region/ensure_region allocate at
+       monotonically increasing next_vpn). *)
+    let lo = ref 0 and hi = ref (Array.length arr - 1) in
+    let found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let r = arr.(mid) in
+      if r.Region.start_vpn <= vpn then begin
+        found := Some r;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    (match !found with
+    | Some r when Region.contains_vpn r vpn ->
+      t.last_hit <- Some r;
+      Some r
+    | Some _ | None -> None)
+
 (* {1 Regions} *)
 
 let map_region ?(state = Region.Unmovable) ?(pageable = true) ?(populate = true)
@@ -61,6 +107,7 @@ let map_region ?(state = Region.Unmovable) ?(pageable = true) ?(populate = true)
   let region = Region.make ~start_vpn:t.next_vpn ~npages ~state ~obj in
   t.next_vpn <- t.next_vpn + npages + 1 (* one-page guard gap *);
   t.region_list <- t.region_list @ [ region ];
+  invalidate_lookup t;
   if populate then
     for i = 0 to npages - 1 do
       let frame = Vm_sys.alloc_pressured_zeroed t.vm in
@@ -78,11 +125,10 @@ let remove_region t (region : Region.t) =
     Vm_sys.remove_page t.vm region.Region.obj i
   done;
   region.Region.valid <- false;
-  t.region_list <- List.filter (fun r -> r != region) t.region_list
+  t.region_list <- List.filter (fun r -> r != region) t.region_list;
+  invalidate_lookup t
 
-let find_region t ~vaddr =
-  let vpn = vpn_of_addr t vaddr in
-  List.find_opt (fun r -> Region.contains_vpn r vpn) t.region_list
+let find_region t ~vaddr = region_of_vpn t (vpn_of_addr t vaddr)
 
 let region_of_addr t ~vaddr =
   match find_region t ~vaddr with
@@ -90,9 +136,6 @@ let region_of_addr t ~vaddr =
   | None -> Vm_error.segfault "space %d: address %#x not in any region" t.id vaddr
 
 (* {1 Fault handling} *)
-
-let region_of_vpn t vpn =
-  List.find_opt (fun r -> Region.contains_vpn r vpn) t.region_list
 
 let recoverable (r : Region.t) =
   match r.Region.state with
@@ -267,6 +310,20 @@ let write t ~addr src =
       let frame = resolve_write t ~vpn in
       Memory.Frame.blit_in frame ~dst_off:off ~src ~src_off:buf_off ~len)
 
+let write_iov t ~addr iov =
+  let cursor = ref addr in
+  Memory.Iovec.iter_slices iov (fun src ~off:src_base ~len:slice_len ->
+      iter_pages t ~addr:!cursor ~len:slice_len (fun ~vpn ~off ~buf_off ~len ->
+          let frame = resolve_write t ~vpn in
+          Memory.Frame.blit_in frame ~dst_off:off ~src
+            ~src_off:(src_base + buf_off) ~len);
+      cursor := !cursor + slice_len)
+
+let iter_read t ~addr ~len f =
+  iter_pages t ~addr ~len (fun ~vpn ~off ~buf_off ~len ->
+      let frame = resolve_read t ~vpn in
+      f ~buf_off frame ~off ~len)
+
 let touch t ~addr ~len =
   iter_pages t ~addr ~len (fun ~vpn ~off:_ ~buf_off:_ ~len:_ ->
       ignore (resolve_read t ~vpn))
@@ -422,6 +479,7 @@ let ensure_region t (region : Region.t) ~frames =
     in
     t.next_vpn <- t.next_vpn + fresh.Region.npages + 1;
     t.region_list <- t.region_list @ [ fresh ];
+    invalidate_lookup t;
     List.iteri
       (fun i frame ->
         Memory.Phys_mem.adopt phys frame;
@@ -482,6 +540,7 @@ let clone_cow t =
     end
   in
   child.region_list <- List.map clone_region t.region_list;
+  invalidate_lookup child;
   child
 
 (* {1 Region caching} *)

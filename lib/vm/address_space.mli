@@ -50,6 +50,19 @@ val base_addr : Region.t -> page_size:int -> int
 
 val read : t -> addr:int -> len:int -> bytes
 val write : t -> addr:int -> bytes -> unit
+
+val write_iov : t -> addr:int -> Memory.Iovec.t -> unit
+(** Store a scatter-gather view directly, page chunk by page chunk, with
+    the same faulting behaviour and page order as {!write} but without
+    materializing the view into an intermediate buffer. *)
+
+val iter_read :
+  t -> addr:int -> len:int ->
+  (buf_off:int -> Memory.Frame.t -> off:int -> len:int -> unit) -> unit
+(** Resolve the range for reading and hand each physical chunk to the
+    callback ([buf_off] is the chunk's offset within the range) — the
+    zero-copy analogue of {!read}. *)
+
 val touch : t -> addr:int -> len:int -> unit
 (** Fault in (for reading) every page of the range. *)
 

@@ -22,8 +22,23 @@ val replace_frame : t -> vpn:int -> Memory.Frame.t -> unit
 (** Point an existing entry at a different frame (page swapping). *)
 
 val unmap : t -> vpn:int -> unit
+
 val vpns_of_frame : t -> Memory.Frame.t -> int list
+(** Virtual pages currently mapping the frame, ascending.  Backed by a
+    per-frame hash set, so lookup is O(set size), not O(mappings). *)
+
 val entry_count : t -> int
 
 val iter : t -> (vpn:int -> pte -> unit) -> unit
 (** Visit every translation (unspecified order; for checkers and tests). *)
+
+val check_rmap : t -> string list
+(** Consistency audit of the reverse map against the translations: every
+    entry present in its frame's set, every set pair backed by a live
+    entry, no empty sets, totals equal {!entry_count}.  Returns
+    human-readable violation strings (empty = consistent). *)
+
+val unsafe_rmap_drop : t -> vpn:int -> frame_id:int -> unit
+(** Test-only corruption hook: silently drop one reverse-map pair so
+    checker tests can prove {!check_rmap} notices.  Never call outside
+    tests. *)

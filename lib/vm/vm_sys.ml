@@ -2,6 +2,7 @@ type space_view = {
   sv_id : int;
   sv_regions : unit -> Region.t list;
   sv_ptes : unit -> (int * Page_table.pte) list;
+  sv_rmap_errors : unit -> string list;
 }
 
 type io_dir = Io_input | Io_output
@@ -78,9 +79,10 @@ let alloc_pressured t =
   Memory.Phys_mem.alloc t.phys
 
 let alloc_pressured_zeroed t =
-  let frame = alloc_pressured t in
-  Memory.Frame.fill frame '\x00';
-  frame
+  if Memory.Phys_mem.free_frames t.phys = 0 then
+    ignore (Memory.Pageout.scan t.pageout ~target:16);
+  (* Phys_mem skips the zero fill for frames it knows are still zero. *)
+  Memory.Phys_mem.alloc_zeroed t.phys
 
 let materialize t obj idx =
   match Memory_object.find_local obj idx with

@@ -9,6 +9,9 @@ type space_view = {
   sv_id : int;
   sv_regions : unit -> Region.t list;
   sv_ptes : unit -> (int * Page_table.pte) list;  (** (vpn, pte) pairs *)
+  sv_rmap_errors : unit -> string list;
+      (** {!Page_table.check_rmap} over the space's table: reverse-map
+          vs translation consistency violations, empty when clean *)
 }
 (** Introspection window onto one address space, registered by
     {!Address_space.create}.  The invariant checker walks these instead of
@@ -99,3 +102,5 @@ val alloc_pressured : t -> Memory.Frame.t
     (all remaining memory is wired, kernel-owned or I/O-referenced). *)
 
 val alloc_pressured_zeroed : t -> Memory.Frame.t
+(** {!alloc_pressured} with all-zero contents; frames the physical layer
+    knows are still zero skip the O(page_size) refill. *)

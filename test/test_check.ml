@@ -10,7 +10,7 @@ let contains s sub =
   m = 0 || go 0
 
 let test_catalogue () =
-  Alcotest.(check int) "eleven invariants" 11 (List.length I.all);
+  Alcotest.(check int) "twelve invariants" 12 (List.length I.all);
   let w = Genie.World.create () in
   Alcotest.(check (list string))
     "fresh world is clean" []

@@ -7,7 +7,12 @@ let spec = { Machine.Machine_spec.micron_p166 with Machine.Machine_spec.memory_m
 
 let fresh () = Memory.Phys_mem.create spec
 
+let with_poison f =
+  Memory.Phys_mem.debug_poison := true;
+  Fun.protect ~finally:(fun () -> Memory.Phys_mem.debug_poison := false) f
+
 let test_alloc_free () =
+  with_poison @@ fun () ->
   let pm = fresh () in
   let total = Memory.Phys_mem.total_frames pm in
   Alcotest.(check int) "256 frames" 256 total;
@@ -69,6 +74,80 @@ let test_adopt_zombie () =
   Memory.Phys_mem.unref_input pm f;
   Alcotest.(check int) "unref does not free adopted frame" free
     (Memory.Phys_mem.free_frames pm)
+
+let test_alloc_many_partial_exhaustion () =
+  (* Regression: a batch that ran out of frames mid-way used to leak the
+     partially allocated prefix, permanently shrinking the free list. *)
+  let pm = fresh () in
+  let total = Memory.Phys_mem.total_frames pm in
+  let keep = Memory.Phys_mem.alloc_many pm (total - 6) in
+  Alcotest.(check int) "six left" 6 (Memory.Phys_mem.free_frames pm);
+  Alcotest.check_raises "batch too large" Memory.Phys_mem.Out_of_frames
+    (fun () -> ignore (Memory.Phys_mem.alloc_many pm 10));
+  Alcotest.(check int) "partial batch returned" 6
+    (Memory.Phys_mem.free_frames pm);
+  (* The survivors are genuinely allocatable. *)
+  let rest = Memory.Phys_mem.alloc_many pm 6 in
+  Alcotest.(check int) "empty" 0 (Memory.Phys_mem.free_frames pm);
+  List.iter (Memory.Phys_mem.deallocate pm) (keep @ rest)
+
+let test_alloc_zeroed_after_reuse () =
+  (* known_zero soundness: a frame that was handed out, dirtied and freed
+     must be re-zeroed by alloc_zeroed; only never-allocated frames may
+     skip the fill. *)
+  let pm = fresh () in
+  let f = Memory.Phys_mem.alloc pm in
+  Bytes.set f.Memory.Frame.data 17 'X';
+  Memory.Phys_mem.deallocate pm f;
+  let total = Memory.Phys_mem.total_frames pm in
+  let all_zero (g : Memory.Frame.t) =
+    Bytes.for_all (fun c -> c = '\x00') g.Memory.Frame.data
+  in
+  (* Drain the whole free list; every zeroed allocation (including the
+     recycled dirty frame, wherever the queue put it) must be clean. *)
+  for _ = 1 to total do
+    Alcotest.(check bool) "zeroed" true (all_zero (Memory.Phys_mem.alloc_zeroed pm))
+  done
+
+let test_buf_pool_classes () =
+  let pool = Memory.Buf_pool.create () in
+  let b = Memory.Buf_pool.take pool ~len:100 in
+  Alcotest.(check int) "rounded to 128" 128 (Bytes.length b);
+  Alcotest.(check int) "tiny rounds to 64" 64
+    (Bytes.length (Memory.Buf_pool.take pool ~len:1));
+  Alcotest.(check int) "exact class kept" 4096
+    (Bytes.length (Memory.Buf_pool.take pool ~len:4096));
+  (* Oversized requests bypass the classes entirely. *)
+  let big = Memory.Buf_pool.take pool ~len:(1 lsl 20) in
+  Alcotest.(check int) "oversize exact" (1 lsl 20) (Bytes.length big);
+  Memory.Buf_pool.give pool big;
+  Alcotest.(check bool) "oversize not pooled" false
+    (Memory.Buf_pool.take pool ~len:(1 lsl 20) == big)
+
+let test_buf_pool_reuse () =
+  let pool = Memory.Buf_pool.create () in
+  let b = Memory.Buf_pool.take pool ~len:512 in
+  Memory.Buf_pool.give pool b;
+  let b' = Memory.Buf_pool.take pool ~len:300 in
+  Alcotest.(check bool) "same buffer recycled" true (b == b');
+  Alcotest.(check int) "one hit" 1 (Memory.Buf_pool.hits pool);
+  Memory.Buf_pool.give pool b';
+  Alcotest.(check bool) "different class misses" false
+    (Memory.Buf_pool.take pool ~len:64 == b')
+
+let test_buf_pool_poison () =
+  Memory.Buf_pool.debug_poison := true;
+  Fun.protect ~finally:(fun () -> Memory.Buf_pool.debug_poison := false)
+  @@ fun () ->
+  let pool = Memory.Buf_pool.create () in
+  let b = Memory.Buf_pool.take pool ~len:64 in
+  Bytes.fill b 0 64 'S';
+  Memory.Buf_pool.give pool b;
+  (* A consumer that peeks at recycled bytes before overwriting them sees
+     poison, never stale payload. *)
+  Alcotest.(check char) "poisoned on give" '\xA5' (Bytes.get b 0);
+  Alcotest.(check bool) "fully poisoned" true
+    (Bytes.for_all (fun c -> c = '\xA5') b)
 
 let test_unref_without_ref_raises () =
   let pm = fresh () in
@@ -229,6 +308,12 @@ let suite =
     Alcotest.test_case "double free raises" `Quick test_double_free_raises;
     Alcotest.test_case "I/O-deferred deallocation" `Quick test_deferred_deallocation;
     Alcotest.test_case "zombie adoption" `Quick test_adopt_zombie;
+    Alcotest.test_case "alloc_many partial exhaustion" `Quick
+      test_alloc_many_partial_exhaustion;
+    Alcotest.test_case "alloc_zeroed after reuse" `Quick test_alloc_zeroed_after_reuse;
+    Alcotest.test_case "buf_pool size classes" `Quick test_buf_pool_classes;
+    Alcotest.test_case "buf_pool reuse" `Quick test_buf_pool_reuse;
+    Alcotest.test_case "buf_pool poison" `Quick test_buf_pool_poison;
     Alcotest.test_case "unref without ref raises" `Quick test_unref_without_ref_raises;
     Alcotest.test_case "io_desc gather/scatter" `Quick test_desc_gather_scatter;
     Alcotest.test_case "io_desc bounds" `Quick test_desc_bounds;

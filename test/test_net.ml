@@ -38,6 +38,40 @@ let test_aal5_roundtrip () =
   | Ok decoded -> Alcotest.(check bytes) "roundtrip" payload decoded
   | Error e -> Alcotest.failf "decode failed: %a" Net.Aal5.pp_error e
 
+let test_aal5_iov_equivalence () =
+  (* The view-native cellification must produce bit-identical cells to
+     the bytes API, including for payloads scattered across frames. *)
+  let payload = Bytes.init 5000 (fun i -> Char.chr ((i * 13) land 0xFF)) in
+  let cells_bytes = Net.Aal5.encode payload in
+  let cells_iov = Net.Aal5.encode_iov (Memory.Iovec.of_bytes payload) in
+  Alcotest.(check int) "same cell count" (List.length cells_bytes)
+    (List.length cells_iov);
+  List.iter2
+    (fun b v ->
+      Alcotest.(check bytes) "cell identical" b (Memory.Iovec.to_bytes v))
+    cells_bytes cells_iov;
+  (match Net.Aal5.decode_iov cells_iov with
+  | Ok view -> Alcotest.(check bytes) "view decode" payload (Memory.Iovec.to_bytes view)
+  | Error e -> Alcotest.failf "decode_iov failed: %a" Net.Aal5.pp_error e);
+  (* Frame-backed gather source: payload split across two frames. *)
+  let spec = { Machine.Machine_spec.micron_p166 with Machine.Machine_spec.memory_mb = 1 } in
+  let pm = Memory.Phys_mem.create spec in
+  let f1 = Memory.Phys_mem.alloc pm and f2 = Memory.Phys_mem.alloc pm in
+  Bytes.blit payload 0 f1.Memory.Frame.data 96 4000;
+  Bytes.blit payload 4000 f2.Memory.Frame.data 0 1000;
+  let scattered =
+    Memory.Iovec.concat
+      [
+        Memory.Iovec.of_frame f1 ~off:96 ~len:4000;
+        Memory.Iovec.of_frame f2 ~off:0 ~len:1000;
+      ]
+  in
+  List.iter2
+    (fun b v ->
+      Alcotest.(check bytes) "scattered cell identical" b (Memory.Iovec.to_bytes v))
+    cells_bytes
+    (Net.Aal5.encode_iov scattered)
+
 let test_aal5_detects_corruption () =
   let payload = Bytes.make 100 'p' in
   let cells = Net.Aal5.encode payload in
@@ -322,6 +356,7 @@ let suite =
     Alcotest.test_case "aal5 cell math" `Quick test_aal5_math;
     Alcotest.test_case "aal5 roundtrip" `Quick test_aal5_roundtrip;
     Alcotest.test_case "aal5 corruption detection" `Quick test_aal5_detects_corruption;
+    Alcotest.test_case "aal5 iov equals bytes API" `Quick test_aal5_iov_equivalence;
     QCheck_alcotest.to_alcotest aal5_roundtrip_prop;
     Alcotest.test_case "wire time" `Quick test_wire_time;
     Alcotest.test_case "adapter early demux" `Quick test_adapter_early_demux;

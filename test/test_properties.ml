@@ -135,6 +135,64 @@ let buf_pattern_roundtrip =
       Genie.Buf.fill_pattern buf ~seed:len;
       Bytes.equal (Genie.Buf.read buf) (Genie.Buf.expected_pattern ~len ~seed:len))
 
+(* Iovec views must be indistinguishable from the bytes they describe,
+   under arbitrary chopping, recombination and slicing. *)
+let iovec_matches_bytes =
+  QCheck.Test.make ~name:"iovec sub/concat/blit equals materialized bytes"
+    ~count:300
+    QCheck.(triple (int_range 0 4096) (int_bound 1_000_000) small_int)
+    (fun (len, seed, nops) ->
+      let reference = Bytes.init len (fun i -> Char.chr ((i * 31 + seed) land 0xFF)) in
+      (* Deterministic pseudo-random stream derived from the seed. *)
+      let state = ref (seed lor 1) in
+      let rand bound =
+        state := (!state * 48271) mod 0x7FFFFFFF;
+        if bound <= 0 then 0 else !state mod bound
+      in
+      (* Chop the reference into random pieces and concat the views. *)
+      let rec chop off acc =
+        if off >= len then List.rev acc
+        else begin
+          let n = 1 + rand (len - off) in
+          chop (off + n) (Memory.Iovec.of_bytes reference ~off ~len:n :: acc)
+        end
+      in
+      let iov = ref (Memory.Iovec.concat (chop 0 [])) in
+      let expect = ref reference in
+      let ok = ref (Bytes.equal (Memory.Iovec.to_bytes !iov) !expect) in
+      (* Random sub/concat chains, checking the view against Bytes.sub. *)
+      for _ = 1 to min nops 20 do
+        let total = Memory.Iovec.length !iov in
+        let off = rand (total + 1) in
+        let n = rand (total - off + 1) in
+        (* Growth branch doubles the view at most; keep it bounded. *)
+        (match (if total <= 8192 then rand 2 else 0) with
+        | 0 ->
+          iov := Memory.Iovec.sub !iov ~off ~len:n;
+          expect := Bytes.sub !expect off n
+        | _ ->
+          iov :=
+            Memory.Iovec.concat
+              [ Memory.Iovec.sub !iov ~off ~len:n; !iov ];
+          expect := Bytes.cat (Bytes.sub !expect off n) !expect);
+        let got = Memory.Iovec.to_bytes !iov in
+        ok := !ok && Bytes.equal got !expect;
+        (* blit_to into a larger buffer must write exactly the view. *)
+        let dst = Bytes.make (Memory.Iovec.length !iov + 7) '\xEE' in
+        Memory.Iovec.blit_to !iov ~dst ~dst_off:3;
+        ok :=
+          !ok
+          && Bytes.equal (Bytes.sub dst 3 (Memory.Iovec.length !iov)) !expect
+          && Bytes.get dst 0 = '\xEE'
+          && Bytes.get dst (Bytes.length dst - 1) = '\xEE';
+        (* Point lookups agree. *)
+        if Memory.Iovec.length !iov > 0 then begin
+          let i = rand (Memory.Iovec.length !iov) in
+          ok := !ok && Memory.Iovec.get !iov i = Bytes.get !expect i
+        end
+      done;
+      !ok)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -148,4 +206,5 @@ let suite =
       checksum_detects_bit_flips;
       aal5_crc_detects_bit_flips;
       buf_pattern_roundtrip;
+      iovec_matches_bytes;
     ]

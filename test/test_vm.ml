@@ -382,6 +382,56 @@ let cow_random_writes =
         (As.read space ~addr:addr0 ~len:(4 * psize))
         (Genie.Buf.expected_pattern ~len:(4 * psize) ~seed:3))
 
+let test_rmap_consistency () =
+  let vm, space = fresh_space () in
+  let region = As.map_region space ~npages:3 in
+  As.write space ~addr:(base region) (Bytes.make 100 'r');
+  let view = List.hd (Vm.Vm_sys.space_views vm) in
+  Alcotest.(check (list string)) "rmap clean" [] (view.Vm.Vm_sys.sv_rmap_errors ());
+  (* Negative control on a raw table: dropping one reverse-map pair must
+     be reported, with the totals disagreeing too. *)
+  let pm = Memory.Phys_mem.create spec in
+  let pt = Vm.Page_table.create () in
+  let f = Memory.Phys_mem.alloc pm and g = Memory.Phys_mem.alloc pm in
+  Vm.Page_table.map pt ~vpn:10 ~frame:f ~prot:Vm.Prot.Read_write;
+  Vm.Page_table.map pt ~vpn:11 ~frame:f ~prot:Vm.Prot.Read_only;
+  Vm.Page_table.map pt ~vpn:20 ~frame:g ~prot:Vm.Prot.Read_write;
+  Alcotest.(check (list int)) "vpns ascending" [ 10; 11 ]
+    (Vm.Page_table.vpns_of_frame pt f);
+  Alcotest.(check (list string)) "clean" [] (Vm.Page_table.check_rmap pt);
+  Vm.Page_table.unsafe_rmap_drop pt ~vpn:11 ~frame_id:f.Memory.Frame.id;
+  Alcotest.(check bool) "corruption detected" true
+    (Vm.Page_table.check_rmap pt <> []);
+  (* Remapping the vpn heals the reverse map. *)
+  Vm.Page_table.map pt ~vpn:11 ~frame:f ~prot:Vm.Prot.Read_only;
+  Alcotest.(check (list string)) "healed" [] (Vm.Page_table.check_rmap pt)
+
+let test_region_lookup_after_mutation () =
+  (* The bisection array and last-hit cache must track region_list
+     mutations: lookups stay correct across map/remove interleavings. *)
+  let _, space = fresh_space () in
+  let r1 = As.map_region space ~npages:2 in
+  let r2 = As.map_region space ~npages:3 in
+  let r3 = As.map_region space ~npages:1 in
+  let check_hit r =
+    Alcotest.(check bool) "found" true
+      (match As.find_region space ~vaddr:(base r) with
+      | Some r' -> r' == r
+      | None -> false)
+  in
+  check_hit r1; check_hit r2; check_hit r3; check_hit r2;
+  As.remove_region space r2;
+  Alcotest.(check bool) "removed region not found" true
+    (As.find_region space ~vaddr:(base r2) = None);
+  check_hit r1; check_hit r3;
+  Alcotest.(check bool) "guard gap unmapped" true
+    (As.find_region space ~vaddr:(base r1 + 2 * psize) = None);
+  let r4 = As.map_region space ~npages:2 in
+  check_hit r4; check_hit r1;
+  As.write space ~addr:(base r4 + psize - 2) (Bytes.make 4 'x');
+  Alcotest.(check bytes) "cross-page after churn" (Bytes.make 4 'x')
+    (As.read space ~addr:(base r4 + psize - 2) ~len:4)
+
 let suite =
   [
     Alcotest.test_case "read/write roundtrip" `Quick test_read_write_roundtrip;
@@ -408,5 +458,8 @@ let suite =
     Alcotest.test_case "reference_region" `Quick test_reference_region;
     Alcotest.test_case "swap into region" `Quick test_swap_into_region;
     Alcotest.test_case "destroy space" `Quick test_destroy_space;
+    Alcotest.test_case "rmap consistency" `Quick test_rmap_consistency;
+    Alcotest.test_case "region lookup after mutation" `Quick
+      test_region_lookup_after_mutation;
     QCheck_alcotest.to_alcotest cow_random_writes;
   ]
