@@ -538,6 +538,7 @@ let all : (string * (R.collector -> unit)) list =
     ("outboard", outboard); ("mixed", Mixed.run); ("load", load);
     ("ablations", Ablation.run_all); ("related", Related.run_all);
     ("micro_bench", Micro_bench.run); ("wall_data", Wall_metrics.run);
+    ("degraded_mode", Degraded.run);
   ]
 
 (* Legacy spellings still accepted on the command line. *)

@@ -188,15 +188,37 @@ let check_cmd =
          & info [ "check-every" ] ~docv:"N"
              ~doc:"Run the invariant suite every N steps.")
   in
-  let run steps seed check_every =
-    let cfg = { Check.Fuzzer.default_config with steps; seed; check_every } in
+  let no_exhaustion_arg =
+    Arg.(value & flag
+         & info [ "no-exhaustion" ]
+             ~doc:
+               "Disable the memory-hog actions that drive the hosts into \
+                genuine frame and overlay-pool exhaustion.")
+  in
+  let no_faults_arg =
+    Arg.(value & flag
+         & info [ "no-faults" ]
+             ~doc:
+               "Disable the deterministic link-fault schedules (drop, \
+                corrupt, duplicate, delay) and the reliable-transport \
+                sessions that recover from them.")
+  in
+  let run steps seed check_every no_exhaustion no_faults =
+    let cfg =
+      { Check.Fuzzer.default_config with
+        steps; seed; check_every;
+        exhaustion = not no_exhaustion;
+        link_faults = not no_faults }
+    in
     let o = Check.Fuzzer.run cfg in
     Check.Fuzzer.pp_outcome Format.std_formatter o;
     match o.Check.Fuzzer.stop with
     | Check.Fuzzer.Completed -> ()
     | Check.Fuzzer.Violations _ ->
-      Printf.printf "reproduce with: genie_cli check --steps %d --seed %d\n"
-        steps seed;
+      Printf.printf "reproduce with: genie_cli check --steps %d --seed %d%s%s\n"
+        steps seed
+        (if no_exhaustion then " --no-exhaustion" else "")
+        (if no_faults then " --no-faults" else "");
       exit 1
   in
   Cmd.v
@@ -204,7 +226,9 @@ let check_cmd =
        ~doc:
          "Fuzz the VM/Genie stack with randomized fault schedules and audit \
           kernel-state invariants after every step.")
-    Term.(const run $ steps_arg $ seed_arg $ check_every_arg)
+    Term.(
+      const run $ steps_arg $ seed_arg $ check_every_arg $ no_exhaustion_arg
+      $ no_faults_arg)
 
 (* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
 

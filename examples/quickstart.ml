@@ -46,13 +46,15 @@ let () =
       | None -> print_endline "no data"));
 
   t_send := Genie.Host.now_us world.Genie.World.a;
-  let outcome =
-    Genie.Endpoint.output sender_ep ~sem:Genie.Semantics.emulated_copy
-      ~buf:send_buf ()
-  in
-  Printf.printf "output invoked with %s semantics (used: %s)\n"
-    (Genie.Semantics.name Genie.Semantics.emulated_copy)
-    (Genie.Semantics.name outcome.Genie.Output_path.semantics_used);
+  (match
+     Genie.Endpoint.output sender_ep ~sem:Genie.Semantics.emulated_copy
+       ~buf:send_buf ()
+   with
+  | Ok outcome ->
+    Printf.printf "output invoked with %s semantics (used: %s)\n"
+      (Genie.Semantics.name Genie.Semantics.emulated_copy)
+      (Genie.Semantics.name outcome.Genie.Output_path.semantics_used)
+  | Error `Again -> print_endline "output rejected: memory pressure");
 
   (* Drive the simulation to completion. *)
   Genie.World.run world;

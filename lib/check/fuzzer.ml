@@ -13,6 +13,8 @@ type config = {
   memory_mb : int;
   max_in_flight : int;
   trace_tail : int;
+  exhaustion : bool;
+  link_faults : bool;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     memory_mb = 32;
     max_in_flight = 6;
     trace_tail = 48;
+    exhaustion = true;
+    link_faults = true;
   }
 
 type stop_reason = Completed | Violations of Invariants.violation list
@@ -35,12 +39,39 @@ type outcome = {
   transfers_started : int;
   transfers_completed : int;
   faults_injected : int;
+  rejected : int;
+  rel_sessions : int;
+  events : (string * int) list;
   trace_tail : string list;
 }
+
+(* The typed pressure/fault events the run is audited against; every
+   counter both hosts bumped under these names is reported in
+   [outcome.events]. *)
+let event_keys =
+  [
+    "sem_fallbacks";
+    "backpressure_rejects";
+    "reclaims";
+    "pool_borrows";
+    "pool_refill_shorts";
+    "demux_degrades";
+    "ready_degrades";
+    "rx_drop_nopool";
+    "pdu_drops";
+    "pdu_corrupts";
+    "pdu_dups";
+    "pdu_delays";
+    "rel_retransmits";
+    "rel_recoveries";
+    "rel_gave_ups";
+    "rel_deadline_cancels";
+  ]
 
 (* An application-allocated output buffer: candidate for mid-flight pokes
    (the TCOW probe) while in flight, for removal once disposed. *)
 type app_out = {
+  ao_id : int;
   ao_buf : Genie.Buf.t;
   ao_region : Vm.Region.t;
   mutable ao_done : bool;
@@ -69,6 +100,11 @@ let sizes =
 
 let vcs = [ (1, Net.Adapter.Early_demux); (2, Net.Adapter.Pooled); (3, Net.Adapter.Outboard) ]
 
+(* The reliable-transport session rides its own VC pair so its go-back-N
+   sequence numbers never mix with the datagram traffic. *)
+let rel_data_vc = 4
+let rel_ack_vc = 5
+
 let pick rng l = List.nth l (R.int rng ~bound:(List.length l))
 
 let run ?trace cfg =
@@ -94,6 +130,7 @@ let run ?trace cfg =
   let host_a = w.Genie.World.a and host_b = w.Genie.World.b in
   Simcore.Tracer.enable host_a.Genie.Host.tracer;
   Simcore.Tracer.enable host_b.Genie.Host.tracer;
+  let engine = host_a.Genie.Host.engine in
   let pairs =
     List.map (fun (vc, mode) -> (vc, Genie.World.endpoint_pair w ~vc ~mode)) vcs
   in
@@ -113,7 +150,8 @@ let run ?trace cfg =
   let rng = R.create ~seed:cfg.seed in
   let schedule = ref [] in
   let started = ref 0 and completed = ref 0 and faults = ref 0 in
-  let live = ref 0 and orphans = ref 0 in
+  let live = ref 0 and orphans = ref 0 and dups = ref 0 in
+  let rejected = ref 0 in
   let note fmt =
     Printf.ksprintf
       (fun s ->
@@ -125,6 +163,47 @@ let run ?trace cfg =
   let pages_for off len = (off + len + psize - 1) / psize in
   let pick_side () = if R.int rng ~bound:2 = 0 then side_a else side_b in
   let sname side = side.s_host.Genie.Host.name in
+
+  (* --- delivery audits ---------------------------------------------- *)
+
+  (* Violations found by the fuzzer's own cross-cutting audits (byte
+     integrity of deliveries, transfer accounting at quiescence); merged
+     with the invariant catalogue's findings at every check. *)
+  let audit = ref [] in
+  let audit_violation ~invariant ~host ~subject fmt =
+    Printf.ksprintf
+      (fun detail ->
+        audit := { Invariants.invariant; host; subject; detail } :: !audit)
+      fmt
+  in
+  (* transfer id -> payload length, for every output that was accepted;
+     [tainted] marks ids whose source buffer the application poked, so
+     their delivered bytes are legitimately unpredictable. *)
+  let sent_meta : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let tainted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Degradation must never corrupt what it delivers: any completed input
+     claiming [ok] whose buffer covers the full payload of a known,
+     untainted transfer must hold exactly the sent pattern. *)
+  let audit_delivery host (res : Genie.Input_path.result) =
+    if res.Genie.Input_path.ok && res.Genie.Input_path.seq >= 0 then
+      match
+        (res.Genie.Input_path.buf, Hashtbl.find_opt sent_meta res.Genie.Input_path.seq)
+      with
+      | Some b, Some slen
+        when slen = res.Genie.Input_path.payload_len
+             && b.Genie.Buf.len = slen
+             && not (Hashtbl.mem tainted res.Genie.Input_path.seq) ->
+          let got = Genie.Buf.read b in
+          let want =
+            Genie.Buf.expected_pattern ~len:slen ~seed:res.Genie.Input_path.seq
+          in
+          if not (Bytes.equal got want) then
+            audit_violation ~invariant:"byte-integrity"
+              ~host:host.Genie.Host.name
+              ~subject:(Printf.sprintf "transfer#%d" res.Genie.Input_path.seq)
+              "delivered %d bytes do not match the sent pattern" slen
+      | _ -> ()
+  in
 
   (* --- actions ------------------------------------------------------ *)
 
@@ -141,7 +220,7 @@ let run ?trace cfg =
     (r, Genie.Buf.make side.s_space ~addr:(base + off) ~len)
   in
 
-  let send_buffer send sem len =
+  let send_buffer ~id send sem len =
     if Sem.system_allocated sem then begin
       (* half the time, round-trip a region received from a previous
          system-allocated input instead of mapping a fresh one *)
@@ -178,7 +257,7 @@ let run ?trace cfg =
     end
     else begin
       let r, buf = app_buffer send len in
-      let ao = { ao_buf = buf; ao_region = r; ao_done = false } in
+      let ao = { ao_id = id; ao_buf = buf; ao_region = r; ao_done = false } in
       send.s_app_outs <- ao :: send.s_app_outs;
       (Some ao, false, buf)
     end
@@ -188,27 +267,48 @@ let run ?trace cfg =
     let expected = if R.int rng ~bound:8 = 0 then max 1 (len / 2) else len in
     let ep = List.assoc vc recv.s_eps in
     incr live;
-    if Sem.system_allocated sem then
-      Genie.Endpoint.input ep ~sem
-        ~spec:(Genie.Input_path.Sys_alloc { space = recv.s_space; len = expected })
-        ~on_complete:(fun res ->
+    if Sem.system_allocated sem then begin
+      match
+        Genie.Endpoint.input ep ~sem
+          ~spec:(Genie.Input_path.Sys_alloc { space = recv.s_space; len = expected })
+          ~on_complete:(fun res ->
+            decr live;
+            incr completed;
+            audit_delivery recv.s_host res;
+            match res.Genie.Input_path.buf with
+            | Some b when res.Genie.Input_path.ok ->
+                let r =
+                  Vm.Address_space.region_of_addr recv.s_space
+                    ~vaddr:b.Genie.Buf.addr
+                in
+                recv.s_sys_ready <- (b, r) :: recv.s_sys_ready
+            | _ -> ())
+      with
+      | Ok h -> Some h
+      | Error `Again ->
+          (* Frame exhaustion rejected the region allocation: the input
+             was never posted.  The paired output turns into an orphan. *)
           decr live;
-          incr completed;
-          match res.Genie.Input_path.buf with
-          | Some b when res.Genie.Input_path.ok ->
-              let r =
-                Vm.Address_space.region_of_addr recv.s_space
-                  ~vaddr:b.Genie.Buf.addr
-              in
-              recv.s_sys_ready <- (b, r) :: recv.s_sys_ready
-          | _ -> ())
+          incr rejected;
+          note "input REJECTED (backpressure) on %s vc=%d" (sname recv) vc;
+          None
+    end
     else begin
       let r, buf = app_buffer recv expected in
-      Genie.Endpoint.input ep ~sem ~spec:(Genie.Input_path.App_buffer buf)
-        ~on_complete:(fun _res ->
+      match
+        Genie.Endpoint.input ep ~sem ~spec:(Genie.Input_path.App_buffer buf)
+          ~on_complete:(fun res ->
+            decr live;
+            incr completed;
+            audit_delivery recv.s_host res;
+            recv.s_freeable <- r :: recv.s_freeable)
+      with
+      | Ok h -> Some h
+      | Error `Again ->
           decr live;
-          incr completed;
-          recv.s_freeable <- r :: recv.s_freeable)
+          incr rejected;
+          note "input REJECTED (backpressure) on %s vc=%d" (sname recv) vc;
+          None
     end
   in
 
@@ -219,31 +319,42 @@ let run ?trace cfg =
     let send_sem = pick rng Sem.all in
     let recv_sem = pick rng Sem.all in
     let len = pick rng sizes in
-    (* keep the receiver's overlay pool out of the exhaustion regime:
-       pooled chains, early-demux header frames and unclaimed arrivals
-       all draw from it *)
-    if Genie.Host.pool_level recv.s_host < 64 then
-      note "skip transfer: pool low on %s" (sname recv)
-    else begin
-      incr started;
-      let id = !started in
-      let ao, reused, buf = send_buffer send send_sem len in
-      Genie.Buf.fill_pattern buf ~seed:id;
-      if orphan then incr faults else ignore
-                                      (post_input recv vc recv_sem len);
-      let ep_out = List.assoc vc send.s_eps in
-      ignore
-        (Genie.Endpoint.output ep_out ~sem:send_sem ~buf
-           ~on_complete:(fun () ->
-             match ao with Some ao -> ao.ao_done <- true | None -> ())
-           ());
-      note "transfer#%d %s->%s vc=%d out=%s in=%s len=%d%s%s" id (sname send)
-        (sname recv) vc (Sem.name send_sem)
-        (if orphan then "(none)" else Sem.name recv_sem)
-        len
-        (if reused then " reused-region" else "")
-        (if orphan then " RECEIVER-ABSENT" else "")
-    end
+    incr started;
+    let id = !started in
+    let ao, reused, buf = send_buffer ~id send send_sem len in
+    Genie.Buf.fill_pattern buf ~seed:id;
+    let handle =
+      if orphan then begin
+        incr faults;
+        None
+      end
+      else post_input recv vc recv_sem len
+    in
+    let ep_out = List.assoc vc send.s_eps in
+    (match
+       Genie.Endpoint.output ep_out ~sem:send_sem ~buf ~seq:id
+         ~on_complete:(fun () ->
+           match ao with Some ao -> ao.ao_done <- true | None -> ())
+         ()
+     with
+    | Ok _ ->
+        Hashtbl.replace sent_meta id len;
+        note "transfer#%d %s->%s vc=%d out=%s in=%s len=%d%s%s" id (sname send)
+          (sname recv) vc (Sem.name send_sem)
+          (if handle = None then "(none)" else Sem.name recv_sem)
+          len
+          (if reused then " reused-region" else "")
+          (if orphan then " RECEIVER-ABSENT" else "")
+    | Error `Again ->
+        (* Backpressure: nothing was sent, so the posted input would wait
+           forever — cancel it to keep the accounting closed. *)
+        incr rejected;
+        (match ao with Some ao -> ao.ao_done <- true | None -> ());
+        (match handle with
+        | Some h -> if Genie.Endpoint.cancel h then decr live
+        | None -> ());
+        note "transfer#%d %s->%s vc=%d out=%s len=%d REJECTED (backpressure)"
+          id (sname send) (sname recv) vc (Sem.name send_sem) len)
   in
 
   let do_poke () =
@@ -263,6 +374,7 @@ let run ?trace cfg =
         Vm.Address_space.write side.s_space
           ~addr:(ao.ao_buf.Genie.Buf.addr + off)
           data;
+        Hashtbl.replace tainted ao.ao_id ();
         incr faults;
         note "poke %s region@vpn%d off=%d len=%d%s" (sname side)
           ao.ao_region.Vm.Region.start_vpn off n
@@ -275,6 +387,83 @@ let run ?trace cfg =
     Net.Adapter.corrupt_next_pdu side.s_host.Genie.Host.adapter ~vc;
     incr faults;
     note "corrupt next pdu from %s vc=%d" (sname side) vc
+  in
+
+  (* One-shot link faults on the datagram VCs.  Drops are reserved for
+     the reliable-transport VC (see [do_rel]): a dropped plain datagram
+     would leave its posted input pending forever, which is exactly what
+     the transfer-accounting audit must flag as a bug elsewhere. *)
+  let do_link_fault () =
+    let side = pick_side () in
+    let vc, _ = pick rng vcs in
+    let f =
+      match R.int rng ~bound:3 with
+      | 0 -> Net.Adapter.Corrupt
+      | 1 -> Net.Adapter.Delay_us (float_of_int (100 + R.int rng ~bound:3000))
+      | _ ->
+          if !dups < 5 then begin
+            incr dups;
+            Net.Adapter.Duplicate
+          end
+          else Net.Adapter.Corrupt
+    in
+    Net.Adapter.inject_fault side.s_host.Genie.Host.adapter ~vc f;
+    incr faults;
+    note "link-fault %s vc=%d %s" (sname side) vc
+      (match f with
+      | Net.Adapter.Drop -> "drop"
+      | Net.Adapter.Corrupt -> "corrupt"
+      | Net.Adapter.Duplicate -> "duplicate"
+      | Net.Adapter.Delay_us d -> Printf.sprintf "delay=%.0fus" d)
+  in
+
+  (* Resource-exhaustion pressure: hold a big slice of the overlay pool
+     or of free physical memory for a while, so concurrent transfers hit
+     the typed degradation paths (fallback, borrow, reclaim, reject). *)
+  let do_hog () =
+    let side = pick_side () in
+    let hold_us = float_of_int (100 + R.int rng ~bound:500) in
+    if R.int rng ~bound:2 = 0 then begin
+      let k = Genie.Host.pool_level side.s_host in
+      if k = 0 then note "skip hog: pool already empty on %s" (sname side)
+      else begin
+        let taken = ref [] in
+        for _ = 1 to k do
+          match Genie.Host.pool_take_opt side.s_host with
+          | Some f -> taken := f :: !taken
+          | None -> ()
+        done;
+        Simcore.Engine.schedule engine ~delay:(Simcore.Sim_time.of_us hold_us)
+          (fun () -> List.iter (Genie.Host.pool_put side.s_host) !taken);
+        note "hog %s overlay pool (%d frames) for %.0fus" (sname side) k hold_us
+      end
+    end
+    else begin
+      (* A deep hog first strips the pageable pages, so the admission
+         check's reclaim retry finds nothing to evict and outputs see
+         genuine [`Again] rejections; a shallow hog leaves reclaimable
+         pages and exercises the retry-succeeds path instead. *)
+      let deep = R.int rng ~bound:2 = 0 in
+      if deep then
+        ignore
+          (Vm.Vm_sys.run_pageout side.s_host.Genie.Host.vm ~target:100_000);
+      let free =
+        Memory.Phys_mem.free_frames side.s_host.Genie.Host.vm.Vm.Vm_sys.phys
+      in
+      (* near-total: leave a handful of frames so single-page application
+         faults still squeeze through while multi-page admissions fail *)
+      let n = free - (1 + R.int rng ~bound:(if deep then 3 else 8)) in
+      if n <= 0 then note "skip hog: no free frames on %s" (sname side)
+      else
+        match Genie.Host.try_alloc_sys_frames side.s_host n with
+        | None -> note "hog failed: %d frames unavailable on %s" n (sname side)
+        | Some frames ->
+            Simcore.Engine.schedule engine
+              ~delay:(Simcore.Sim_time.of_us hold_us) (fun () ->
+                Genie.Host.free_sys_frames side.s_host frames);
+            note "hog %d sys frames on %s for %.0fus%s" n (sname side) hold_us
+              (if deep then " DEEP" else "")
+    end
   in
 
   let do_pageout () =
@@ -351,12 +540,107 @@ let run ?trace cfg =
             remove r)
   in
 
+  (* --- reliable-transport sessions under the fault schedule --------- *)
+
+  let rel_da, rel_db =
+    Genie.World.endpoint_pair w ~vc:rel_data_vc ~mode:Net.Adapter.Early_demux
+  in
+  let rel_aa, rel_ab =
+    Genie.World.endpoint_pair w ~vc:rel_ack_vc ~mode:Net.Adapter.Early_demux
+  in
+  let mk_rel ~data ~ack =
+    Genie.Rel_channel.create ~chunk:8192 ~window:2 ~ack_timeout_us:3_000.
+      ~max_retries:3 ~data ~ack Sem.emulated_copy
+  in
+  let rel_tx = mk_rel ~data:rel_da ~ack:rel_aa in
+  let rel_rx = mk_rel ~data:rel_db ~ack:rel_ab in
+  let rel_sessions = ref 0 in
+  (* open legs of the current session: sender + receiver; a new session
+     starts only once both have reached a terminal state, so go-back-N
+     sequence numbers of different sessions never interleave *)
+  let rel_open = ref 0 in
+  let do_rel () =
+    if !rel_open > 0 then do_run ()
+    else begin
+      incr rel_sessions;
+      let id = 1_000_000 + !rel_sessions in
+      let len = (8192 * (2 + R.int rng ~bound:4)) + R.int rng ~bound:1000 in
+      let src_r, src = app_buffer side_a len in
+      Genie.Buf.fill_pattern src ~seed:id;
+      let dst_r, dst = app_buffer side_b len in
+      let adapter = host_a.Genie.Host.adapter in
+      let mode = R.int rng ~bound:5 in
+      let mode_name =
+        match mode with
+        | 0 ->
+            for _ = 1 to 1 + R.int rng ~bound:2 do
+              Net.Adapter.inject_fault adapter ~vc:rel_data_vc Net.Adapter.Drop;
+              incr faults
+            done;
+            "lossy"
+        | 1 ->
+            Net.Adapter.inject_fault adapter ~vc:rel_data_vc Net.Adapter.Duplicate;
+            incr faults;
+            "dup"
+        | 2 ->
+            Net.Adapter.inject_fault adapter ~vc:rel_data_vc
+              (Net.Adapter.Delay_us (float_of_int (2_000 + R.int rng ~bound:6_000)));
+            incr faults;
+            "delay"
+        | 3 ->
+            Net.Adapter.inject_fault adapter ~vc:rel_data_vc Net.Adapter.Corrupt;
+            incr faults;
+            "corrupt"
+        | _ ->
+            (* dead link: every data PDU drops until the sender hits the
+               retransmission cap and gives up *)
+            Net.Adapter.set_fault_rates adapter ~vc:rel_data_vc
+              ~rng:(R.split rng)
+              {
+                Net.Adapter.p_drop = 1.0;
+                p_corrupt = 0.;
+                p_duplicate = 0.;
+                p_delay = 0.;
+                delay_us = 0.;
+              };
+            incr faults;
+            "dead"
+      in
+      rel_open := 2;
+      let sid = !rel_sessions in
+      Genie.Rel_channel.recv rel_rx ~deadline_us:60_000. ~buf:dst
+        ~on_complete:(fun ~ok ->
+          decr rel_open;
+          if
+            ok
+            && not
+                 (Bytes.equal (Genie.Buf.read dst)
+                    (Genie.Buf.expected_pattern ~len ~seed:id))
+          then
+            audit_violation ~invariant:"byte-integrity"
+              ~host:host_b.Genie.Host.name
+              ~subject:(Printf.sprintf "rel#%d" sid)
+              "reliable transfer delivered corrupted bytes (%d)" len;
+          side_b.s_freeable <- dst_r :: side_b.s_freeable;
+          note "rel#%d receiver done ok=%b" sid ok)
+        ();
+      Genie.Rel_channel.send rel_tx ~buf:src ~on_complete:(fun r ->
+          decr rel_open;
+          Net.Adapter.clear_faults adapter ~vc:rel_data_vc;
+          side_a.s_freeable <- src_r :: side_a.s_freeable;
+          match r with
+          | `Done retx -> note "rel#%d sender done retx=%d" sid retx
+          | `Gave_up retx -> note "rel#%d sender GAVE UP retx=%d" sid retx);
+      note "rel#%d start len=%d fault=%s" sid len mode_name
+    end
+  in
+
   (* --- main loop ---------------------------------------------------- *)
 
   let violations = ref [] in
   let steps_run = ref 0 in
   let check () =
-    match Invariants.check_world [ host_a; host_b ] with
+    match !audit @ Invariants.check_world [ host_a; host_b ] with
     | [] -> false
     | vs ->
         violations := vs;
@@ -383,6 +667,8 @@ let run ?trace cfg =
            (1, do_pageout);
            (1, do_remove_moving_in);
          ]
+         @ (if cfg.exhaustion then [ (2, do_hog) ] else [])
+         @ (if cfg.link_faults then [ (2, do_link_fault); (2, do_rel) ] else [])
        in
        let total = List.fold_left (fun acc (w, _) -> acc + w) 0 actions in
        let roll = R.int rng ~bound:total in
@@ -396,6 +682,24 @@ let run ?trace cfg =
      (* drain everything still in flight and audit the quiesced world *)
      Genie.World.run w;
      note "drained; %d/%d transfers completed" !completed !started;
+     (* Transfer accounting: at quiescence every queued transfer must
+        have been completed or cancelled — a pending input with no PDU
+        ever coming means a completion was silently lost. *)
+     if !live <> 0 || !rel_open <> 0 then
+       audit_violation ~invariant:"transfer-accounting" ~host:"world"
+         ~subject:"drain"
+         "%d datagram inputs and %d rel legs still pending after drain"
+         !live !rel_open;
+     let pending =
+       List.fold_left
+         (fun acc (_, ep) -> acc + Genie.Endpoint.pending_inputs ep)
+         0
+         (side_a.s_eps @ side_b.s_eps)
+     in
+     if pending <> 0 then
+       audit_violation ~invariant:"transfer-accounting" ~host:"world"
+         ~subject:"endpoints" "%d endpoint inputs still pending after drain"
+         pending;
      ignore (check () : bool)
    with Exit -> ());
   let trace_tail =
@@ -408,6 +712,18 @@ let run ?trace cfg =
           (Simcore.Tracer.last_n host.Genie.Host.tracer cfg.trace_tail))
       [ host_a; host_b ]
   in
+  let events =
+    List.map
+      (fun k ->
+        ( k,
+          List.fold_left
+            (fun acc h ->
+              acc
+              + Simcore.Tracer.counter h.Genie.Host.tracer
+                  ~host:h.Genie.Host.name k)
+            0 [ host_a; host_b ] ))
+      event_keys
+  in
   {
     steps_run = !steps_run;
     stop = (if !violations = [] then Completed else Violations !violations);
@@ -415,6 +731,9 @@ let run ?trace cfg =
     transfers_started = !started;
     transfers_completed = !completed;
     faults_injected = !faults;
+    rejected = !rejected;
+    rel_sessions = !rel_sessions;
+    events;
     trace_tail;
   }
 
@@ -423,10 +742,10 @@ let pp_outcome fmt o =
   (match o.stop with
   | Completed ->
       fprintf fmt
-        "fuzz: %d steps, %d transfers started, %d completed, %d faults \
-         injected, all invariants held@."
-        o.steps_run o.transfers_started o.transfers_completed
-        o.faults_injected
+        "fuzz: %d steps, %d transfers started, %d completed, %d rejected, %d \
+         rel sessions, %d faults injected, all invariants held@."
+        o.steps_run o.transfers_started o.transfers_completed o.rejected
+        o.rel_sessions o.faults_injected
   | Violations vs ->
       fprintf fmt "fuzz: INVARIANT VIOLATION after %d steps@." o.steps_run;
       List.iter (fun v -> fprintf fmt "  %a@." Invariants.pp_violation v) vs;
@@ -441,4 +760,8 @@ let pp_outcome fmt o =
         fprintf fmt "trace tail:@.";
         List.iter (fun s -> fprintf fmt "  %s@." s) o.trace_tail
       end);
-  ()
+  let nonzero = List.filter (fun (_, n) -> n > 0) o.events in
+  if nonzero <> [] then begin
+    fprintf fmt "pressure/fault events:@.";
+    List.iter (fun (k, n) -> fprintf fmt "  %-22s %d@." k n) nonzero
+  end

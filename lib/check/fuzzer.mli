@@ -3,18 +3,36 @@
     Drives a two-host {!Genie.World} through a long randomized schedule —
     transfers under all eight data-passing semantics, across all three
     device buffering architectures, with sizes straddling the emulation
-    thresholds — while injecting faults: corrupted AAL5 PDUs, outputs
-    with no receiver posted, application writes into in-flight
-    strong-integrity buffers (the TCOW poke), pageout pressure, and
-    mid-transfer removal of system-allocated input regions (forcing the
-    region check to re-home zombie pages).
+    thresholds — while injecting faults: corrupted, duplicated and
+    delayed AAL5 PDUs, outputs with no receiver posted, application
+    writes into in-flight strong-integrity buffers (the TCOW poke),
+    pageout pressure, and mid-transfer removal of system-allocated input
+    regions (forcing the region check to re-home zombie pages).
 
-    The full {!Invariants} catalogue runs after every step (configurable
-    via [check_every]); the first violation stops the run and the outcome
-    carries the violations, the action schedule so far and the tail of
-    both hosts' tracers.  Scheduling decisions come only from
-    {!Simcore.Rng}, so a seed reproduces a run exactly — same seed, same
-    schedule, same trace. *)
+    Two regimes push the run beyond fair-weather schedules:
+
+    - {e exhaustion}: hog actions hold large slices of the overlay pool
+      and of free physical memory, so concurrent transfers hit the typed
+      degradation ladder — semantics fallback, pool borrowing,
+      pageout-reclaim retries and [`Again] backpressure rejections;
+    - {e link faults}: one-shot faults on the datagram VCs, plus
+      go-back-N {!Genie.Rel_channel} sessions on a dedicated VC pair
+      running against drop / duplicate / delay / corrupt / dead-link
+      schedules — exercising retransmission recovery, the exponential
+      backoff, the retransmission-cap give-up and receive deadlines.
+
+    Beyond the {!Invariants} catalogue (run every [check_every] steps),
+    the fuzzer audits two end-to-end properties and reports them as
+    violations under the [byte-integrity] and [transfer-accounting]
+    names: a delivered buffer claiming [ok] must hold exactly the bytes
+    sent (unless the application poked the source), and at quiescence
+    every queued transfer must have completed or been cancelled.
+
+    The first violation stops the run and the outcome carries the
+    violations, the action schedule so far and the tail of both hosts'
+    tracers.  Scheduling decisions come only from {!Simcore.Rng}, so a
+    seed reproduces a run exactly — same seed, same schedule, same
+    trace, same event counts. *)
 
 type config = {
   seed : int;
@@ -24,11 +42,15 @@ type config = {
   memory_mb : int;  (** per-host physical memory *)
   max_in_flight : int;  (** cap on concurrent transfers *)
   trace_tail : int;  (** tracer events kept in the outcome on violation *)
+  exhaustion : bool;  (** schedule pool/memory hog actions *)
+  link_faults : bool;
+      (** schedule one-shot link faults and reliable-transport sessions *)
 }
 
 val default_config : config
 (** seed 1, 2000 steps, checking every step, 128 pool frames, 32 MB,
-    6 transfers in flight, 48 trace events. *)
+    6 transfers in flight, 48 trace events, exhaustion and link faults
+    both on. *)
 
 type stop_reason =
   | Completed
@@ -43,9 +65,19 @@ type outcome = {
   transfers_started : int;
   transfers_completed : int;  (** inputs that delivered a result *)
   faults_injected : int;  (** corruptions, orphan sends, pokes, removals *)
+  rejected : int;  (** typed [`Again] backpressure rejections observed *)
+  rel_sessions : int;  (** reliable-transport sessions started *)
+  events : (string * int) list;
+      (** pressure/fault trace counters of both hosts summed, one entry
+          per name in the audited set (zeroes included) — e.g.
+          [sem_fallbacks], [backpressure_rejects], [reclaims],
+          [pdu_drops], [rel_gave_ups] *)
   trace_tail : string list;
       (** most recent tracer events of both hosts at the end of the run *)
 }
+
+val event_keys : string list
+(** The counter names reported in [outcome.events]. *)
 
 val run : ?trace:Simcore.Tracer.t -> config -> outcome
 (** Build a fresh world and execute the schedule.  Deterministic in

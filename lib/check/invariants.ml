@@ -56,6 +56,14 @@ let ledger_counts (host : Genie.Host.t) =
     (Genie.Ledger.held_frames host.Genie.Host.ledger);
   counts
 
+(* Frames parked in the VM's emergency fault-handling reserve. *)
+let reserve_counts (host : Genie.Host.t) =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (f : F.t) -> Hashtbl.replace counts f.F.id 1)
+    (VS.reserve_frames host.Genie.Host.vm);
+  counts
+
 (* Objects reachable from the regions of every address space, shadow
    chains included.  The walk is cycle- and sharing-safe. *)
 let reachable_objects (host : Genie.Host.t) =
@@ -189,13 +197,17 @@ let frame_accounting host =
   let out = ref [] in
   let pool = pool_counts host in
   let ledger = ledger_counts host in
+  let reserve = reserve_counts host in
   let count tbl id = Option.value ~default:0 (Hashtbl.find_opt tbl id) in
   iter_frames host (fun f ->
       let object_owned = if Hashtbl.mem vm.VS.frame_owner f.F.id then 1 else 0 in
-      let owners = object_owned + count pool f.F.id + count ledger f.F.id in
+      let owners =
+        object_owned + count pool f.F.id + count ledger f.F.id
+        + count reserve f.F.id
+      in
       let describe () =
-        Printf.sprintf "object=%d pool=%d ledger=%d" object_owned
-          (count pool f.F.id) (count ledger f.F.id)
+        Printf.sprintf "object=%d pool=%d ledger=%d reserve=%d" object_owned
+          (count pool f.F.id) (count ledger f.F.id) (count reserve f.F.id)
       in
       match f.F.state with
       | F.Allocated ->

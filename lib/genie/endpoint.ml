@@ -64,25 +64,27 @@ type handle = { ep : t; p : Input_path.pending }
 let input t ~sem ~spec ~on_complete =
   let token = t.next_token in
   t.next_token <- t.next_token + 1;
-  let p, posted =
+  match
     Input_path.prepare t.host ~mode:t.mode ~sem ~spec ~vc:t.vc ~token
       ~on_complete
-  in
-  t.pendings <- t.pendings @ [ p ];
-  (match posted with
-  | Some posted -> Net.Adapter.post_input t.host.Host.adapter posted
-  | None -> ());
-  (* Synchronous input: data may already be waiting (pooled/outboard). *)
-  (match Queue.take_opt t.unclaimed with
-  | Some result ->
-    take_pending t p;
+  with
+  | exception Input_path.Backpressure -> Error `Again
+  | p, posted ->
+    t.pendings <- t.pendings @ [ p ];
     (match posted with
-    | Some _ ->
-      ignore (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc ~token)
+    | Some posted -> Net.Adapter.post_input t.host.Host.adapter posted
     | None -> ());
-    Input_path.handle_completion t.host p result
-  | None -> ());
-  { ep = t; p }
+    (* Synchronous input: data may already be waiting (pooled/outboard). *)
+    (match Queue.take_opt t.unclaimed with
+    | Some result ->
+      take_pending t p;
+      (match posted with
+      | Some _ ->
+        ignore (Net.Adapter.cancel_posted t.host.Host.adapter ~vc:t.vc ~token)
+      | None -> ());
+      Input_path.handle_completion t.host p result
+    | None -> ());
+    Ok { ep = t; p }
 
 let cancel (h : handle) =
   let t = h.ep in

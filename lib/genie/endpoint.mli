@@ -20,11 +20,13 @@ val output :
   ?seq:int ->
   ?on_complete:(unit -> unit) ->
   unit ->
-  Output_path.outcome
+  (Output_path.outcome, [ `Again ]) result
 (** Send one datagram.  Returns after the prepare stage is charged; the
     callback fires when the dispose stage retires.  [seq] overrides the
     header sequence number (endpoint-assigned by default) — transport
-    protocols above Genie use it to identify retransmissions. *)
+    protocols above Genie use it to identify retransmissions.
+    [Error `Again] is backpressure under frame exhaustion: nothing was
+    sent and [on_complete] will not fire (see {!Output_path.output}). *)
 
 type handle
 (** A posted input, cancellable until its completion is dispatched —
@@ -35,13 +37,16 @@ val input :
   sem:Semantics.t ->
   spec:Input_path.spec ->
   on_complete:(Input_path.result -> unit) ->
-  handle
+  (handle, [ `Again ]) result
 (** Post an input.  With early demultiplexing this preposts the buffer
     descriptors to the adapter; with pooled or outboard buffering the
     input matches arrivals in FIFO order (including PDUs that arrived
     before the call).  The returned handle cancels just this input via
     {!cancel}; discard it with [ignore] when cancellation is not
-    needed. *)
+    needed.  [Error `Again] is backpressure: a system-allocated prepare
+    could not admit its region allocation under frame exhaustion even
+    after a pageout-reclaim retry; nothing was posted.  App-buffer
+    inputs never return [`Again]. *)
 
 val cancel : handle -> bool
 (** Cancel one pending input: unposts its adapter descriptor and

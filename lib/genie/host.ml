@@ -16,6 +16,81 @@ type t = {
   ledger : Ledger.t;
 }
 
+(* Pageout-reclaim retry: under frame pressure, ask the pageout daemon to
+   evict before a path gives up.  Returns true when anything was evicted.
+   Only ever runs when exhaustion actually bites, so fault-free runs never
+   see its events. *)
+let reclaim_retry t ~target ~why =
+  let evicted = Vm.Vm_sys.run_pageout t.vm ~target in
+  if Simcore.Tracer.on t.scope then begin
+    Simcore.Tracer.instant t.scope "mem.reclaim_retry"
+      ~args:
+        [
+          ("why", Simcore.Tracer.Str why);
+          ("evicted", Simcore.Tracer.Int evicted);
+        ];
+    Simcore.Tracer.add_counter t.scope "reclaims"
+  end;
+  evicted > 0
+
+let pool_put t frame =
+  Ledger.release t.ledger frame;
+  Queue.add frame t.pool;
+  if Simcore.Tracer.on t.scope then
+    Simcore.Tracer.add_counter t.scope "pool_recycles"
+
+let pool_level t = Queue.length t.pool
+
+(* Overlay-pool take with graceful degradation: an empty pool borrows a
+   frame from physical memory (it rejoins the pool at [pool_put]), frame
+   exhaustion triggers a pageout-reclaim retry, and only then does the
+   caller see [None] — never an exception. *)
+let pool_take_opt t =
+  match Queue.take_opt t.pool with
+  | Some frame ->
+    Ledger.hold t.ledger frame;
+    Some frame
+  | None ->
+    let borrow () =
+      match Memory.Phys_mem.alloc t.vm.Vm.Vm_sys.phys with
+      | frame ->
+        if Simcore.Tracer.on t.scope then begin
+          Simcore.Tracer.instant t.scope "pool.borrow";
+          Simcore.Tracer.add_counter t.scope "pool_borrows"
+        end;
+        Ledger.hold t.ledger frame;
+        Some frame
+      | exception Memory.Phys_mem.Out_of_frames -> None
+    in
+    (match borrow () with
+    | Some _ as got -> got
+    | None -> if reclaim_retry t ~target:8 ~why:"pool" then borrow () else None)
+
+let alloc_sys_frames t n =
+  let frames = Memory.Phys_mem.alloc_many t.vm.Vm.Vm_sys.phys n in
+  Ledger.hold_all t.ledger frames;
+  frames
+
+(* Typed variant: [None] instead of [Out_of_frames], with one
+   pageout-reclaim retry in between. *)
+let try_alloc_sys_frames t n =
+  let phys = t.vm.Vm.Vm_sys.phys in
+  let attempt () =
+    match Memory.Phys_mem.alloc_many phys n with
+    | frames -> Some frames
+    | exception Memory.Phys_mem.Out_of_frames -> None
+  in
+  let frames =
+    if Memory.Phys_mem.free_frames phys >= n then attempt ()
+    else if reclaim_retry t ~target:(max 16 n) ~why:"sys_frames" then attempt ()
+    else None
+  in
+  match frames with
+  | Some frames ->
+    Ledger.hold_all t.ledger frames;
+    Some frames
+  | None -> None
+
 let create ?(pool_frames = 512) ?thresholds ?tracer engine params spec ~name =
   let costs = Machine.Cost_model.create spec in
   let cpu = Simcore.Cpu.create engine in
@@ -61,12 +136,8 @@ let create ?(pool_frames = 512) ?thresholds ?tracer engine params spec ~name =
   for _ = 1 to pool_frames do
     Queue.add (Memory.Phys_mem.alloc t.vm.Vm.Vm_sys.phys) t.pool
   done;
-  Net.Adapter.set_pool_supply adapter (fun () ->
-      match Queue.take_opt t.pool with
-      | Some frame ->
-        Ledger.hold t.ledger frame;
-        frame
-      | None -> failwith (name ^ ": overlay pool exhausted"));
+  Net.Adapter.set_pool_supply adapter (fun () -> pool_take_opt t);
+  Net.Adapter.set_pool_return adapter (fun frame -> pool_put t frame);
   Net.Adapter.set_rx_complete adapter (fun result ->
       match Hashtbl.find_opt t.handlers result.Net.Adapter.vc with
       | Some handler -> handler result
@@ -75,25 +146,6 @@ let create ?(pool_frames = 512) ?thresholds ?tracer engine params spec ~name =
 
 let page_size t = t.spec.Machine.Machine_spec.page_size
 let new_space t = Vm.Address_space.create t.vm
-let pool_take t =
-  match Queue.take_opt t.pool with
-  | Some frame ->
-    Ledger.hold t.ledger frame;
-    frame
-  | None -> failwith (t.name ^ ": overlay pool exhausted")
-
-let pool_put t frame =
-  Ledger.release t.ledger frame;
-  Queue.add frame t.pool;
-  if Simcore.Tracer.on t.scope then
-    Simcore.Tracer.add_counter t.scope "pool_recycles"
-
-let pool_level t = Queue.length t.pool
-
-let alloc_sys_frames t n =
-  let frames = Memory.Phys_mem.alloc_many t.vm.Vm.Vm_sys.phys n in
-  Ledger.hold_all t.ledger frames;
-  frames
 
 let free_sys_frames t frames =
   Ledger.release_all t.ledger frames;

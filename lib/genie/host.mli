@@ -50,12 +50,29 @@ val create :
 val page_size : t -> int
 val new_space : t -> Vm.Address_space.t
 
-val pool_take : t -> Memory.Frame.t
+val pool_take_opt : t -> Memory.Frame.t option
+(** Take an overlay frame.  An empty pool borrows a frame from physical
+    memory (the borrow rejoins the pool at {!pool_put}); frame exhaustion
+    triggers one pageout-reclaim retry; only then is [None] returned.
+    Never raises — overlay-pool exhaustion is a typed condition. *)
+
 val pool_put : t -> Memory.Frame.t -> unit
 val pool_level : t -> int
 
 val alloc_sys_frames : t -> int -> Memory.Frame.t list
-(** Kernel system-buffer pages (not pageable, not pooled). *)
+(** Kernel system-buffer pages (not pageable, not pooled).
+    @raise Memory.Phys_mem.Out_of_frames under exhaustion; hot paths use
+    {!try_alloc_sys_frames} instead. *)
+
+val try_alloc_sys_frames : t -> int -> Memory.Frame.t list option
+(** Typed variant of {!alloc_sys_frames}: [None] instead of raising, with
+    one pageout-reclaim retry (traced as [mem.reclaim_retry]) before
+    giving up. *)
+
+val reclaim_retry : t -> target:int -> why:string -> bool
+(** Run the pageout daemon for up to [target] evictions because [why] hit
+    frame pressure; traces [mem.reclaim_retry] and bumps the [reclaims]
+    counter.  True when anything was evicted. *)
 
 val free_sys_frames : t -> Memory.Frame.t list -> unit
 

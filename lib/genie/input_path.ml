@@ -11,6 +11,11 @@ type result = {
   ok : bool;
 }
 
+exception Backpressure
+(* Raised by [prepare] when the admission check cannot find frames even
+   after a pageout-reclaim retry; Endpoint surfaces it as [Error `Again].
+   Raised before any state changes, so nothing needs undoing. *)
+
 type pending = {
   sem : Semantics.t;
   spec : spec;
@@ -74,6 +79,43 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
     Vm.Vm_error.semantics "input with %s semantics requires an application buffer"
       (Semantics.name sem)
   | (App_buffer _, false) | (Sys_alloc _, true) -> ());
+  (* Backpressure admission: system-allocated prepare (emulated or weak)
+     maps and populates the target region right now, which demands frames.
+     Under exhaustion, try a pageout reclaim, then reject with `Again
+     rather than letting [Out_of_frames] escape.  (Conservative: a cached
+     region would make the allocation unnecessary, but admission must not
+     dequeue it speculatively.)  App-buffer inputs allocate nothing at
+     prepare and are always admitted. *)
+  (if
+     Semantics.system_allocated sem
+     && (sem.Semantics.emulated || sem.Semantics.integrity = Semantics.Weak)
+   then
+     let span_len =
+       match mode with
+       | Net.Adapter.Early_demux -> spec_len spec
+       | Net.Adapter.Pooled | Net.Adapter.Outboard ->
+         Proto.Dgram_header.length + spec_len spec
+     in
+     let npages = pages_of host span_len in
+     let phys = host.Host.vm.Vm.Vm_sys.phys in
+     let admitted =
+       Memory.Phys_mem.free_frames phys >= npages
+       || (Host.reclaim_retry host ~target:(max 16 npages) ~why:"input.prepare"
+           && Memory.Phys_mem.free_frames phys >= npages)
+     in
+     if not admitted then begin
+       if Simcore.Tracer.on host.Host.scope then begin
+         Simcore.Tracer.instant host.Host.scope "degrade.again"
+           ~args:
+             [
+               ("where", Simcore.Tracer.Str "input.prepare");
+               ("vc", Simcore.Tracer.Int vc);
+               ("pages", Simcore.Tracer.Int npages);
+             ];
+         Simcore.Tracer.add_counter host.Host.scope "backpressure_rejects"
+       end;
+       raise_notrace Backpressure
+     end);
   let p =
     { sem; spec; expected_len = spec_len spec; p_token = token; handle = None;
       region = None; hdr_frame = None; sys_frames = []; sys_off = 0;
@@ -156,39 +198,64 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
   let posted =
     match mode with
     | Net.Adapter.Pooled | Net.Adapter.Outboard -> None
-    | Net.Adapter.Early_demux ->
-      let hdr_frame = Host.pool_take host in
-      p.hdr_frame <- Some hdr_frame;
-      let hdr_desc =
-        Memory.Io_desc.single hdr_frame ~off:0 ~len:Proto.Dgram_header.length
-      in
-      let payload_desc, ready =
-        match p.handle with
-        | Some handle ->
-          (* In-place: device writes straight into the referenced pages. *)
-          (Some handle.Vm.Page_ref.desc, fun () -> handle.Vm.Page_ref.desc)
-        | None ->
-          (* Copy / emulated copy / move: the system buffer is allocated
-             when the device first needs it (ready time, overlapped). *)
-          ( None,
-            fun () ->
-              Simcore.Tracer.instant host.Host.scope "input.ready"
-                ~args:[ ("buffer", Simcore.Tracer.Str "aligned") ];
-              Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
-              let off =
-                if
-                  Semantics.equal p.sem Semantics.emulated_copy
-                  && host.Host.align_input
-                then Buf.page_offset (app_buffer p)
-                else 0
-              in
-              let npages = pages_of host (off + p.expected_len) in
-              let frames = Host.alloc_sys_frames host npages in
-              p.sys_frames <- frames;
-              p.sys_off <- off;
-              frames_desc host frames ~off ~len:p.expected_len )
-      in
-      Some { Net.Adapter.vc; token; hdr_desc; payload_desc; ready }
+    | Net.Adapter.Early_demux -> (
+      match Host.pool_take_opt host with
+      | None ->
+        (* No overlay frame for the header descriptor: degrade this input
+           to the pooled fallback path by not posting at all (the same
+           path an unannounced buffer takes). *)
+        if Simcore.Tracer.on host.Host.scope then begin
+          Simcore.Tracer.instant host.Host.scope "degrade.nopool_hdr"
+            ~args:[ ("vc", Simcore.Tracer.Int vc) ];
+          Simcore.Tracer.add_counter host.Host.scope "demux_degrades"
+        end;
+        None
+      | Some hdr_frame ->
+        p.hdr_frame <- Some hdr_frame;
+        let hdr_desc =
+          Memory.Io_desc.single hdr_frame ~off:0 ~len:Proto.Dgram_header.length
+        in
+        let payload_desc, ready =
+          match p.handle with
+          | Some handle ->
+            (* In-place: device writes straight into the referenced pages. *)
+            (Some handle.Vm.Page_ref.desc, fun () -> handle.Vm.Page_ref.desc)
+          | None ->
+            (* Copy / emulated copy / move: the system buffer is allocated
+               when the device first needs it (ready time, overlapped). *)
+            ( None,
+              fun () ->
+                Simcore.Tracer.instant host.Host.scope "input.ready"
+                  ~args:[ ("buffer", Simcore.Tracer.Str "aligned") ];
+                Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
+                let off =
+                  if
+                    Semantics.equal p.sem Semantics.emulated_copy
+                    && host.Host.align_input
+                  then Buf.page_offset (app_buffer p)
+                  else 0
+                in
+                let npages = pages_of host (off + p.expected_len) in
+                match Host.try_alloc_sys_frames host npages with
+                | Some frames ->
+                  p.sys_frames <- frames;
+                  p.sys_off <- off;
+                  frames_desc host frames ~off ~len:p.expected_len
+                | None ->
+                  (* Ready-time exhaustion (interrupt context — no one to
+                     tell `Again): hand the device an empty descriptor;
+                     the payload overruns it and the input completes as a
+                     typed failure. *)
+                  if Simcore.Tracer.on host.Host.scope then begin
+                    Simcore.Tracer.instant host.Host.scope
+                      "degrade.ready_nomem"
+                      ~args:[ ("pages", Simcore.Tracer.Int npages) ];
+                    Simcore.Tracer.add_counter host.Host.scope
+                      "ready_degrades"
+                  end;
+                  Memory.Io_desc.of_segs [] )
+        in
+        Some { Net.Adapter.vc; token; hdr_desc; payload_desc; ready })
   in
   (p, posted)
 
@@ -445,6 +512,23 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
 
 (* {1 Dispose: pooled in-host buffering (Table 4)} *)
 
+(* Refill the overlay pool after its pages became application memory.
+   Under frame exhaustion the refill is allowed to come up short — the
+   pool shrinks (and grows back through borrows) instead of raising. *)
+let refill_pool (host : Host.t) n =
+  let phys = host.Host.vm.Vm.Vm_sys.phys in
+  let avail = min n (Memory.Phys_mem.free_frames phys) in
+  if avail < n && Simcore.Tracer.on host.Host.scope then begin
+    Simcore.Tracer.instant host.Host.scope "pool.refill_short"
+      ~args:
+        [
+          ("wanted", Simcore.Tracer.Int n);
+          ("got", Simcore.Tracer.Int avail);
+        ];
+    Simcore.Tracer.add_counter host.Host.scope "pool_refill_shorts"
+  end;
+  List.iter (fun f -> Host.pool_put host f) (Memory.Phys_mem.alloc_many phys avail)
+
 let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
   let ops = host.Host.ops in
   let psize = Host.page_size host in
@@ -527,8 +611,7 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
           Vm.Vm_sys.insert_page (Vm.Address_space.vm space) region.Vm.Region.obj
             i frame)
         chain;
-      List.iter (fun f -> Host.pool_put host f)
-        (Memory.Phys_mem.alloc_many host.Host.vm.Vm.Vm_sys.phys chain_pages);
+      refill_pool host chain_pages;
       Ops.charge ops C.Region_map ~unit:(`Pages chain_pages);
       Vm.Address_space.map_object_pages space region;
       Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
@@ -595,8 +678,7 @@ let dispose_pooled (host : Host.t) p ~chain ~hdr_len ~payload_len ~seq ~ok =
             Vm.Vm_sys.insert_page (Vm.Address_space.vm space)
               fresh.Vm.Region.obj i frame)
           chain;
-        List.iter (fun f -> Host.pool_put host f)
-          (Memory.Phys_mem.alloc_many host.Host.vm.Vm.Vm_sys.phys chain_pages);
+        refill_pool host chain_pages;
         Ops.charge ops C.Region_map ~unit:(`Pages chain_pages);
         Vm.Address_space.map_object_pages space fresh;
         Ops.charge ops C.Region_mark_in ~unit:(`Bytes 0);
@@ -673,8 +755,19 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
     in
     if needs_sys_buffer && p.sys_frames = [] then begin
       Ops.charge ops C.Sysbuf_allocate ~unit:(`Bytes 0);
-      p.sys_frames <- Host.alloc_sys_frames host (pages_of host (max payload_len 1));
-      p.sys_off <- 0
+      match Host.try_alloc_sys_frames host (pages_of host (max payload_len 1)) with
+      | Some frames ->
+        p.sys_frames <- frames;
+        p.sys_off <- 0
+      | None ->
+        (* No system buffer obtainable: the staged data is discarded and
+           the input completes as a typed failure below (target_desc stays
+           [None]). *)
+        if Simcore.Tracer.on host.Host.scope then begin
+          Simcore.Tracer.instant host.Host.scope "degrade.ready_nomem"
+            ~args:[ ("pages", Simcore.Tracer.Int (pages_of host (max payload_len 1))) ];
+          Simcore.Tracer.add_counter host.Host.scope "ready_degrades"
+        end
     end;
     let target_desc =
       match p.handle with
@@ -716,6 +809,10 @@ let handle_completion (host : Host.t) p (r : Net.Adapter.rx_result) =
     | Net.Adapter.Demuxed { posted; payload_len; _ } ->
       (Memory.Io_desc.gather posted.Net.Adapter.hdr_desc ~off:0 ~len:hdr_len,
        payload_len)
+    | Net.Adapter.Pooled_chain { frames = []; hdr_len = _; payload_len } ->
+      (* Chain dropped at the adapter (overlay pool exhausted mid-PDU):
+         no header bytes to decode; completes as a typed failure. *)
+      (Bytes.empty, payload_len)
     | Net.Adapter.Pooled_chain { frames; hdr_len = h; payload_len } ->
       let desc = frames_desc host frames ~off:0 ~len:h in
       (Memory.Io_desc.gather desc ~off:0 ~len:h, payload_len)
@@ -752,6 +849,22 @@ let abandon (host : Host.t) p =
       ~args:[ ("cancelled", Simcore.Tracer.Bool true) ];
     p.p_span <- 0
   end;
+  (* Undo prepare-time wiring: share wires the application pages, weak
+     move the system region; a cancelled input must leave neither. *)
+  if
+    (not (Semantics.system_allocated p.sem))
+    && p.sem.Semantics.integrity = Semantics.Weak
+    && not p.sem.Semantics.emulated
+  then begin
+    let b = app_buffer p in
+    let region = Vm.Address_space.region_of_addr b.Buf.space ~vaddr:b.Buf.addr in
+    let first = (b.Buf.addr / Host.page_size host) - region.Vm.Region.start_vpn in
+    Vm.Address_space.unwire_range b.Buf.space region ~first ~pages:(Buf.pages b)
+  end;
+  (match p.region with
+  | Some region when (not p.sem.Semantics.emulated) && region.Vm.Region.wired > 0 ->
+    Vm.Address_space.unwire (spec_space p.spec) region
+  | Some _ | None -> ());
   (match p.handle with
   | Some h ->
     Vm.Page_ref.unreference h;

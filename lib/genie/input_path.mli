@@ -27,6 +27,12 @@ type result = {
 
 type pending
 
+exception Backpressure
+(** Raised by {!prepare} when a system-allocated input cannot admit its
+    region allocation under frame exhaustion, even after a
+    pageout-reclaim retry.  {!Endpoint.input} catches it and returns
+    [Error `Again]. *)
+
 val token : pending -> int
 val semantics : pending -> Semantics.t
 
@@ -42,7 +48,8 @@ val prepare :
 (** Run the prepare stage.  For early-demultiplexed VCs the returned
     posted descriptor must be handed to the adapter.  @raise
     Vm_error.Semantics_error on misuse (e.g. [App_buffer] with a
-    system-allocated semantics). *)
+    system-allocated semantics).  @raise Backpressure under frame
+    exhaustion (system-allocated specs only, before any state change). *)
 
 val handle_completion : Host.t -> pending -> Net.Adapter.rx_result -> unit
 (** Run ready/dispose for an arrived PDU and deliver the result to the

@@ -5,6 +5,9 @@ type outcome = {
   prepared_at : Simcore.Sim_time.t;
 }
 
+exception Backpressure
+(* Internal early exit for the admission check; surfaced as [Error `Again]. *)
+
 let effective_semantics (host : Host.t) sem len =
   let th = host.Host.thresholds in
   if Semantics.equal sem Semantics.emulated_copy
@@ -13,6 +16,30 @@ let effective_semantics (host : Host.t) sem len =
   else if Semantics.equal sem Semantics.emulated_share
           && len < th.Thresholds.copy_out_emulated_share
   then Semantics.copy
+  else sem
+
+(* Degradation ladder, first rung: under overlay-pool pressure emulated
+   copy falls back to plain copy — the same conversion the length
+   thresholds perform, triggered by resource state instead of size.
+   Copy needs no overlay frames at the receiver and arms no TCOW. *)
+let pressure_semantics (host : Host.t) sem =
+  let th = host.Host.thresholds in
+  if
+    Semantics.equal sem Semantics.emulated_copy
+    && th.Thresholds.pool_fallback_frames > 0
+    && Host.pool_level host < th.Thresholds.pool_fallback_frames
+  then begin
+    if Simcore.Tracer.on host.Host.scope then begin
+      Simcore.Tracer.instant host.Host.scope "degrade.fallback"
+        ~args:
+          [
+            ("from", Simcore.Tracer.Str (Semantics.name sem));
+            ("to", Simcore.Tracer.Str (Semantics.name Semantics.copy));
+          ];
+      Simcore.Tracer.add_counter host.Host.scope "sem_fallbacks"
+    end;
+    Semantics.copy
+  end
   else sem
 
 (* Build a kernel system buffer holding a copy of the application data. *)
@@ -65,7 +92,7 @@ let buffer_page_range (host : Host.t) (buf : Buf.t) (region : Vm.Region.t) =
   let first = (buf.Buf.addr / psize) - region.Vm.Region.start_vpn in
   (first, Buf.pages buf)
 
-let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
+let output_admitted (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
   let ops = host.Host.ops in
   let engine = host.Host.engine in
   let len = buf.Buf.len in
@@ -76,7 +103,40 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
      asked for, before any threshold conversion. *)
   if Semantics.system_allocated sem then ignore (check_system_allocated buf sem);
   Ops.charge ops C.Syscall_entry ~unit:(`Bytes 0);
-  let sem_eff = effective_semantics host sem len in
+  let sem_eff = pressure_semantics host (effective_semantics host sem len) in
+  (* Backpressure: the plain-copy path demands system-buffer frames right
+     now, and reading the application buffer (copyin or the reference
+     walk) pages swapped-out source pages back in — one more frame each.
+     Under exhaustion, try a pageout reclaim; if frames still can't be
+     found, reject with `Again instead of raising — the caller may retry
+     once memory drains.  In-place outputs of resident buffers allocate
+     nothing here and are always admitted. *)
+  let psize = Host.page_size host in
+  let npages =
+    (if Semantics.in_place sem_eff then 0 else (len + psize - 1) / psize)
+    + Vm.Address_space.read_alloc_deficit buf.Buf.space ~addr:buf.Buf.addr ~len
+  in
+  if npages > 0 then begin
+    let phys = host.Host.vm.Vm.Vm_sys.phys in
+    let admitted =
+      Memory.Phys_mem.free_frames phys >= npages
+      || (Host.reclaim_retry host ~target:(max 16 npages) ~why:"output"
+          && Memory.Phys_mem.free_frames phys >= npages)
+    in
+    if not admitted then begin
+      if Simcore.Tracer.on host.Host.scope then begin
+        Simcore.Tracer.instant host.Host.scope "degrade.again"
+          ~args:
+            [
+              ("where", Simcore.Tracer.Str "output");
+              ("vc", Simcore.Tracer.Int vc);
+              ("pages", Simcore.Tracer.Int npages);
+            ];
+        Simcore.Tracer.add_counter host.Host.scope "backpressure_rejects"
+      end;
+      raise_notrace Backpressure
+    end
+  end;
   let scope = host.Host.scope in
   let span =
     if Simcore.Tracer.on scope then
@@ -218,3 +278,8 @@ let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
               Simcore.Tracer.span_end scope ~id:span "output.path";
               on_complete ())));
   { semantics_used = sem_eff; prepared_at }
+
+let output (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
+  match output_admitted host ~vc ~sem ~buf ~seq ~on_complete with
+  | outcome -> Ok outcome
+  | exception Backpressure -> Error `Again

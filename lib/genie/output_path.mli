@@ -6,10 +6,12 @@
     transmitting (overlapped with network and receiver latencies).
 
     Emulated copy and emulated share outputs shorter than the conversion
-    thresholds automatically use plain copy semantics. *)
+    thresholds automatically use plain copy semantics; emulated copy also
+    degrades to plain copy while the overlay pool is below
+    [Thresholds.pool_fallback_frames] (see docs/ROBUSTNESS.md). *)
 
 type outcome = {
-  semantics_used : Semantics.t;  (** after threshold conversion *)
+  semantics_used : Semantics.t;  (** after threshold/pressure conversion *)
   prepared_at : Simcore.Sim_time.t;  (** when prepare-stage CPU work retired *)
 }
 
@@ -20,9 +22,14 @@ val output :
   buf:Buf.t ->
   seq:int ->
   on_complete:(unit -> unit) ->
-  outcome
+  (outcome, [ `Again ]) result
 (** Start an output.  [on_complete] fires when dispose-stage work retires
     (the application's send has fully completed).
+
+    [Error `Again] is backpressure: the plain-copy path could not admit
+    the system-buffer allocation even after a pageout-reclaim retry.
+    Nothing was sent and no state changed; the caller may retry once
+    memory pressure drains.  In-place paths are always admitted.
 
     @raise Vm_error.Semantics_error if a system-allocated semantics is
     used on a buffer that is not within a moved-in region. *)

@@ -2,10 +2,12 @@ type t = {
   copy_out_emulated_copy : int;
   copy_out_emulated_share : int;
   reverse_copyout : int;
+  pool_fallback_frames : int;
 }
 
 let default =
-  { copy_out_emulated_copy = 1666; copy_out_emulated_share = 280; reverse_copyout = 2178 }
+  { copy_out_emulated_copy = 1666; copy_out_emulated_share = 280;
+    reverse_copyout = 2178; pool_fallback_frames = 8 }
 
 let for_page_size page_size =
   let scale v = v * page_size / 4096 in
@@ -13,7 +15,9 @@ let for_page_size page_size =
     copy_out_emulated_copy = scale default.copy_out_emulated_copy;
     copy_out_emulated_share = scale default.copy_out_emulated_share;
     reverse_copyout = (page_size / 2) + scale (default.reverse_copyout - 2048);
+    pool_fallback_frames = default.pool_fallback_frames;
   }
 
 let no_conversion =
-  { copy_out_emulated_copy = 0; copy_out_emulated_share = 0; reverse_copyout = 0 }
+  { copy_out_emulated_copy = 0; copy_out_emulated_share = 0; reverse_copyout = 0;
+    pool_fallback_frames = 0 }

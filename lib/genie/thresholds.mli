@@ -15,6 +15,11 @@ type t = {
   reverse_copyout : int;
       (** partial page data shorter than this is copied out rather than
           completed and swapped (2178) *)
+  pool_fallback_frames : int;
+      (** semantics fallback under pressure: emulated-copy output degrades
+          to plain copy while the overlay pool holds fewer frames than
+          this (8), the same kind of conversion the length thresholds
+          perform — copy works without overlay frames *)
 }
 
 val default : t

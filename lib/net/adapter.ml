@@ -19,12 +19,40 @@ type completion =
 
 type rx_result = { vc : int; completion : completion; crc_ok : bool }
 
-(* Receiver-side state for the PDU currently arriving on a VC. *)
+(* Receiver-side state for the PDU currently arriving on a VC.  A pooled
+   flow that hits overlay-pool exhaustion mid-PDU flips [dropping]: the
+   frames taken so far go back to the pool and the rest of the PDU is
+   swallowed, surfacing as an empty chain with [crc_ok = false]. *)
 type rx_partial =
   | Rx_idle
   | Rx_demux of { posted : posted; mutable overrun : bool }
-  | Rx_pooled of { mutable frames : Memory.Frame.t list (* reversed *) }
+  | Rx_pooled of {
+      mutable frames : Memory.Frame.t list; (* reversed *)
+      mutable dropping : bool;
+    }
   | Rx_outboard of { buf : Buffer.t; id : int }
+
+type fault = Drop | Corrupt | Duplicate | Delay_us of float
+
+type fault_rates = {
+  p_drop : float;
+  p_corrupt : float;
+  p_duplicate : float;
+  p_delay : float;
+  delay_us : float;
+}
+
+(* Per-VC fault schedule on the sending adapter.  One-shot faults are
+   consumed in order before the probabilistic rates draw; all randomness
+   comes from the caller-supplied [Simcore.Rng], so a failure run replays
+   exactly from its seed.  [gate] keeps arrivals monotonic within the VC
+   (ATM preserves cell order per VC) even when PDUs are delayed. *)
+type fault_state = {
+  oneshot : fault Queue.t;
+  mutable rates : fault_rates option;
+  mutable frng : Simcore.Rng.t option;
+  mutable gate : Simcore.Sim_time.t;
+}
 
 type rx_flow = {
   mutable partial : rx_partial;
@@ -42,7 +70,8 @@ type t = {
   rx_modes : (int, rx_mode) Hashtbl.t;
   posted : (int, posted Queue.t) Hashtbl.t;
   flows : (int, rx_flow) Hashtbl.t;
-  mutable pool_supply : unit -> Memory.Frame.t;
+  mutable pool_supply : unit -> Memory.Frame.t option;
+  mutable pool_return : Memory.Frame.t -> unit;
   mutable rx_complete : rx_result -> unit;
   outboard : (int, bytes) Hashtbl.t;
   mutable next_outboard_id : int;
@@ -51,7 +80,7 @@ type t = {
   mutable tx_active : bool;
   credits : (int, credit_state) Hashtbl.t;
   mutable stalls : int;
-  corrupt_pending : (int, int ref) Hashtbl.t;  (* vc -> PDUs to corrupt *)
+  faults : (int, fault_state) Hashtbl.t;  (* sender-side, per VC *)
   tx_pool : Memory.Buf_pool.t;  (* recycled burst staging buffers *)
   mutable trace : Simcore.Tracer.scope option;
 }
@@ -77,6 +106,7 @@ and flight = {
   fl_hdr_len : int;
   mutable fl_crc : Crc32.t;
   mutable fl_span : int;  (* typed-trace span id of the whole flight *)
+  mutable fl_fault : fault option;  (* decided once, at transmit *)
 }
 
 let create engine p ~page_size ~name =
@@ -90,7 +120,8 @@ let create engine p ~page_size ~name =
     rx_modes = Hashtbl.create 8;
     posted = Hashtbl.create 8;
     flows = Hashtbl.create 8;
-    pool_supply = (fun () -> failwith "Adapter: no pool supply installed");
+    pool_supply = (fun () -> None);
+    pool_return = (fun _ -> ());
     rx_complete = (fun _ -> ());
     outboard = Hashtbl.create 8;
     next_outboard_id = 0;
@@ -99,7 +130,7 @@ let create engine p ~page_size ~name =
     tx_active = false;
     credits = Hashtbl.create 4;
     stalls = 0;
-    corrupt_pending = Hashtbl.create 4;
+    faults = Hashtbl.create 4;
     tx_pool = Memory.Buf_pool.create ();
     trace = None;
   }
@@ -118,6 +149,7 @@ let traced t f =
 let set_rx_mode t ~vc mode = Hashtbl.replace t.rx_modes vc mode
 let rx_mode t vc = Option.value ~default:Early_demux (Hashtbl.find_opt t.rx_modes vc)
 let set_pool_supply t supply = t.pool_supply <- supply
+let set_pool_return t ret = t.pool_return <- ret
 let set_rx_complete t handler = t.rx_complete <- handler
 
 let posted_queue t vc =
@@ -163,21 +195,85 @@ let credits_available t ~vc =
 
 let tx_stalls t = t.stalls
 
-let corrupt_next_pdu t ~vc =
-  match Hashtbl.find_opt t.corrupt_pending vc with
-  | Some n -> incr n
-  | None -> Hashtbl.add t.corrupt_pending vc (ref 1)
+(* {1 Link-fault schedule} *)
 
-(* Flip one byte of the first burst of a PDU marked for corruption; the
-   sender-side CRC has already been computed, so the receiver's check
+let fault_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Duplicate -> "duplicate"
+  | Delay_us _ -> "delay"
+
+let fault_state t vc =
+  match Hashtbl.find_opt t.faults vc with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      { oneshot = Queue.create (); rates = None; frng = None;
+        gate = Simcore.Sim_time.zero }
+    in
+    Hashtbl.add t.faults vc fs;
+    fs
+
+let inject_fault t ~vc fault = Queue.add fault (fault_state t vc).oneshot
+
+let set_fault_rates t ~vc ~rng rates =
+  let p =
+    rates.p_drop +. rates.p_corrupt +. rates.p_duplicate +. rates.p_delay
+  in
+  if p > 1.0 then invalid_arg "Adapter.set_fault_rates: probabilities sum > 1";
+  let fs = fault_state t vc in
+  fs.rates <- Some rates;
+  fs.frng <- Some rng
+
+let clear_faults t ~vc = Hashtbl.remove t.faults vc
+
+let corrupt_next_pdu t ~vc = inject_fault t ~vc Corrupt
+
+(* Decide, at transmit time, the fate of one PDU: a queued one-shot fault
+   wins; otherwise a single Rng draw against the cumulative rates.
+   Fault-free VCs cost one Hashtbl lookup and draw nothing. *)
+let decide_fault t ~vc =
+  match Hashtbl.find_opt t.faults vc with
+  | None -> None
+  | Some fs -> (
+    let decided =
+      match Queue.take_opt fs.oneshot with
+      | Some _ as f -> f
+      | None -> (
+        match (fs.rates, fs.frng) with
+        | Some r, Some rng ->
+          let x = Simcore.Rng.float rng in
+          if x < r.p_drop then Some Drop
+          else if x < r.p_drop +. r.p_corrupt then Some Corrupt
+          else if x < r.p_drop +. r.p_corrupt +. r.p_duplicate then
+            Some Duplicate
+          else if
+            x < r.p_drop +. r.p_corrupt +. r.p_duplicate +. r.p_delay
+          then Some (Delay_us r.delay_us)
+          else None
+        | _ -> None)
+    in
+    (match decided with
+    | Some f ->
+      traced t (fun s ->
+          Simcore.Tracer.instant s "fault.inject"
+            ~args:
+              [
+                ("vc", Simcore.Tracer.Int vc);
+                ("kind", Simcore.Tracer.Str (fault_name f));
+              ])
+    | None -> ());
+    decided)
+
+(* Flip one byte of the first burst of a PDU whose fault is [Corrupt];
+   the sender-side CRC has already been computed, so the receiver's check
    fails exactly as for a line error. *)
-let maybe_corrupt t ~vc ~first_burst (chunk : bytes) ~len =
-  if first_burst && len > 0 then
-    match Hashtbl.find_opt t.corrupt_pending vc with
-    | Some n when !n > 0 ->
-      decr n;
-      Bytes.set chunk 0 (Char.chr (Char.code (Bytes.get chunk 0) lxor 0xFF))
-    | Some _ | None -> ()
+let maybe_corrupt t fl ~first_burst (chunk : bytes) ~len =
+  match fl.fl_fault with
+  | Some Corrupt when first_burst && len > 0 ->
+    traced t (fun s -> Simcore.Tracer.add_counter s "pdu_corrupts");
+    Bytes.set chunk 0 (Char.chr (Char.code (Bytes.get chunk 0) lxor 0xFF))
+  | _ -> ()
 
 let grant_credits t ~vc ~cells =
   match Hashtbl.find_opt t.credits vc with
@@ -202,36 +298,45 @@ let start_rx t vc total_len =
       let id = t.next_outboard_id in
       t.next_outboard_id <- id + 1;
       Rx_outboard { buf = Buffer.create total_len; id }
-    | Pooled -> Rx_pooled { frames = [] }
+    | Pooled -> Rx_pooled { frames = []; dropping = false }
     | Early_demux -> (
       match Queue.take_opt (posted_queue t vc) with
       | Some posted -> Rx_demux { posted; overrun = false }
-      | None -> Rx_pooled { frames = [] } (* no posted buffers: fall back *))
+      | None ->
+        Rx_pooled { frames = []; dropping = false } (* no posted: fall back *))
   in
   f.partial <- partial
 
 (* Scatter PDU bytes [f.received, f.received+len) into the pooled chain,
-   allocating pool pages on demand. *)
+   allocating pool pages on demand.  Returns [false] — leaving the chain
+   updated as far as it got — when the pool supply runs dry mid-PDU; the
+   caller then flips the flow into dropping mode. *)
 let pooled_scatter t st (chunk : bytes) ~chunk_len pdu_off =
   let rec put frames_rev filled src_off remaining =
-    if remaining = 0 then frames_rev
+    if remaining = 0 then (frames_rev, true)
     else begin
       let page_off = filled mod t.page_size in
-      let frames_rev =
+      let fresh =
         if page_off = 0 && filled = List.length frames_rev * t.page_size then
-          t.pool_supply () :: frames_rev
-        else frames_rev
+          match t.pool_supply () with
+          | Some frame -> Some (frame :: frames_rev)
+          | None -> None
+        else Some frames_rev
       in
-      match frames_rev with
-      | [] -> assert false
-      | frame :: _ ->
+      match fresh with
+      | None -> (frames_rev, false)
+      | Some [] -> assert false
+      | Some (frame :: _ as frames_rev) ->
         let n = min remaining (t.page_size - page_off) in
         Memory.Frame.blit_in frame ~dst_off:page_off ~src:chunk ~src_off ~len:n;
         put frames_rev (filled + n) (src_off + n) (remaining - n)
     end
   in
   match st with
-  | Rx_pooled s -> s.frames <- put s.frames pdu_off (0 : int) chunk_len
+  | Rx_pooled s ->
+    let frames, ok = put s.frames pdu_off (0 : int) chunk_len in
+    s.frames <- frames;
+    ok
   | Rx_idle | Rx_demux _ | Rx_outboard _ -> assert false
 
 let demux_scatter (posted : posted) (chunk : bytes) ~chunk_len pdu_off ~hdr_len
@@ -279,11 +384,28 @@ let rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
   | Rx_demux d ->
     demux_scatter d.posted chunk ~chunk_len pdu_off ~hdr_len ~overrun:(fun () ->
         d.overrun <- true)
-  | Rx_pooled _ -> pooled_scatter t f.partial chunk ~chunk_len pdu_off
+  | Rx_pooled s ->
+    if not s.dropping then
+      if not (pooled_scatter t f.partial chunk ~chunk_len pdu_off) then begin
+        (* Overlay pool dry mid-PDU: hand back what was taken and swallow
+           the rest of this PDU.  The host sees an empty chain with
+           [crc_ok = false], the same typed failure as a line error. *)
+        s.dropping <- true;
+        List.iter t.pool_return (List.rev s.frames);
+        s.frames <- [];
+        t.dropped <- t.dropped + 1;
+        traced t (fun sc ->
+            Simcore.Tracer.add_counter sc "rx_drop_nopool";
+            Simcore.Tracer.instant sc "rx.drop_nopool"
+              ~args:[ ("vc", Simcore.Tracer.Int vc) ])
+      end
   | Rx_outboard { buf; _ } -> Buffer.add_subbytes buf chunk 0 chunk_len);
   f.received <- f.received + chunk_len;
   if is_last then begin
-    let crc_ok = Crc32.finish f.crc = tx_crc in
+    let dropped_flow =
+      match f.partial with Rx_pooled s -> s.dropping | _ -> false
+    in
+    let crc_ok = Crc32.finish f.crc = tx_crc && not dropped_flow in
     let completion =
       match f.partial with
       | Rx_idle -> assert false
@@ -360,7 +482,7 @@ let rec send_burst t job ~i ~cells_done =
     | None -> ());
     let chunk = gather_pdu_range t fl ~off ~len in
     fl.fl_crc <- Crc32.update fl.fl_crc chunk ~off:0 ~len;
-    maybe_corrupt t ~vc:fl.fl_vc ~first_burst:(off = 0) chunk ~len;
+    maybe_corrupt t fl ~first_burst:(off = 0) chunk ~len;
     let serialization =
       Simcore.Sim_time.of_ns
         (int_of_float (Float.round (float_of_int burst_cells *. cell_time_ns t)))
@@ -377,22 +499,71 @@ let rec send_burst t job ~i ~cells_done =
               ("bytes", Simcore.Tracer.Int len);
               ("cells", Simcore.Tracer.Int burst_cells);
             ]);
-    let arrival = Simcore.Sim_time.add end_time t.p.Net_params.prop_delay in
+    let arrival_base =
+      let a = Simcore.Sim_time.add end_time t.p.Net_params.prop_delay in
+      match fl.fl_fault with
+      | Some (Delay_us d) -> Simcore.Sim_time.add a (Simcore.Sim_time.of_us d)
+      | _ -> a
+    in
+    (* VCs with a fault schedule keep arrivals monotonic (ATM preserves
+       per-VC cell order): a delayed PDU gates later PDUs on the same VC
+       behind it, while other VCs overtake — delay-reorder. *)
+    let arrival =
+      match Hashtbl.find_opt t.faults fl.fl_vc with
+      | None -> arrival_base
+      | Some fs ->
+        let a = Simcore.Sim_time.max arrival_base fs.gate in
+        fs.gate <- a;
+        a
+    in
     let tx_crc = Crc32.finish fl.fl_crc in
-    Simcore.Engine.at t.engine ~time:arrival (fun () ->
-        rx_burst peer ~vc:fl.fl_vc ~chunk ~chunk_len:len ~pdu_off:off
-          ~hdr_len:fl.fl_hdr_len ~total_len:fl.fl_total ~is_last ~tx_crc
-          ~cells:burst_cells;
-        (* rx_burst consumed the staging buffer synchronously; recycle it. *)
-        Memory.Buf_pool.give t.tx_pool chunk);
+    (match fl.fl_fault with
+    | Some Drop ->
+      (* The cells serialize and the receiver discards them: no rx_burst,
+         but buffering is still consumed and freed, so the credits come
+         back on the usual schedule. *)
+      if off = 0 then
+        traced t (fun s ->
+            Simcore.Tracer.add_counter s "pdu_drops";
+            Simcore.Tracer.instant s "fault.drop"
+              ~args:[ ("vc", Simcore.Tracer.Int fl.fl_vc) ]);
+      Simcore.Engine.at t.engine ~time:arrival (fun () ->
+          Memory.Buf_pool.give t.tx_pool chunk);
+      Simcore.Engine.at t.engine
+        ~time:(Simcore.Sim_time.add arrival t.p.Net_params.prop_delay)
+        (fun () -> grant_credits t ~vc:fl.fl_vc ~cells:burst_cells)
+    | _ ->
+      if off = 0 then (
+        match fl.fl_fault with
+        | Some (Delay_us _) ->
+          traced t (fun s -> Simcore.Tracer.add_counter s "pdu_delays")
+        | _ -> ());
+      Simcore.Engine.at t.engine ~time:arrival (fun () ->
+          rx_burst peer ~vc:fl.fl_vc ~chunk ~chunk_len:len ~pdu_off:off
+            ~hdr_len:fl.fl_hdr_len ~total_len:fl.fl_total ~is_last ~tx_crc
+            ~cells:burst_cells;
+          (* rx_burst consumed the staging buffer synchronously; recycle it. *)
+          Memory.Buf_pool.give t.tx_pool chunk));
     Simcore.Engine.at t.engine ~time:end_time (fun () ->
-        if is_last then begin
-          t.tx_active <- false;
-          traced t (fun s ->
-              Simcore.Tracer.span_end s ~id:fl.fl_span "tx.pdu");
-          job.job_done ();
-          pump t
-        end
+        if is_last then
+          match fl.fl_fault with
+          | Some Duplicate ->
+            (* Replay the whole PDU once more: the source frames are still
+               referenced (the job is not done), so the wire carries two
+               identical copies back to back. *)
+            fl.fl_fault <- None;
+            fl.fl_crc <- Crc32.init;
+            traced t (fun s ->
+                Simcore.Tracer.add_counter s "pdu_dups";
+                Simcore.Tracer.instant s "fault.duplicate"
+                  ~args:[ ("vc", Simcore.Tracer.Int fl.fl_vc) ]);
+            send_burst t job ~i:0 ~cells_done:0
+          | _ ->
+            t.tx_active <- false;
+            traced t (fun s ->
+                Simcore.Tracer.span_end s ~id:fl.fl_span "tx.pdu");
+            job.job_done ();
+            pump t
         else send_burst t job ~i:(i + 1) ~cells_done:end_cells)
   in
   match Hashtbl.find_opt t.credits fl.fl_vc with
@@ -443,7 +614,8 @@ let transmit t ~vc ~hdr ~desc ~on_tx_complete =
       fl_iov =
         Memory.Iovec.concat
           [ Memory.Iovec.of_bytes fl_hdr; Memory.Io_desc.to_iovec desc ];
-      fl_total = total; fl_hdr_len = hdr_len; fl_crc = Crc32.init; fl_span = 0 }
+      fl_total = total; fl_hdr_len = hdr_len; fl_crc = Crc32.init; fl_span = 0;
+      fl_fault = decide_fault t ~vc }
   in
   (* Advisory busy estimate (ignores credit stalls). *)
   let now = Simcore.Engine.now t.engine in

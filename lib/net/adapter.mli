@@ -63,7 +63,16 @@ val set_trace_scope : t -> Simcore.Tracer.scope -> unit
 val set_rx_mode : t -> vc:int -> rx_mode -> unit
 (** Default mode for unknown VCs is [Early_demux]. *)
 
-val set_pool_supply : t -> (unit -> Memory.Frame.t) -> unit
+val set_pool_supply : t -> (unit -> Memory.Frame.t option) -> unit
+(** Install the overlay-pool source for the pooled receive path.  [None]
+    means the pool is exhausted: the adapter hands back the frames of the
+    partially received PDU through {!set_pool_return}, swallows the rest
+    of the PDU, and completes it as an empty [Pooled_chain] with
+    [crc_ok = false] — the same typed failure a line error produces. *)
+
+val set_pool_return : t -> (Memory.Frame.t -> unit) -> unit
+(** Where frames of a dropped partial chain are returned. *)
+
 val set_rx_complete : t -> (rx_result -> unit) -> unit
 
 val post_input : t -> posted -> unit
@@ -109,15 +118,49 @@ val credits_available : t -> vc:int -> int option
 val tx_stalls : t -> int
 (** Number of times transmission paused waiting for credits. *)
 
-(** {1 Fault injection}
+(** {1 Link-fault schedule}
 
-    For testing the failure paths: corrupt a byte of the next PDU
-    transmitted on a VC {e after} the sender's CRC is computed, as a
-    transmission error would.  The receiver's AAL5 CRC check then fails
-    and the host sees [crc_ok = false]. *)
+    A deterministic per-VC fault model on the {e sending} adapter.  Each
+    PDU's fate is decided once, at [transmit]: a queued one-shot fault is
+    consumed first; otherwise, if probabilistic rates are installed, a
+    single draw from the caller-supplied {!Simcore.Rng} picks against the
+    cumulative rates.  All randomness flows from that Rng, so any failure
+    run replays bit-identically from its seed.  Fault-free VCs pay one
+    hash lookup and draw nothing — their timing is untouched.
+
+    - [Drop]: the cells serialize and the receiver discards them; credits
+      return on the normal schedule but no completion is delivered.
+    - [Corrupt]: one byte of the first burst flips after the sender's CRC,
+      so the receiver sees [crc_ok = false], as for a line error.
+    - [Duplicate]: the PDU is transmitted twice back to back.
+    - [Delay_us d]: arrival shifts by [d] microseconds.  Arrivals stay
+      monotonic within the VC (ATM preserves per-VC cell order): later
+      PDUs on the same VC gate behind the delayed one, while traffic on
+      other VCs overtakes — delay-reorder. *)
+
+type fault = Drop | Corrupt | Duplicate | Delay_us of float
+
+type fault_rates = {
+  p_drop : float;
+  p_corrupt : float;
+  p_duplicate : float;
+  p_delay : float;
+  delay_us : float;  (** the delay a [p_delay] hit applies *)
+}
+
+val inject_fault : t -> vc:int -> fault -> unit
+(** Queue a one-shot fault for the next PDU transmitted on [vc]. *)
+
+val set_fault_rates : t -> vc:int -> rng:Simcore.Rng.t -> fault_rates -> unit
+(** Install probabilistic faulting on [vc].  The probabilities must sum to
+    at most 1; the remainder is the fault-free case.
+    @raise Invalid_argument if they sum over 1. *)
+
+val clear_faults : t -> vc:int -> unit
+(** Drop the fault schedule (one-shots and rates) for [vc]. *)
 
 val corrupt_next_pdu : t -> vc:int -> unit
-(** Called on the {e sending} adapter. *)
+(** [inject_fault t ~vc Corrupt] — kept as sugar for the tests. *)
 
 val outboard_read : t -> id:int -> off:int -> len:int -> bytes
 (** Read from a stored outboard buffer; [off] is PDU-relative (header

@@ -15,13 +15,11 @@ type t = {
   mutable next_vpn : int;
 }
 
-let counter = ref 0
-
 let create vm =
-  incr counter;
+  vm.Vm_sys.next_space_id <- vm.Vm_sys.next_space_id + 1;
   let t =
     {
-      id = !counter;
+      id = vm.Vm_sys.next_space_id;
       vm;
       pt = Page_table.create ();
       region_list = [];
@@ -135,6 +133,34 @@ let region_of_addr t ~vaddr =
   | Some r -> r
   | None -> Vm_error.segfault "space %d: address %#x not in any region" t.id vaddr
 
+(* Frames a read of [addr, addr+len) would still have to allocate:
+   unmapped pages whose chain page is swapped out or absent (the two
+   arms of [handle_read_fault] that call the allocator).  Pure — no
+   faulting, no mapping, no allocation — so admission checks can price
+   a copyin/reference walk before starting it under memory pressure. *)
+let read_alloc_deficit t ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let lo = vpn_of_addr t addr and hi = vpn_of_addr t (addr + len - 1) in
+    let n = ref 0 in
+    for vpn = lo to hi do
+      match Page_table.find t.pt vpn with
+      | Some _ -> ()
+      | None -> (
+        match region_of_vpn t vpn with
+        | None -> ()
+        | Some r -> (
+          let idx = vpn - r.Region.start_vpn in
+          match Memory_object.find_chain r.Region.obj idx with
+          | Some (owner, _) -> (
+            match Memory_object.find_local owner idx with
+            | Some (Memory_object.Resident _) -> ()
+            | Some (Memory_object.Swapped _) | None -> incr n)
+          | None -> incr n))
+    done;
+    !n
+  end
+
 (* {1 Fault handling} *)
 
 let recoverable (r : Region.t) =
@@ -151,10 +177,19 @@ let fault_region t vpn =
     Vm_error.unrecoverable "space %d: fault at vpn %d in %s region" t.id vpn
       (Region.movability_name r.Region.state)
 
+(* Allocating under pressure may trigger a pageout scan; pin the source
+   frame for the duration so the scan cannot evict (and recycle) the very
+   page being copied. *)
+let alloc_for_copy t (src : Memory.Frame.t) =
+  src.Memory.Frame.wired <- src.Memory.Frame.wired + 1;
+  Fun.protect
+    ~finally:(fun () -> src.Memory.Frame.wired <- src.Memory.Frame.wired - 1)
+    (fun () -> Vm_sys.alloc_pressured t.vm)
+
 (* Copy a chain page into the top object (conventional COW resolution). *)
 let cow_copy t (region : Region.t) idx owner =
   let src = Vm_sys.materialize t.vm owner idx in
-  let dst = Vm_sys.alloc_pressured t.vm in
+  let dst = alloc_for_copy t src in
   Memory.Frame.copy_contents ~src ~dst;
   Vm_sys.insert_page t.vm region.Region.obj idx dst;
   traced t (fun s ->
@@ -219,7 +254,7 @@ let handle_write_fault t vpn =
                   ("space", Simcore.Tracer.Int t.id);
                   ("vpn", Simcore.Tracer.Int vpn);
                 ]);
-        let fresh = Vm_sys.alloc_pressured t.vm in
+        let fresh = alloc_for_copy t frame in
         Memory.Frame.copy_contents ~src:frame ~dst:fresh;
         let displaced = Vm_sys.replace_page t.vm obj idx fresh in
         (* The displaced frame keeps carrying the pending output; it is
@@ -507,7 +542,7 @@ let clone_cow t =
         match Memory_object.find_chain r.Region.obj i with
         | Some (owner, _) ->
           let src = Vm_sys.materialize t.vm owner i in
-          let dst = Vm_sys.alloc_pressured t.vm in
+          let dst = alloc_for_copy t src in
           Memory.Frame.copy_contents ~src ~dst;
           Vm_sys.insert_page child.vm obj i dst;
           Page_table.map child.pt ~vpn:(fresh.Region.start_vpn + i) ~frame:dst

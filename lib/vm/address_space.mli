@@ -43,6 +43,13 @@ val find_region : t -> vaddr:int -> Region.t option
 val region_of_addr : t -> vaddr:int -> Region.t
 (** @raise Vm_error.Segmentation_fault if no region covers the address. *)
 
+val read_alloc_deficit : t -> addr:int -> len:int -> int
+(** Number of frames a read of [addr, addr+len) would still have to
+    allocate: unmapped pages whose backing page is swapped out or was
+    never created.  Pure (no faulting, no allocation) — lets admission
+    checks price a copyin or reference walk under frame exhaustion
+    before committing to it. *)
+
 val regions : t -> Region.t list
 val base_addr : Region.t -> page_size:int -> int
 

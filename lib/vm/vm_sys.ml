@@ -24,6 +24,9 @@ type t = {
   mutable spaces : space_view list;
   io_registry : (int, io_view) Hashtbl.t;
   mutable next_io_id : int;
+  mutable next_space_id : int;
+  reserve_target : int;
+  mutable reserve : Memory.Frame.t list;
   mutable trace : Simcore.Tracer.scope option;
 }
 
@@ -73,16 +76,63 @@ let replace_page t obj idx new_frame =
   | Some (Memory_object.Swapped _) | None ->
     invalid_arg "Vm_sys.replace_page: page not resident"
 
+(* The emergency reserve backs fault handling the way a pager's min-free
+   watermark does: stocked at boot, untouchable by admission checks (it
+   is off the free list, so [Phys_mem.free_frames] never counts it), and
+   spent only when a fault finds the free list empty with nothing
+   evictable.  Each page materialized from the reserve is itself
+   evictable, so single-page fault streams stay sustainable under total
+   exhaustion.  The reserve restocks from the free list as memory
+   drains. *)
+let restock_reserve t =
+  let missing = t.reserve_target - List.length t.reserve in
+  if missing > 0 then begin
+    let spare = Memory.Phys_mem.free_frames t.phys - 1 in
+    for _ = 1 to min missing spare do
+      t.reserve <- Memory.Phys_mem.alloc t.phys :: t.reserve
+    done
+  end
+
+let reserve_frames t = t.reserve
+let reserve_level t = List.length t.reserve
+
+let take_reserve t =
+  match t.reserve with
+  | [] -> raise Memory.Phys_mem.Out_of_frames
+  | frame :: rest ->
+    t.reserve <- rest;
+    (match t.trace with
+    | Some s when Simcore.Tracer.on s ->
+      Simcore.Tracer.instant s "mem.emergency"
+        ~args:
+          [
+            ("frame", Simcore.Tracer.Int frame.Memory.Frame.id);
+            ("left", Simcore.Tracer.Int (List.length rest));
+          ];
+      Simcore.Tracer.add_counter s "emergency_allocs"
+    | _ -> ());
+    frame
+
 let alloc_pressured t =
+  restock_reserve t;
   if Memory.Phys_mem.free_frames t.phys = 0 then
     ignore (Memory.Pageout.scan t.pageout ~target:16);
-  Memory.Phys_mem.alloc t.phys
+  match Memory.Phys_mem.alloc t.phys with
+  | frame -> frame
+  | exception Memory.Phys_mem.Out_of_frames -> take_reserve t
 
 let alloc_pressured_zeroed t =
+  restock_reserve t;
   if Memory.Phys_mem.free_frames t.phys = 0 then
     ignore (Memory.Pageout.scan t.pageout ~target:16);
   (* Phys_mem skips the zero fill for frames it knows are still zero. *)
-  Memory.Phys_mem.alloc_zeroed t.phys
+  match Memory.Phys_mem.alloc_zeroed t.phys with
+  | frame -> frame
+  | exception Memory.Phys_mem.Out_of_frames ->
+    let frame = take_reserve t in
+    Bytes.fill frame.Memory.Frame.data 0
+      (Bytes.length frame.Memory.Frame.data) '\x00';
+    frame
 
 let materialize t obj idx =
   match Memory_object.find_local obj idx with
@@ -123,10 +173,14 @@ let create spec =
       spaces = [];
       io_registry = Hashtbl.create 32;
       next_io_id = 0;
+      next_space_id = 0;
+      reserve_target = 8;
+      reserve = [];
       trace = None;
     }
   in
   Memory.Pageout.set_evict_hook t.pageout (evict_frame t);
+  restock_reserve t;
   t
 
 let run_pageout t ~target = Memory.Pageout.scan t.pageout ~target

@@ -42,6 +42,15 @@ type t = {
   mutable spaces : space_view list;
   io_registry : (int, io_view) Hashtbl.t;
   mutable next_io_id : int;
+  mutable next_space_id : int;
+      (** address-space numbering, per VM system so trace labels replay
+          bit-identically across runs in one process *)
+  reserve_target : int;
+  mutable reserve : Memory.Frame.t list;
+      (** emergency frame reserve for fault handling (a pager min-free
+          watermark): off the free list, invisible to admission checks,
+          spent only when a fault finds memory exhausted with nothing
+          evictable, restocked as memory drains *)
   mutable trace : Simcore.Tracer.scope option;
       (** typed trace scope for VM-layer events (faults, TCOW breaks,
           pageout, region hiding); installed by the host, [None] until
@@ -97,10 +106,19 @@ val run_pageout : t -> target:int -> int
 
 val alloc_pressured : t -> Memory.Frame.t
 (** Allocate a frame, waking the pageout daemon under memory pressure:
-    if the free list is empty, evict pageable frames and retry.
+    if the free list is empty, evict pageable frames and retry, and as a
+    last resort draw on the emergency reserve (traced as
+    [mem.emergency], counter [emergency_allocs]).
     @raise Memory.Phys_mem.Out_of_frames when nothing can be evicted
-    (all remaining memory is wired, kernel-owned or I/O-referenced). *)
+    and the reserve itself is exhausted (all remaining memory is wired,
+    kernel-owned or I/O-referenced). *)
 
 val alloc_pressured_zeroed : t -> Memory.Frame.t
 (** {!alloc_pressured} with all-zero contents; frames the physical layer
     knows are still zero skip the O(page_size) refill. *)
+
+val reserve_frames : t -> Memory.Frame.t list
+(** Current emergency-reserve frames (for the invariant checker, which
+    counts the reserve as a frame owner). *)
+
+val reserve_level : t -> int

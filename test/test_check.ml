@@ -37,7 +37,42 @@ let test_long_fuzz () =
       let tag = "out=" ^ Genie.Semantics.name sem in
       Alcotest.(check bool) (tag ^ " exercised") true
         (List.exists (fun line -> contains line tag) o.F.schedule))
-    Genie.Semantics.all
+    Genie.Semantics.all;
+  (* Acceptance: the default exhaustion + link-fault regime exhibits
+     every degradation mechanism, visible as typed trace counters —
+     semantics fallback, backpressure rejection, pageout-reclaim retry,
+     PDU loss with go-back-N recovery, and retransmission-cap give-up. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " observed") true
+        (List.assoc k o.F.events >= 1))
+    [
+      "sem_fallbacks"; "backpressure_rejects"; "reclaims"; "pdu_drops";
+      "rel_recoveries"; "rel_gave_ups";
+    ]
+
+(* Both pressure knobs off: the degraded-mode machinery stays silent, so
+   the checks are pure reads on the fault-free hot path. *)
+let test_fault_free_regime_is_silent () =
+  let o =
+    F.run
+      { F.default_config with steps = 300; seed = 7;
+        exhaustion = false; link_faults = false }
+  in
+  (match o.F.stop with
+  | F.Completed -> ()
+  | F.Violations vs ->
+    Alcotest.failf "invariant violations:\n%s"
+      (String.concat "\n" (List.map I.violation_to_string vs)));
+  List.iter
+    (fun k ->
+      Alcotest.(check int) (k ^ " absent") 0 (List.assoc k o.F.events))
+    [
+      (* [pdu_corrupts] stays out: the base schedule's CRC-corruption
+         action runs in every regime. *)
+      "backpressure_rejects"; "reclaims"; "pdu_drops"; "pdu_dups";
+      "pdu_delays"; "rel_retransmits"; "rel_gave_ups";
+    ]
 
 let fuzz_random_seeds =
   QCheck.Test.make ~name:"short fuzz schedules hold every invariant" ~count:6
@@ -55,6 +90,8 @@ let test_replay_deterministic () =
     o2.F.schedule;
   Alcotest.(check (list string)) "same seed, same trace" o1.F.trace_tail
     o2.F.trace_tail;
+  Alcotest.(check (list (pair string int))) "same seed, same event counts"
+    o1.F.events o2.F.events;
   Alcotest.(check bool) "distinct seeds, distinct schedules" true
     (o1.F.schedule <> o3.F.schedule)
 
@@ -127,6 +164,8 @@ let suite =
     Alcotest.test_case "2000-step fuzz holds all invariants" `Slow
       test_long_fuzz;
     QCheck_alcotest.to_alcotest fuzz_random_seeds;
+    Alcotest.test_case "fault-free regime keeps degraded mode silent" `Quick
+      test_fault_free_regime_is_silent;
     Alcotest.test_case "seed replay is deterministic" `Quick
       test_replay_deterministic;
     Alcotest.test_case "broken deferred-dealloc is caught" `Quick

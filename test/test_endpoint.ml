@@ -50,6 +50,36 @@ let test_drain_releases_references () =
   Genie.Endpoint.drain eb;
   Alcotest.(check int) "reference dropped" 0 frame.Memory.Frame.input_refs
 
+let test_cancel_unwires () =
+  (* Share wires the application pages and weak move the system region
+     at prepare time; cancelling the pending input must unwire them
+     (regression: a share input cancelled after its matching output was
+     rejected left the region wired forever). *)
+  let w, _, eb = setup Net.Adapter.Early_demux in
+  let host = w.Genie.World.b in
+  let rbuf = make_buf host ~len:8192 in
+  let region =
+    As.region_of_addr rbuf.Genie.Buf.space ~vaddr:rbuf.Genie.Buf.addr
+  in
+  let post sem spec =
+    match Genie.Endpoint.input eb ~sem ~spec ~on_complete:(fun _ -> ()) with
+    | Ok h -> h
+    | Error `Again -> Alcotest.fail "input rejected"
+  in
+  let h = post Sem.share (Genie.Input_path.App_buffer rbuf) in
+  Alcotest.(check bool) "share input wired" true (region.Vm.Region.wired > 0);
+  Alcotest.(check bool) "cancelled" true (Genie.Endpoint.cancel h);
+  Alcotest.(check int) "share pages unwired" 0 region.Vm.Region.wired;
+  let h2 =
+    post Sem.weak_move
+      (Genie.Input_path.Sys_alloc { space = rbuf.Genie.Buf.space; len = 8192 })
+  in
+  Alcotest.(check bool) "cancelled" true (Genie.Endpoint.cancel h2);
+  Alcotest.(check (list string))
+    "no invariant violations" []
+    (List.map Check.Invariants.violation_to_string
+       (Check.Invariants.check_host host))
+
 let test_cancel_one_handle () =
   (* Cancelling one of several pending inputs unposts just that one;
      a second cancel — or a cancel after completion — is a no-op. *)
@@ -57,9 +87,13 @@ let test_cancel_one_handle () =
   let adapter = w.Genie.World.b.Genie.Host.adapter in
   let post () =
     let rbuf = make_buf w.Genie.World.b ~len:4096 in
-    Genie.Endpoint.input eb ~sem:Sem.emulated_share
-      ~spec:(Genie.Input_path.App_buffer rbuf)
-      ~on_complete:(fun _ -> ())
+    match
+      Genie.Endpoint.input eb ~sem:Sem.emulated_share
+        ~spec:(Genie.Input_path.App_buffer rbuf)
+        ~on_complete:(fun _ -> ())
+    with
+    | Ok h -> h
+    | Error `Again -> Alcotest.fail "app-buffer input rejected"
   in
   let h1 = post () in
   let h2 = post () in
@@ -131,10 +165,9 @@ let test_arq_over_credited_link () =
   Genie.Buf.fill_pattern src ~seed:88;
   let dst = make_buf w.Genie.World.b ~len in
   let done_ok = ref false in
-  Genie.Rel_channel.recv rx ~buf:dst ~on_complete:(fun ~ok -> done_ok := ok);
+  Genie.Rel_channel.recv rx ~buf:dst ~on_complete:(fun ~ok -> done_ok := ok) ();
   Net.Adapter.corrupt_next_pdu w.Genie.World.a.Genie.Host.adapter ~vc:1;
-  Genie.Rel_channel.send tx ~buf:src ~on_complete:(fun ~retransmissions ->
-      ignore retransmissions);
+  Genie.Rel_channel.send tx ~buf:src ~on_complete:(fun _ -> ());
   Genie.World.run w;
   Alcotest.(check bool) "delivered" true !done_ok;
   Alcotest.(check bool) "stalled for credits" true
@@ -164,6 +197,8 @@ let suite =
     Alcotest.test_case "pending counts and drain" `Quick test_pending_counts;
     Alcotest.test_case "drain releases references" `Quick
       test_drain_releases_references;
+    Alcotest.test_case "cancel unwires prepared input" `Quick
+      test_cancel_unwires;
     Alcotest.test_case "cancel one handle" `Quick test_cancel_one_handle;
     Alcotest.test_case "back-to-back pipelining" `Quick test_back_to_back_pipelining;
     Alcotest.test_case "ARQ over a credited link" `Quick test_arq_over_credited_link;

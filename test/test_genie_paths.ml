@@ -23,6 +23,12 @@ let moved_in_buf host ~len =
   let region = As.map_region space ~npages ~state:R.Moved_in in
   (space, region, Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len)
 
+(* These tests run far from memory pressure, so backpressure is a bug. *)
+let output_exn ep ~sem ~buf =
+  match Genie.Endpoint.output ep ~sem ~buf () with
+  | Ok o -> o
+  | Error `Again -> Alcotest.fail "unexpected backpressure"
+
 (* {1 Threshold conversion} *)
 
 let test_emcopy_short_converts_to_copy () =
@@ -37,7 +43,7 @@ let test_emcopy_short_converts_to_copy () =
   (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
     ~on_complete:(fun _ -> ()));
-  let outcome = Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf () in
+  let outcome = output_exn ea ~sem:Sem.emulated_copy ~buf in
   Alcotest.(check bool) "converted" true
     (Sem.equal outcome.Genie.Output_path.semantics_used Sem.copy);
   Alcotest.(check bool) "pages stayed writable" true
@@ -55,7 +61,7 @@ let test_emcopy_large_arms_tcow () =
   (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
     ~on_complete:(fun _ -> ()));
-  let outcome = Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf () in
+  let outcome = output_exn ea ~sem:Sem.emulated_copy ~buf in
   Alcotest.(check bool) "not converted" true
     (Sem.equal outcome.Genie.Output_path.semantics_used Sem.emulated_copy);
   Alcotest.(check bool) "pages read-only during output" true
@@ -78,7 +84,7 @@ let test_emshare_threshold () =
   (Genie.Endpoint.input eb ~sem:Sem.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
     ~on_complete:(fun _ -> ()));
-  let outcome = Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf () in
+  let outcome = output_exn ea ~sem:Sem.emulated_share ~buf in
   Alcotest.(check bool) "200 B emulated share converts" true
     (Sem.equal outcome.Genie.Output_path.semantics_used Sem.copy);
   Genie.World.run w

@@ -124,7 +124,7 @@ let adapter_pair () =
   let a = Net.Adapter.create engine Net.Net_params.oc3 ~page_size:4096 ~name:"a" in
   let b = Net.Adapter.create engine Net.Net_params.oc3 ~page_size:4096 ~name:"b" in
   Net.Adapter.connect a b;
-  Net.Adapter.set_pool_supply b (fun () -> Memory.Phys_mem.alloc pm);
+  Net.Adapter.set_pool_supply b (fun () -> Some (Memory.Phys_mem.alloc pm));
   (engine, pm, a, b)
 
 let frame_with pm s =

@@ -1,5 +1,7 @@
-(* Tests for the go-back-N reliable transport, with injected PDU
-   corruption. *)
+(* Tests for the go-back-N reliable transport: injected PDU corruption,
+   the full link-fault schedule (drop / duplicate / delay-reorder /
+   probabilistic loss), exponential backoff, the retransmission cap and
+   receive deadlines. *)
 
 module As = Vm.Address_space
 module Sem = Genie.Semantics
@@ -11,39 +13,77 @@ type rig = {
   w : Genie.World.t;
   tx : Genie.Rel_channel.t;
   rx : Genie.Rel_channel.t;
+  db : Genie.Endpoint.t;  (* receiver's data endpoint *)
 }
 
-let make_rig ?chunk ?window ~sem () =
+let make_rig ?chunk ?window ?ack_timeout_us ?max_retries ~sem () =
   let w = Genie.World.create ~spec_a:light ~spec_b:light () in
   let da, db = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
   let aa, ab = Genie.World.endpoint_pair w ~vc:2 ~mode:Net.Adapter.Early_demux in
-  let tx = Genie.Rel_channel.create ?chunk ?window ~data:da ~ack:aa sem in
-  let rx = Genie.Rel_channel.create ?chunk ?window ~data:db ~ack:ab sem in
-  { w; tx; rx }
+  let tx =
+    Genie.Rel_channel.create ?chunk ?window ?ack_timeout_us ?max_retries
+      ~data:da ~ack:aa sem
+  in
+  let rx =
+    Genie.Rel_channel.create ?chunk ?window ?ack_timeout_us ?max_retries
+      ~data:db ~ack:ab sem
+  in
+  { w; tx; rx; db }
 
 let make_buf host ~len =
   let space = Genie.Host.new_space host in
   let region = As.map_region space ~npages:((len + psize - 1) / psize) in
   Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
 
-let transfer ?chunk ?window ?(corrupt = 0) ~sem ~len () =
-  let rig = make_rig ?chunk ?window ~sem () in
+type outcome = {
+  sent : [ `Done of int | `Gave_up of int ] option;
+  delivered : bool option;
+  intact : bool;
+  elapsed_us : float;
+  rig : rig;
+}
+
+(* Run one reliable transfer with an optional fault schedule on the data
+   VC of the sending adapter.  [faults] are one-shots, [rates] installs
+   probabilistic faulting seeded from [fst rates]. *)
+let run_transfer ?chunk ?window ?ack_timeout_us ?max_retries ?(corrupt = 0)
+    ?(faults = []) ?rates ?deadline_us ~sem ~len () =
+  let rig = make_rig ?chunk ?window ?ack_timeout_us ?max_retries ~sem () in
+  let adapter = rig.w.Genie.World.a.Genie.Host.adapter in
   let src = make_buf rig.w.Genie.World.a ~len in
   Genie.Buf.fill_pattern src ~seed:77;
   let dst = make_buf rig.w.Genie.World.b ~len in
-  let retx = ref (-1) and rx_ok = ref false in
-  Genie.Rel_channel.recv rig.rx ~buf:dst ~on_complete:(fun ~ok -> rx_ok := ok);
+  let sent = ref None and delivered = ref None in
+  Genie.Rel_channel.recv rig.rx ?deadline_us ~buf:dst
+    ~on_complete:(fun ~ok -> delivered := Some ok)
+    ();
   for _ = 1 to corrupt do
-    Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1
+    Net.Adapter.corrupt_next_pdu adapter ~vc:1
   done;
-  Genie.Rel_channel.send rig.tx ~buf:src ~on_complete:(fun ~retransmissions ->
-      retx := retransmissions);
+  List.iter (fun f -> Net.Adapter.inject_fault adapter ~vc:1 f) faults;
+  (match rates with
+  | Some (seed, r) ->
+    Net.Adapter.set_fault_rates adapter ~vc:1 ~rng:(Simcore.Rng.create ~seed) r
+  | None -> ());
+  let t0 = Genie.Host.now_us rig.w.Genie.World.a in
+  Genie.Rel_channel.send rig.tx ~buf:src ~on_complete:(fun r -> sent := Some r);
   Genie.World.run rig.w;
-  Alcotest.(check bool) "receiver completed" true !rx_ok;
-  Alcotest.(check bool) "sender completed" true (!retx >= 0);
-  Alcotest.(check bool) "payload intact" true
-    (Bytes.equal (Genie.Buf.read dst) (Genie.Buf.expected_pattern ~len ~seed:77));
-  !retx
+  let elapsed_us = Genie.Host.now_us rig.w.Genie.World.a -. t0 in
+  let intact =
+    Bytes.equal (Genie.Buf.read dst) (Genie.Buf.expected_pattern ~len ~seed:77)
+  in
+  { sent = !sent; delivered = !delivered; intact; elapsed_us; rig }
+
+(* The original happy-path helper: asserts delivery and returns the
+   retransmission count. *)
+let transfer ?chunk ?window ?(corrupt = 0) ~sem ~len () =
+  let o = run_transfer ?chunk ?window ~corrupt ~sem ~len () in
+  Alcotest.(check bool) "receiver completed" true (o.delivered = Some true);
+  Alcotest.(check bool) "payload intact" true o.intact;
+  match o.sent with
+  | Some (`Done r) -> r
+  | Some (`Gave_up _) -> Alcotest.fail "sender gave up"
+  | None -> Alcotest.fail "sender did not complete"
 
 let test_clean_transfer_no_retransmissions () =
   let retx = transfer ~sem:Sem.emulated_copy ~len:(6 * 61440) () in
@@ -69,6 +109,132 @@ let test_odd_geometry () =
   ignore (transfer ~chunk:10_000 ~sem:Sem.emulated_share ~len:123_457 ());
   ignore (transfer ~chunk:10_000 ~corrupt:2 ~sem:Sem.emulated_share ~len:123_457 ())
 
+let test_drop_recovered () =
+  (* A silently dropped PDU looks like nothing arrived; only the ack
+     timeout recovers it. *)
+  let o =
+    run_transfer ~faults:[ Net.Adapter.Drop ] ~sem:Sem.emulated_copy
+      ~len:(6 * 61440) ()
+  in
+  Alcotest.(check bool) "delivered" true (o.delivered = Some true);
+  Alcotest.(check bool) "payload intact" true o.intact;
+  match o.sent with
+  | Some (`Done r) -> Alcotest.(check bool) "retransmitted" true (r > 0)
+  | _ -> Alcotest.fail "sender did not complete"
+
+let test_duplicate_harmless () =
+  (* A duplicated PDU is a stale retransmission to the receiver: re-acked
+     and overwritten, costing no sender retransmissions. *)
+  let o =
+    run_transfer ~faults:[ Net.Adapter.Duplicate ] ~sem:Sem.emulated_copy
+      ~len:(6 * 61440) ()
+  in
+  Alcotest.(check bool) "delivered" true (o.delivered = Some true);
+  Alcotest.(check bool) "payload intact" true o.intact;
+  Alcotest.(check bool) "no retransmissions" true (o.sent = Some (`Done 0))
+
+let test_delay_reorder_recovered () =
+  (* Delaying the first PDU past the ack timeout forces a retransmission
+     whose copy then races the delayed original; per-VC monotonic gating
+     keeps arrivals ordered and the transfer intact either way. *)
+  let o =
+    run_transfer
+      ~faults:[ Net.Adapter.Delay_us 30_000. ]
+      ~sem:Sem.emulated_copy ~len:(6 * 61440) ()
+  in
+  Alcotest.(check bool) "delivered" true (o.delivered = Some true);
+  Alcotest.(check bool) "payload intact" true o.intact
+
+let drop_rates p =
+  Net.Adapter.
+    { p_drop = p; p_corrupt = 0.; p_duplicate = 0.; p_delay = 0.; delay_us = 0. }
+
+let test_probabilistic_loss_deterministic () =
+  (* A lossy link driven by a seeded Rng delivers, and the whole failure
+     run replays bit-identically from the seed. *)
+  let run () =
+    run_transfer ~rates:(42, drop_rates 0.25) ~sem:Sem.emulated_copy
+      ~len:(8 * 61440) ()
+  in
+  let o1 = run () and o2 = run () in
+  Alcotest.(check bool) "delivered" true (o1.delivered = Some true);
+  Alcotest.(check bool) "payload intact" true o1.intact;
+  (match (o1.sent, o2.sent) with
+  | Some (`Done r1), Some (`Done r2) ->
+    Alcotest.(check bool) "lossy enough to retransmit" true (r1 > 0);
+    Alcotest.(check int) "replay: same retransmission count" r1 r2
+  | _ -> Alcotest.fail "sender did not complete");
+  Alcotest.(check (float 0.001)) "replay: same completion time" o1.elapsed_us
+    o2.elapsed_us
+
+let test_lossy_links_always_deliver () =
+  (* Several seeds, each deterministic: moderate loss never defeats the
+     ARQ within the default retry budget. *)
+  List.iter
+    (fun seed ->
+      let o =
+        run_transfer ~rates:(seed, drop_rates 0.25) ~sem:Sem.emulated_copy
+          ~len:(6 * 61440) ()
+      in
+      if o.delivered <> Some true || not o.intact then
+        Alcotest.failf "seed %d: transfer failed" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_retry_cap_gives_up () =
+  (* A dead link: every PDU drops, so after [max_retries] consecutive
+     barren rounds the sender reports a terminal [`Gave_up]. *)
+  let o =
+    run_transfer ~window:2 ~max_retries:3 ~ack_timeout_us:5_000.
+      ~rates:(7, drop_rates 1.0) ~sem:Sem.emulated_copy ~len:(4 * 61440) ()
+  in
+  (match o.sent with
+  | Some (`Gave_up r) -> Alcotest.(check bool) "counted retransmissions" true (r > 0)
+  | Some (`Done _) -> Alcotest.fail "delivered over a dead link?"
+  | None -> Alcotest.fail "sender never terminated");
+  Alcotest.(check bool) "receiver saw nothing" true (o.delivered = None)
+
+let test_backoff_growth () =
+  (* With a 5 ms base timeout and max_retries = 3, doubling gives rounds
+     of 5 + 10 + 20 + 40 = 75 ms before the give-up; a linear timer would
+     quit at 20 ms.  The completion time proves the backoff grew. *)
+  let o =
+    run_transfer ~window:1 ~max_retries:3 ~ack_timeout_us:5_000.
+      ~rates:(7, drop_rates 1.0) ~sem:Sem.emulated_copy ~len:61440 ()
+  in
+  (match o.sent with
+  | Some (`Gave_up _) -> ()
+  | _ -> Alcotest.fail "expected give-up");
+  Alcotest.(check bool)
+    (Printf.sprintf "gave up after backed-off rounds (%.0f us)" o.elapsed_us)
+    true
+    (o.elapsed_us >= 70_000. && o.elapsed_us < 90_000.)
+
+let test_deadline_cancels_receiver () =
+  (* The receive deadline fires while the sender is still retrying into a
+     dead link: the pending input is cancelled (not leaked) and the
+     completion reports failure. *)
+  let o =
+    run_transfer ~window:1 ~max_retries:2 ~ack_timeout_us:2_000.
+      ~rates:(7, drop_rates 1.0) ~deadline_us:10_000. ~sem:Sem.emulated_copy
+      ~len:(2 * 61440) ()
+  in
+  Alcotest.(check bool) "receiver reported failure" true
+    (o.delivered = Some false);
+  Alcotest.(check int) "pending input cancelled" 0
+    (Genie.Endpoint.pending_inputs o.rig.db);
+  match o.sent with
+  | Some (`Gave_up _) -> ()
+  | _ -> Alcotest.fail "expected sender give-up"
+
+let test_deadline_not_hit_on_clean_link () =
+  (* A generous deadline on a healthy link must not interfere. *)
+  let o =
+    run_transfer ~deadline_us:1_000_000. ~sem:Sem.emulated_copy
+      ~len:(4 * 61440) ()
+  in
+  Alcotest.(check bool) "delivered" true (o.delivered = Some true);
+  Alcotest.(check bool) "payload intact" true o.intact
+
 let test_bad_configs_rejected () =
   let w = Genie.World.create ~spec_a:light ~spec_b:light () in
   let da, _ = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
@@ -82,7 +248,12 @@ let test_bad_configs_rejected () =
     (try
        ignore (Genie.Rel_channel.create ~data:da ~ack:aa Sem.move);
        false
-     with Vm.Vm_error.Semantics_error _ -> true)
+     with Vm.Vm_error.Semantics_error _ -> true);
+  Alcotest.(check bool) "zero retries rejected" true
+    (try
+       ignore (Genie.Rel_channel.create ~max_retries:0 ~data:da ~ack:aa Sem.copy);
+       false
+     with Invalid_argument _ -> true)
 
 let corruption_fuzz =
   QCheck.Test.make ~name:"ARQ delivers under random corruption" ~count:10
@@ -104,6 +275,22 @@ let suite =
     Alcotest.test_case "small message" `Quick test_small_message;
     Alcotest.test_case "stop-and-wait window" `Quick test_small_window;
     Alcotest.test_case "odd chunk/length geometry" `Quick test_odd_geometry;
+    Alcotest.test_case "dropped PDU recovered" `Quick test_drop_recovered;
+    Alcotest.test_case "duplicated PDU harmless" `Quick test_duplicate_harmless;
+    Alcotest.test_case "delay-reorder recovered" `Quick
+      test_delay_reorder_recovered;
+    Alcotest.test_case "probabilistic loss replays from seed" `Quick
+      test_probabilistic_loss_deterministic;
+    Alcotest.test_case "lossy links always deliver" `Quick
+      test_lossy_links_always_deliver;
+    Alcotest.test_case "retransmission cap gives up" `Quick
+      test_retry_cap_gives_up;
+    Alcotest.test_case "timeout backs off exponentially" `Quick
+      test_backoff_growth;
+    Alcotest.test_case "receive deadline cancels input" `Quick
+      test_deadline_cancels_receiver;
+    Alcotest.test_case "deadline unhit on a clean link" `Quick
+      test_deadline_not_hit_on_clean_link;
     Alcotest.test_case "bad configurations rejected" `Quick
       test_bad_configs_rejected;
     QCheck_alcotest.to_alcotest corruption_fuzz;
