@@ -203,22 +203,34 @@ let check_cmd =
                 corrupt, duplicate, delay) and the reliable-transport \
                 sessions that recover from them.")
   in
-  let run steps seed check_every no_exhaustion no_faults =
+  let no_batch_arg =
+    Arg.(value & flag
+         & info [ "no-batch" ]
+             ~doc:
+               "Disable the batched ring fast path (submit_batch / \
+                reap_completions bursts with mid-batch cancels) and drive \
+                every transfer through the sequential single-call API \
+                instead — isolates ring-path failures.")
+  in
+  let run steps seed check_every no_exhaustion no_faults no_batch =
     let cfg =
       { Check.Fuzzer.default_config with
         steps; seed; check_every;
         exhaustion = not no_exhaustion;
-        link_faults = not no_faults }
+        link_faults = not no_faults;
+        batch = not no_batch }
     in
     let o = Check.Fuzzer.run cfg in
     Check.Fuzzer.pp_outcome Format.std_formatter o;
     match o.Check.Fuzzer.stop with
     | Check.Fuzzer.Completed -> ()
     | Check.Fuzzer.Violations _ ->
-      Printf.printf "reproduce with: genie_cli check --steps %d --seed %d%s%s\n"
+      Printf.printf
+        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s\n"
         steps seed
         (if no_exhaustion then " --no-exhaustion" else "")
-        (if no_faults then " --no-faults" else "");
+        (if no_faults then " --no-faults" else "")
+        (if no_batch then " --no-batch" else "");
       exit 1
   in
   Cmd.v
@@ -228,7 +240,7 @@ let check_cmd =
           kernel-state invariants after every step.")
     Term.(
       const run $ steps_arg $ seed_arg $ check_every_arg $ no_exhaustion_arg
-      $ no_faults_arg)
+      $ no_faults_arg $ no_batch_arg)
 
 (* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
 

@@ -15,6 +15,7 @@ type config = {
   trace_tail : int;
   exhaustion : bool;
   link_faults : bool;
+  batch : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     trace_tail = 48;
     exhaustion = true;
     link_faults = true;
+    batch = true;
   }
 
 type stop_reason = Completed | Violations of Invariants.violation list
@@ -66,6 +68,7 @@ let event_keys =
     "rel_recoveries";
     "rel_gave_ups";
     "rel_deadline_cancels";
+    "ring_cq_overflows";
   ]
 
 (* An application-allocated output buffer: candidate for mid-flight pokes
@@ -181,6 +184,15 @@ let run ?trace cfg =
      their delivered bytes are legitimately unpredictable. *)
   let sent_meta : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let tainted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Batched-path bookkeeping, resolved at reap time: accepted batched
+     outputs awaiting their [Out_complete] (transfer id -> app buffer to
+     mark done) and accepted batched inputs awaiting [In_complete]
+     ((host, vc, token) -> completion continuation). *)
+  let out_waiting : (int, app_out) Hashtbl.t = Hashtbl.create 32 in
+  let in_waiting :
+      (string * int * int, Genie.Input_path.result -> unit) Hashtbl.t =
+    Hashtbl.create 32
+  in
   (* Degradation must never corrupt what it delivers: any completed input
      claiming [ok] whose buffer covers the full payload of a known,
      untainted transfer must hold exactly the sent pattern. *)
@@ -263,53 +275,52 @@ let run ?trace cfg =
     end
   in
 
-  let post_input recv vc sem len =
+  (* Input-completion bookkeeping, shared between the sequential
+     callback path and the batched reap path so both regimes account
+     deliveries identically. *)
+  let sys_input_complete recv res =
+    decr live;
+    incr completed;
+    audit_delivery recv.s_host res;
+    match res.Genie.Input_path.buf with
+    | Some b when res.Genie.Input_path.ok ->
+        let r =
+          Vm.Address_space.region_of_addr recv.s_space ~vaddr:b.Genie.Buf.addr
+        in
+        recv.s_sys_ready <- (b, r) :: recv.s_sys_ready
+    | _ -> ()
+  in
+  let app_input_complete recv r res =
+    decr live;
+    incr completed;
+    audit_delivery recv.s_host res;
+    recv.s_freeable <- r :: recv.s_freeable
+  in
+  (* Build the spec and its completion continuation for one input. *)
+  let input_entry recv sem len =
     let expected = if R.int rng ~bound:8 = 0 then max 1 (len / 2) else len in
-    let ep = List.assoc vc recv.s_eps in
-    incr live;
-    if Sem.system_allocated sem then begin
-      match
-        Genie.Endpoint.input ep ~sem
-          ~spec:(Genie.Input_path.Sys_alloc { space = recv.s_space; len = expected })
-          ~on_complete:(fun res ->
-            decr live;
-            incr completed;
-            audit_delivery recv.s_host res;
-            match res.Genie.Input_path.buf with
-            | Some b when res.Genie.Input_path.ok ->
-                let r =
-                  Vm.Address_space.region_of_addr recv.s_space
-                    ~vaddr:b.Genie.Buf.addr
-                in
-                recv.s_sys_ready <- (b, r) :: recv.s_sys_ready
-            | _ -> ())
-      with
-      | Ok h -> Some h
-      | Error `Again ->
-          (* Frame exhaustion rejected the region allocation: the input
-             was never posted.  The paired output turns into an orphan. *)
-          decr live;
-          incr rejected;
-          note "input REJECTED (backpressure) on %s vc=%d" (sname recv) vc;
-          None
-    end
+    if Sem.system_allocated sem then
+      ( Genie.Input_path.Sys_alloc { space = recv.s_space; len = expected },
+        sys_input_complete recv )
     else begin
       let r, buf = app_buffer recv expected in
-      match
-        Genie.Endpoint.input ep ~sem ~spec:(Genie.Input_path.App_buffer buf)
-          ~on_complete:(fun res ->
-            decr live;
-            incr completed;
-            audit_delivery recv.s_host res;
-            recv.s_freeable <- r :: recv.s_freeable)
-      with
-      | Ok h -> Some h
-      | Error `Again ->
-          decr live;
-          incr rejected;
-          note "input REJECTED (backpressure) on %s vc=%d" (sname recv) vc;
-          None
+      (Genie.Input_path.App_buffer buf, app_input_complete recv r)
     end
+  in
+
+  let post_input recv vc sem len =
+    let spec, on_complete = input_entry recv sem len in
+    let ep = List.assoc vc recv.s_eps in
+    incr live;
+    match Genie.Endpoint.input ep ~sem ~spec ~on_complete with
+    | Ok h -> Some h
+    | Error `Again ->
+        (* Frame exhaustion rejected the region allocation: the input
+           was never posted.  The paired output turns into an orphan. *)
+        decr live;
+        incr rejected;
+        note "input REJECTED (backpressure) on %s vc=%d" (sname recv) vc;
+        None
   in
 
   let do_transfer ~orphan () =
@@ -355,6 +366,150 @@ let run ?trace cfg =
         | None -> ());
         note "transfer#%d %s->%s vc=%d out=%s len=%d REJECTED (backpressure)"
           id (sname send) (sname recv) vc (Sem.name send_sem) len)
+  in
+
+  (* --- the batched ring path ---------------------------------------- *)
+
+  (* Drain every endpoint's completion ring, resolving the batched
+     bookkeeping registered at submit time. *)
+  let reap_side side =
+    List.fold_left
+      (fun acc (vc, ep) ->
+        let cs = Genie.Endpoint.reap_completions ep in
+        List.iter
+          (function
+            | Genie.Endpoint.Out_complete { seq } -> (
+                match Hashtbl.find_opt out_waiting seq with
+                | Some ao ->
+                    ao.ao_done <- true;
+                    Hashtbl.remove out_waiting seq
+                | None -> () (* system-allocated output: nothing to mark *))
+            | Genie.Endpoint.In_complete { token; result } -> (
+                let key = (sname side, vc, token) in
+                match Hashtbl.find_opt in_waiting key with
+                | Some cont ->
+                    Hashtbl.remove in_waiting key;
+                    cont result
+                | None -> () (* cancelled after arrival; already undone *)))
+          cs;
+        acc + List.length cs)
+      0 side.s_eps
+  in
+  let do_reap () =
+    let n = reap_side side_a + reap_side side_b in
+    note "reap %d completions" n
+  in
+
+  (* One batch per direction pair: k inputs posted with one
+     [submit_batch] on the receiver, then the k matching outputs with
+     one [submit_batch] on the sender.  Mid-batch faults: a posted
+     input may be cancelled under the batch, and under hog pressure the
+     admission checks reject individual entries ([Rejected `Again])
+     while the rest of the batch proceeds. *)
+  let do_batch_transfer () =
+    let a_to_b = R.int rng ~bound:2 = 0 in
+    let send, recv = if a_to_b then (side_a, side_b) else (side_b, side_a) in
+    let vc, _mode = pick rng vcs in
+    let room = max 1 (cfg.max_in_flight - !live) in
+    let k = 1 + R.int rng ~bound:(min 6 room) in
+    (* explicit loops: rng draws must happen in a defined order for the
+       run to replay from its seed *)
+    let msgs = ref [] in
+    for _ = 1 to k do
+      incr started;
+      let id = !started in
+      let send_sem = pick rng Sem.all in
+      let recv_sem = pick rng Sem.all in
+      let len = pick rng sizes in
+      msgs := (id, send_sem, recv_sem, len) :: !msgs
+    done;
+    let msgs = Array.of_list (List.rev !msgs) in
+    (* receiver: one batched submit of all k inputs *)
+    let recv_ep = List.assoc vc recv.s_eps in
+    let in_conts = Array.make k (fun (_ : Genie.Input_path.result) -> ()) in
+    let in_subs = ref [] in
+    Array.iteri
+      (fun i (_, _, recv_sem, len) ->
+        let spec, cont = input_entry recv recv_sem len in
+        in_conts.(i) <- cont;
+        in_subs := Genie.Endpoint.Sub_input { sem = recv_sem; spec } :: !in_subs)
+      msgs;
+    let in_subs = Array.of_list (List.rev !in_subs) in
+    let in_outcomes = Genie.Endpoint.submit_batch recv_ep in_subs in
+    let handles = Array.make k None in
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Genie.Endpoint.In_accepted h ->
+            incr live;
+            Hashtbl.replace in_waiting
+              (sname recv, vc, Genie.Endpoint.token h)
+              in_conts.(i);
+            handles.(i) <- Some h
+        | Genie.Endpoint.Rejected `Again ->
+            incr rejected;
+            note "batch input REJECTED (backpressure) on %s vc=%d" (sname recv)
+              vc
+        | Genie.Endpoint.Out_accepted _ -> assert false)
+      in_outcomes;
+    let uncancel_input i =
+      match handles.(i) with
+      | Some h when Genie.Endpoint.cancel h ->
+          decr live;
+          Hashtbl.remove in_waiting (sname recv, vc, Genie.Endpoint.token h);
+          handles.(i) <- None;
+          true
+      | _ -> false
+    in
+    (* mid-batch cancel: drop one posted input under its batch *)
+    if R.int rng ~bound:4 = 0 then begin
+      let i = R.int rng ~bound:k in
+      if uncancel_input i then begin
+        incr faults;
+        note "batch cancel input #%d on %s vc=%d" i (sname recv) vc
+      end
+    end;
+    (* sender: one batched submit of all k outputs *)
+    let out_meta = Array.make k (0, 0, None, false) in
+    let out_subs = ref [] in
+    Array.iteri
+      (fun i (id, send_sem, _, len) ->
+        let ao, reused, buf = send_buffer ~id send send_sem len in
+        Genie.Buf.fill_pattern buf ~seed:id;
+        out_meta.(i) <- (id, len, ao, reused);
+        out_subs :=
+          Genie.Endpoint.Sub_output { sem = send_sem; buf; seq = Some id }
+          :: !out_subs)
+      msgs;
+    let out_subs = Array.of_list (List.rev !out_subs) in
+    let send_ep = List.assoc vc send.s_eps in
+    let out_outcomes = Genie.Endpoint.submit_batch send_ep out_subs in
+    Array.iteri
+      (fun i outcome ->
+        let id, len, ao, reused = out_meta.(i) in
+        let _, send_sem, recv_sem, _ = msgs.(i) in
+        match outcome with
+        | Genie.Endpoint.Out_accepted _ ->
+            Hashtbl.replace sent_meta id len;
+            (match ao with
+            | Some ao -> Hashtbl.replace out_waiting id ao
+            | None -> ());
+            note "transfer#%d %s->%s vc=%d out=%s in=%s len=%d%s batched" id
+              (sname send) (sname recv) vc (Sem.name send_sem)
+              (if handles.(i) = None then "(none)" else Sem.name recv_sem)
+              len
+              (if reused then " reused-region" else "")
+        | Genie.Endpoint.Rejected `Again ->
+            (* Mirror the sequential reject path: nothing was sent, so
+               the posted input would wait forever — cancel it. *)
+            incr rejected;
+            (match ao with Some ao -> ao.ao_done <- true | None -> ());
+            ignore (uncancel_input i);
+            note "transfer#%d %s->%s vc=%d out=%s len=%d REJECTED \
+                  (backpressure) batched"
+              id (sname send) (sname recv) vc (Sem.name send_sem) len
+        | Genie.Endpoint.In_accepted _ -> assert false)
+      out_outcomes
   in
 
   let do_poke () =
@@ -653,6 +808,7 @@ let run ?trace cfg =
          [
            (6, fun () ->
              if !live >= cfg.max_in_flight then do_run ()
+             else if cfg.batch then do_batch_transfer ()
              else do_transfer ~orphan:false ());
            (4, do_run);
            (2, do_poke);
@@ -667,6 +823,7 @@ let run ?trace cfg =
            (1, do_pageout);
            (1, do_remove_moving_in);
          ]
+         @ (if cfg.batch then [ (3, do_reap) ] else [])
          @ (if cfg.exhaustion then [ (2, do_hog) ] else [])
          @ (if cfg.link_faults then [ (2, do_link_fault); (2, do_rel) ] else [])
        in
@@ -681,7 +838,22 @@ let run ?trace cfg =
      done;
      (* drain everything still in flight and audit the quiesced world *)
      Genie.World.run w;
+     (* final reap: every batched completion must be on a ring by now *)
+     if cfg.batch then begin
+       let n = reap_side side_a + reap_side side_b in
+       if n > 0 then note "final reap %d completions" n
+     end;
      note "drained; %d/%d transfers completed" !completed !started;
+     (* Full drain of the batched bookkeeping: an accepted batched
+        operation whose completion never reached a ring means the ring
+        path lost it. *)
+     let stuck_out = Hashtbl.length out_waiting
+     and stuck_in = Hashtbl.length in_waiting in
+     if stuck_out <> 0 || stuck_in <> 0 then
+       audit_violation ~invariant:"transfer-accounting" ~host:"world"
+         ~subject:"rings"
+         "%d batched outputs and %d batched inputs never reaped after drain"
+         stuck_out stuck_in;
      (* Transfer accounting: at quiescence every queued transfer must
         have been completed or cancelled — a pending input with no PDU
         ever coming means a completion was silently lost. *)

@@ -45,12 +45,19 @@ type config = {
   exhaustion : bool;  (** schedule pool/memory hog actions *)
   link_faults : bool;
       (** schedule one-shot link faults and reliable-transport sessions *)
+  batch : bool;
+      (** drive transfers through the ring fast path: random-size
+          {!Genie.Endpoint.submit_batch} bursts with mid-batch cancels
+          and per-entry backpressure, completions collected by randomly
+          scheduled {!Genie.Endpoint.reap_completions} calls plus a
+          final reap at drain.  Off isolates the sequential
+          single-call path. *)
 }
 
 val default_config : config
 (** seed 1, 2000 steps, checking every step, 128 pool frames, 32 MB,
-    6 transfers in flight, 48 trace events, exhaustion and link faults
-    both on. *)
+    6 transfers in flight, 48 trace events, exhaustion, link faults and
+    batching all on. *)
 
 type stop_reason =
   | Completed

@@ -55,16 +55,62 @@ val cancel : handle -> bool
     [false] if the input already completed, or was already cancelled —
     nothing to undo. *)
 
+val token : handle -> int
+(** The endpoint token identifying this input; batched input
+    completions carry it (io_uring's [user_data]). *)
+
 val pending_inputs : t -> int
 
 val drain : t -> unit
 (** Cancel all pending inputs, oldest first (test teardown); equivalent
     to calling {!cancel} on every outstanding handle. *)
 
-val input_legacy :
-  t ->
-  sem:Semantics.t ->
-  spec:Input_path.spec ->
-  on_complete:(Input_path.result -> unit) ->
-  unit
-[@@ocaml.deprecated "use input and ignore (or keep) the returned handle"]
+(** {1 Batched submission and completion rings}
+
+    The io_uring-style fast path: stage a whole batch of operations,
+    drain it through the same output/input machinery in one call, and
+    collect completions by reaping a ring instead of supplying one
+    callback context per operation.  Batching is semantically invisible
+    — a batch consumes the endpoint's token stream and performs the
+    per-entry charge sequence in exactly the order N sequential
+    {!output}/{!input} calls would, so every simulated metric is
+    bit-identical (property-tested in [test_ring]).  What it amortizes
+    is host-side work: one [ring.submit] trace span and one
+    {!Net.Adapter.tx_window_open} burst window per batch, ring slots
+    instead of per-call bookkeeping. *)
+
+type submission =
+  | Sub_output of { sem : Semantics.t; buf : Buf.t; seq : int option }
+      (** as {!output}: [seq = None] draws from the endpoint tokens *)
+  | Sub_input of { sem : Semantics.t; spec : Input_path.spec }  (** as {!input} *)
+
+type sub_outcome =
+  | Out_accepted of Output_path.outcome * int
+      (** admitted output and the sequence number it carries *)
+  | In_accepted of handle  (** posted input, cancellable mid-batch *)
+  | Rejected of [ `Again ]
+      (** typed backpressure, per entry: the rest of the batch still
+          proceeds (partial admission) *)
+
+type completion =
+  | Out_complete of { seq : int }  (** the output's dispose retired *)
+  | In_complete of { token : int; result : Input_path.result }
+      (** a posted input delivered; [token] matches {!token} of the
+          handle returned at submission *)
+
+val submit_batch : t -> submission array -> sub_outcome array
+(** Stage the batch on the submission ring and drain it through the
+    output/input paths in submission order.  Returns one outcome per
+    entry, in order.  Completions are not returned here — they land on
+    the completion ring as each operation retires; {!reap_completions}
+    collects them.  Batches larger than the ring capacity drain in
+    chunks transparently. *)
+
+val reap_completions : t -> completion list
+(** Drain every available completion, oldest first.  Completions that
+    arrived while the completion ring was full were spilled to an
+    unbounded overflow queue (counted by the [ring_cq_overflows] trace
+    counter) and are delivered here in order; none are ever lost.
+    Cancelled inputs produce no completion. *)
+
+val completions_available : t -> int

@@ -25,11 +25,13 @@ val charge : t -> Machine.Cost_model.op -> unit:[ `Bytes of int | `Pages of int 
 (** [charge t op ~unit:(`Bytes n)] charges the modeled cost of [op] on
     [n] bytes; [`Pages n] charges [n] whole pages ([n * page_size]). *)
 
+val charge_n :
+  t -> Machine.Cost_model.op -> unit:[ `Bytes of int | `Pages of int ] -> n:int -> unit
+(** [charge_n t op ~unit ~n] charges [n] identical operations with one
+    CPU-queue update and one trace event — the batched-burst form of
+    {!charge}.  Simulated time, recorder samples and trace counters are
+    bit-identical to [n] adjacent {!charge} calls; only the host-side
+    work is amortized.  [n = 0] charges nothing. *)
+
 val completion_time : t -> Simcore.Sim_time.t
 val page_size : t -> int
-
-val charge_bytes : t -> Machine.Cost_model.op -> bytes:int -> unit
-[@@ocaml.deprecated "use Ops.charge ~unit:(`Bytes n)"]
-
-val charge_pages : t -> Machine.Cost_model.op -> pages:int -> unit
-[@@ocaml.deprecated "use Ops.charge ~unit:(`Pages n)"]

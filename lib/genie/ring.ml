@@ -1,0 +1,117 @@
+(* Generation-counted SPSC ring (bchan design, see SNIPPETS.md).
+   Positions are generation counters in [0, gen_span): gen_span is a
+   multiple of the capacity, so [pos mod capacity] walks the slot array
+   continuously across wraparound while [pos] itself distinguishes
+   generations.  Occupancy is the mod-gen_span distance from head to
+   tail, which is exact because it never exceeds capacity < gen_span. *)
+
+type 'a t = {
+  slots : 'a array;
+  seq : int array;  (* generation stamp of the last publish into a slot *)
+  mask : int;  (* capacity - 1 *)
+  gen_span : int;  (* positions wrap at this multiple of capacity *)
+  dummy : 'a;
+  mutable tail : int;  (* producer position: next slot to publish *)
+  mutable head : int;  (* consumer position: next slot to take *)
+  mutable cached_head : int;  (* producer's lazy view of [head] *)
+  mutable cached_tail : int;  (* consumer's lazy view of [tail] *)
+  mutable pushes : int;
+  mutable pops : int;
+  mutable refreshes : int;
+  mutable wraps : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+(* Four generations per slot: small enough that tests cross wraparound
+   in a few hundred operations, large enough that occupancy arithmetic
+   (<= capacity) never aliases. *)
+let generations = 4
+
+let create ?(capacity = 256) ~dummy () =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  {
+    slots = Array.make cap dummy;
+    seq = Array.make cap (-1);
+    mask = cap - 1;
+    gen_span = cap * generations;
+    dummy;
+    tail = 0;
+    head = 0;
+    cached_head = 0;
+    cached_tail = 0;
+    pushes = 0;
+    pops = 0;
+    refreshes = 0;
+    wraps = 0;
+  }
+
+let capacity t = t.mask + 1
+
+let distance t ~from ~until =
+  let d = until - from in
+  if d < 0 then d + t.gen_span else d
+
+let length t = distance t ~from:t.head ~until:t.tail
+let is_empty t = t.head = t.tail
+let is_full t = length t = capacity t
+
+let bump t pos =
+  let pos = pos + 1 in
+  if pos = t.gen_span then 0 else pos
+
+let try_push t x =
+  let pos = t.tail in
+  let free () = capacity t - distance t ~from:t.cached_head ~until:pos in
+  (if free () = 0 then begin
+     (* apparent full: refresh the cached consumer position *)
+     t.refreshes <- t.refreshes + 1;
+     t.cached_head <- t.head
+   end);
+  if free () = 0 then false
+  else begin
+    let i = pos land t.mask in
+    t.slots.(i) <- x;
+    t.seq.(i) <- pos;
+    let next = bump t pos in
+    if next < pos then t.wraps <- t.wraps + 1;
+    t.tail <- next;
+    t.pushes <- t.pushes + 1;
+    true
+  end
+
+let pop_at t pos =
+  let i = pos land t.mask in
+  (* The generation stamp must match the position we are consuming: a
+     mismatch means the producer never published this generation. *)
+  assert (t.seq.(i) = pos);
+  let x = t.slots.(i) in
+  t.slots.(i) <- t.dummy;
+  t.head <- bump t pos;
+  t.pops <- t.pops + 1;
+  x
+
+let available t =
+  let pos = t.head in
+  let avail () = distance t ~from:pos ~until:t.cached_tail in
+  (if avail () = 0 then begin
+     (* apparent empty: refresh the cached producer position *)
+     t.refreshes <- t.refreshes + 1;
+     t.cached_tail <- t.tail
+   end);
+  avail ()
+
+let try_pop t = if available t = 0 then None else Some (pop_at t t.head)
+
+let drain t ~f =
+  let n = available t in
+  for _ = 1 to n do
+    f (pop_at t t.head)
+  done;
+  n
+
+let pushes t = t.pushes
+let pops t = t.pops
+let refreshes t = t.refreshes
+let wraps t = t.wraps

@@ -1,0 +1,69 @@
+(** Fixed-capacity single-producer/single-consumer rings.
+
+    The batched endpoint fast path ({!Endpoint.submit_batch} /
+    {!Endpoint.reap_completions}) moves submission and completion
+    entries through these rings, io_uring style.  The design follows
+    bchan's generation-counted ring:
+
+    - slots live in a preallocated array of [capacity] entries
+      (capacity is rounded up to a power of two);
+    - the producer and consumer positions are {e generation counters}
+      that wrap modulo a multiple of the capacity, so every slot index
+      is revisited under a fresh generation stamp — a stale entry can
+      never be confused with a fresh one even after wraparound;
+    - each side keeps a {e lazy cached} snapshot of the other side's
+      counter and refreshes it only on apparent full/empty, making the
+      common-case push and pop O(1) with no shared-state read;
+    - neither {!try_push} nor {!drain} allocates: values are stored
+      into pre-existing slots and vacated slots are overwritten with
+      the [dummy] so the ring never retains the last reference to a
+      popped value.
+
+    The simulator is single-threaded, so the SPSC discipline here is
+    about cost shape (what the fast path reads and writes), not memory
+    ordering. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~capacity ~dummy ()] makes an empty ring.  [capacity]
+    (default 256) is rounded up to a power of two.  [dummy] fills
+    vacated slots and is returned by no operation. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side.  [false] when the ring is full (after refreshing the
+    cached consumer position); the value is not stored.  Never
+    allocates. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side.  [None] when the ring is empty (after refreshing the
+    cached producer position).  Allocates the [Some]; hot paths use
+    {!drain} instead. *)
+
+val drain : 'a t -> f:('a -> unit) -> int
+(** Pop every currently-available entry in FIFO order, calling [f] on
+    each, and return the number popped.  Entries pushed by [f] itself
+    are {e not} drained (the available count is snapshotted first), so
+    a consumer that re-enqueues cannot loop forever.  Allocates
+    nothing beyond what [f] does. *)
+
+(** {1 Observability}
+
+    Monotonic statistics for tests and tracing: the law suite asserts
+    the lazy-cache fast path (refreshes stay far below operations) and
+    that long runs really do cross generation wraparound. *)
+
+val pushes : 'a t -> int
+val pops : 'a t -> int
+
+val refreshes : 'a t -> int
+(** Times either side had to refresh its cached view of the other
+    side's counter (the slow path). *)
+
+val wraps : 'a t -> int
+(** Times the producer's generation counter wrapped. *)

@@ -82,7 +82,20 @@ type t = {
   mutable stalls : int;
   faults : (int, fault_state) Hashtbl.t;  (* sender-side, per VC *)
   tx_pool : Memory.Buf_pool.t;  (* recycled burst staging buffers *)
+  tx_windows : (int, tx_window) Hashtbl.t;  (* per-VC open batch windows *)
   mutable trace : Simcore.Tracer.scope option;
+}
+
+(* A tx burst window groups the transmits of one endpoint batch under a
+   single trace span per VC: opened by [tx_window_open], the span begins
+   at the batch's first transmit and ends when the announced count has
+   drained.  Overlapping windows on a VC merge (the count accumulates).
+   Trace-only: transmission behaviour and timing are unchanged. *)
+and tx_window = {
+  mutable win_left : int;  (* transmits still expected *)
+  mutable win_n : int;  (* total announced (span argument) *)
+  mutable win_span : int;  (* 0 until the first transmit opens the span *)
+  mutable win_open : bool;
 }
 
 and credit_state = {
@@ -132,6 +145,7 @@ let create engine p ~page_size ~name =
     stalls = 0;
     faults = Hashtbl.create 4;
     tx_pool = Memory.Buf_pool.create ();
+    tx_windows = Hashtbl.create 4;
     trace = None;
   }
 
@@ -146,6 +160,42 @@ let traced t f =
   match t.trace with
   | Some s when Simcore.Tracer.on s -> f s
   | _ -> ()
+let tx_window_open t ~vc ~n =
+  if n > 0 then
+    match Hashtbl.find_opt t.tx_windows vc with
+    | Some w ->
+      w.win_left <- w.win_left + n;
+      w.win_n <- w.win_n + n
+    | None ->
+      Hashtbl.add t.tx_windows vc
+        { win_left = n; win_n = n; win_span = 0; win_open = false }
+
+let note_tx_window t ~vc =
+  match Hashtbl.find_opt t.tx_windows vc with
+  | None -> ()
+  | Some w ->
+    if not w.win_open then begin
+      w.win_open <- true;
+      traced t (fun s ->
+          w.win_span <-
+            Simcore.Tracer.span_begin s "tx.window"
+              ~args:
+                [
+                  ("vc", Simcore.Tracer.Int vc);
+                  ("batch", Simcore.Tracer.Int w.win_n);
+                ])
+    end;
+    w.win_left <- w.win_left - 1;
+    if w.win_left <= 0 then begin
+      Hashtbl.remove t.tx_windows vc;
+      traced t (fun s ->
+          Simcore.Tracer.span_end s ~id:w.win_span "tx.window";
+          Simcore.Tracer.add_counter s "tx_windows")
+    end
+
+let staging_pool_stats t =
+  (Memory.Buf_pool.hits t.tx_pool, Memory.Buf_pool.misses t.tx_pool)
+
 let set_rx_mode t ~vc mode = Hashtbl.replace t.rx_modes vc mode
 let rx_mode t vc = Option.value ~default:Early_demux (Hashtbl.find_opt t.rx_modes vc)
 let set_pool_supply t supply = t.pool_supply <- supply
@@ -634,6 +684,7 @@ let transmit t ~vc ~hdr ~desc ~on_tx_complete =
               ("bytes", Simcore.Tracer.Int total);
               ("cells", Simcore.Tracer.Int (Aal5.cells_for_len total));
             ]);
+  note_tx_window t ~vc;
   Queue.add { job_vc = vc; job_fl = fl; job_done = on_tx_complete } t.tx_queue;
   pump t
 

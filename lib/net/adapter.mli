@@ -97,6 +97,20 @@ val tx_free_at : t -> Simcore.Sim_time.t
 (** When the transmitter will accept the next PDU (assuming no
     credit stalls). *)
 
+val tx_window_open : t -> vc:int -> n:int -> unit
+(** Announce that the next [n] transmits on [vc] belong to one batch
+    (an {!Endpoint.submit_batch} burst).  The adapter groups them under
+    a single [tx.window] trace span — opened at the batch's first
+    transmit, closed when all [n] have been queued — and bumps the
+    [tx_windows] counter.  Overlapping windows on a VC merge.  Purely
+    observational: transmission behaviour and timing are unchanged, so
+    batched and sequential submission stay simulation-identical. *)
+
+val staging_pool_stats : t -> int * int
+(** [(hits, misses)] of the pooled tx burst staging buffers — the
+    PR-4 {!Memory.Buf_pool} recycled across bursts and, with batching,
+    across every PDU of a submit window. *)
+
 (** {1 Credit-based flow control}
 
     The Credit Net network (paper reference [14]) is credit-based: a

@@ -95,6 +95,36 @@ let test_replay_deterministic () =
   Alcotest.(check bool) "distinct seeds, distinct schedules" true
     (o1.F.schedule <> o3.F.schedule)
 
+(* Satellite: batched-path replay.  The ring fast path shares the single
+   Rng stream, so a batched run is just as pure a function of its seed —
+   same schedule, same trace, same event counts, including the ring
+   bookkeeping ([ring_cq_overflows]).  The same seed with batching off
+   must still complete (the isolation regime behind [--no-batch]). *)
+let test_batched_replay_event_counts () =
+  let fuzz batch = F.run { F.default_config with steps = 400; seed = 42; batch } in
+  let o1 = fuzz true and o2 = fuzz true in
+  (match o1.F.stop with
+  | F.Completed -> ()
+  | F.Violations vs ->
+    Alcotest.failf "batched run violated invariants:\n%s"
+      (String.concat "\n" (List.map I.violation_to_string vs)));
+  Alcotest.(check (list (pair string int)))
+    "same seed, same event counts under batching" o1.F.events o2.F.events;
+  Alcotest.(check (list string)) "same seed, same batched schedule"
+    o1.F.schedule o2.F.schedule;
+  Alcotest.(check bool) "ring path actually exercised" true
+    (List.exists (fun line -> contains line "batched") o1.F.schedule);
+  Alcotest.(check bool) "completions reaped" true
+    (List.exists (fun line -> contains line "reap") o1.F.schedule);
+  let o3 = fuzz false in
+  (match o3.F.stop with
+  | F.Completed -> ()
+  | F.Violations vs ->
+    Alcotest.failf "sequential isolation run violated invariants:\n%s"
+      (String.concat "\n" (List.map I.violation_to_string vs)));
+  Alcotest.(check bool) "isolation regime avoids the ring path" true
+    (not (List.exists (fun line -> contains line "batched") o3.F.schedule))
+
 (* The checker actually catches broken kernels: with I/O-deferred page
    deallocation disabled, a TCOW displacement during an in-flight
    emulated-copy output frees a frame the adapter's gather descriptor
@@ -168,6 +198,8 @@ let suite =
       test_fault_free_regime_is_silent;
     Alcotest.test_case "seed replay is deterministic" `Quick
       test_replay_deterministic;
+    Alcotest.test_case "batched replay keeps event counts equal" `Quick
+      test_batched_replay_event_counts;
     Alcotest.test_case "broken deferred-dealloc is caught" `Quick
       test_broken_invariant_caught;
     Alcotest.test_case "deferred dealloc keeps invariants" `Quick

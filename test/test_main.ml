@@ -22,6 +22,7 @@ let () =
       ("trace", Test_trace.suite);
       ("rel-channel", Test_rel_channel.suite);
       ("endpoint", Test_endpoint.suite);
+      ("ring", Test_ring.suite);
       ("properties", Test_properties.suite);
       ("check", Test_check.suite);
       ("bench", Test_bench.suite);

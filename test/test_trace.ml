@@ -324,46 +324,6 @@ let test_last_n () =
   Alcotest.(check (list string)) "zero gives nothing" []
     (List.map snd (T.last_n t 0))
 
-(* {1 Deprecated compatibility wrappers (one-PR grace period)} *)
-
-module Deprecated_wrappers = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
-
-  let test_charge_wrappers () =
-    let engine = Simcore.Engine.create () in
-    let cpu = Simcore.Cpu.create engine in
-    let costs = Machine.Cost_model.create Machine.Machine_spec.micron_p166 in
-    let ops = Genie.Ops.create cpu costs in
-    let r = Genie.Op_recorder.create () in
-    ops.Genie.Ops.recorder <- Some r;
-    Genie.Ops.charge_bytes ops Machine.Cost_model.Copyin ~bytes:1000;
-    Genie.Ops.charge_pages ops Machine.Cost_model.Wire ~pages:2;
-    let bytes_of op =
-      List.map
-        (fun s -> s.Genie.Op_recorder.bytes)
-        (Genie.Op_recorder.samples r op)
-    in
-    Alcotest.(check (list int)) "charge_bytes = charge ~unit:(`Bytes n)"
-      [ 1000 ]
-      (bytes_of Machine.Cost_model.Copyin);
-    Alcotest.(check (list int)) "charge_pages = charge ~unit:(`Pages n)"
-      [ 2 * 4096 ]
-      (bytes_of Machine.Cost_model.Wire)
-
-  let test_input_legacy () =
-    let _, w = traced_world () in
-    let _, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
-    let rbuf = make_buf w.Genie.World.b ~npages:2 ~len:4096 in
-    Genie.Endpoint.input_legacy eb ~sem:Sem.copy
-      ~spec:(Genie.Input_path.App_buffer rbuf)
-      ~on_complete:(fun _ -> ());
-    Alcotest.(check int) "legacy input posts a pending input" 1
-      (Genie.Endpoint.pending_inputs eb);
-    Genie.Endpoint.drain eb;
-    Alcotest.(check int) "drain cancels it" 0 (Genie.Endpoint.pending_inputs eb)
-end
-
 let suite =
   [
     Alcotest.test_case "output path span and dispose ordering" `Quick
@@ -385,8 +345,4 @@ let suite =
       test_record_f_is_lazy;
     Alcotest.test_case "last_n returns recent events oldest first" `Quick
       test_last_n;
-    Alcotest.test_case "deprecated charge wrappers still work" `Quick
-      Deprecated_wrappers.test_charge_wrappers;
-    Alcotest.test_case "deprecated input wrapper still works" `Quick
-      Deprecated_wrappers.test_input_legacy;
   ]
