@@ -212,10 +212,18 @@ let check_cmd =
                 every transfer through the sequential single-call API \
                 instead — isolates ring-path failures.")
   in
-  let run steps seed check_every no_exhaustion no_faults no_batch =
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"K"
+             ~doc:
+               "Shard the simulation engine across K OCaml domains.  The \
+                replay digest must be identical for every K — CI gates on \
+                it.")
+  in
+  let run steps seed check_every no_exhaustion no_faults no_batch domains =
     let cfg =
       { Check.Fuzzer.default_config with
-        steps; seed; check_every;
+        steps; seed; check_every; domains;
         exhaustion = not no_exhaustion;
         link_faults = not no_faults;
         batch = not no_batch }
@@ -226,11 +234,12 @@ let check_cmd =
     | Check.Fuzzer.Completed -> ()
     | Check.Fuzzer.Violations _ ->
       Printf.printf
-        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s\n"
+        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s\n"
         steps seed
         (if no_exhaustion then " --no-exhaustion" else "")
         (if no_faults then " --no-faults" else "")
-        (if no_batch then " --no-batch" else "");
+        (if no_batch then " --no-batch" else "")
+        (if domains <> 1 then Printf.sprintf " --domains %d" domains else "");
       exit 1
   in
   Cmd.v
@@ -240,7 +249,7 @@ let check_cmd =
           kernel-state invariants after every step.")
     Term.(
       const run $ steps_arg $ seed_arg $ check_every_arg $ no_exhaustion_arg
-      $ no_faults_arg $ no_batch_arg)
+      $ no_faults_arg $ no_batch_arg $ domains_arg)
 
 (* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
 
@@ -319,7 +328,20 @@ let bench_run_cmd =
          & info [] ~docv:"SECTION"
              ~doc:"Benchmark sections to run (default: all).")
   in
-  let run out_dir requested =
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:
+               "Engine domain count stamped into every result's env.  \
+                $(b,bench compare) refuses to diff results whose stamps \
+                differ, so baselines taken at different counts can never \
+                be silently compared.")
+  in
+  let run out_dir domains requested =
+    if domains < 1 then begin
+      Printf.eprintf "--domains must be at least 1\n";
+      exit 2
+    end;
     let requested =
       match requested with
       | [] -> Sections.names ()
@@ -342,7 +364,7 @@ let bench_run_cmd =
       List.filter_map
         (fun name ->
           let name = Option.get (Sections.resolve name) in
-          match Sections.run_one ~out_dir name with
+          match Sections.run_one ~out_dir ~domains name with
           | Ok (Some path) ->
             Printf.printf "[bench] wrote %s\n" path;
             None
@@ -363,7 +385,7 @@ let bench_run_cmd =
        ~doc:
          "Run benchmark sections and write machine-readable \
           BENCH_<section>.json results.")
-    Term.(const run $ out_arg $ sections_arg)
+    Term.(const run $ out_arg $ domains_arg $ sections_arg)
 
 let bench_compare_cmd =
   let baseline_arg =

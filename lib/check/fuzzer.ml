@@ -16,6 +16,7 @@ type config = {
   exhaustion : bool;
   link_faults : bool;
   batch : bool;
+  domains : int;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     exhaustion = true;
     link_faults = true;
     batch = true;
+    domains = 1;
   }
 
 type stop_reason = Completed | Violations of Invariants.violation list
@@ -45,6 +47,7 @@ type outcome = {
   rel_sessions : int;
   events : (string * int) list;
   trace_tail : string list;
+  digest : string;
 }
 
 (* The typed pressure/fault events the run is audited against; every
@@ -127,13 +130,12 @@ let run ?trace cfg =
     { Machine.Machine_spec.micron_p166 with memory_mb = cfg.memory_mb }
   in
   let w =
-    Genie.World.create ?trace ~spec_a:mspec ~spec_b:mspec
+    Genie.World.create ~domains:cfg.domains ?trace ~spec_a:mspec ~spec_b:mspec
       ~pool_frames:cfg.pool_frames ()
   in
   let host_a = w.Genie.World.a and host_b = w.Genie.World.b in
   Simcore.Tracer.enable host_a.Genie.Host.tracer;
   Simcore.Tracer.enable host_b.Genie.Host.tracer;
-  let engine = host_a.Genie.Host.engine in
   let pairs =
     List.map (fun (vc, mode) -> (vc, Genie.World.endpoint_pair w ~vc ~mode)) vcs
   in
@@ -152,15 +154,24 @@ let run ?trace cfg =
   let psize = Genie.Host.page_size host_a in
   let rng = R.create ~seed:cfg.seed in
   let schedule = ref [] in
-  let started = ref 0 and completed = ref 0 and faults = ref 0 in
-  let live = ref 0 and orphans = ref 0 and dups = ref 0 in
+  (* Counters bumped from completion callbacks are atomic and the
+     schedule/audit logs mutex-protected: with [domains >= 2] the two
+     hosts' callbacks fire on different OCaml domains.  Final counter
+     values are sums and therefore identical for every domain count;
+     only the interleaving of schedule lines may differ. *)
+  let started = ref 0 and completed = Atomic.make 0 and faults = ref 0 in
+  let live = Atomic.make 0 and orphans = ref 0 and dups = ref 0 in
   let rejected = ref 0 in
+  let log_mutex = Mutex.create () in
   let note fmt =
     Printf.ksprintf
       (fun s ->
-        schedule :=
+        let line =
           Printf.sprintf "[t=%8.2fus] %s" (Genie.Host.now_us host_a) s
-          :: !schedule)
+        in
+        Mutex.lock log_mutex;
+        schedule := line :: !schedule;
+        Mutex.unlock log_mutex)
       fmt
   in
   let pages_for off len = (off + len + psize - 1) / psize in
@@ -176,7 +187,9 @@ let run ?trace cfg =
   let audit_violation ~invariant ~host ~subject fmt =
     Printf.ksprintf
       (fun detail ->
-        audit := { Invariants.invariant; host; subject; detail } :: !audit)
+        Mutex.lock log_mutex;
+        audit := { Invariants.invariant; host; subject; detail } :: !audit;
+        Mutex.unlock log_mutex)
       fmt
   in
   (* transfer id -> payload length, for every output that was accepted;
@@ -279,8 +292,8 @@ let run ?trace cfg =
      callback path and the batched reap path so both regimes account
      deliveries identically. *)
   let sys_input_complete recv res =
-    decr live;
-    incr completed;
+    Atomic.decr live;
+    Atomic.incr completed;
     audit_delivery recv.s_host res;
     match res.Genie.Input_path.buf with
     | Some b when res.Genie.Input_path.ok ->
@@ -291,8 +304,8 @@ let run ?trace cfg =
     | _ -> ()
   in
   let app_input_complete recv r res =
-    decr live;
-    incr completed;
+    Atomic.decr live;
+    Atomic.incr completed;
     audit_delivery recv.s_host res;
     recv.s_freeable <- r :: recv.s_freeable
   in
@@ -311,13 +324,13 @@ let run ?trace cfg =
   let post_input recv vc sem len =
     let spec, on_complete = input_entry recv sem len in
     let ep = List.assoc vc recv.s_eps in
-    incr live;
+    Atomic.incr live;
     match Genie.Endpoint.input ep ~sem ~spec ~on_complete with
     | Ok h -> Some h
     | Error `Again ->
         (* Frame exhaustion rejected the region allocation: the input
            was never posted.  The paired output turns into an orphan. *)
-        decr live;
+        Atomic.decr live;
         incr rejected;
         note "input REJECTED (backpressure) on %s vc=%d" (sname recv) vc;
         None
@@ -362,7 +375,7 @@ let run ?trace cfg =
         incr rejected;
         (match ao with Some ao -> ao.ao_done <- true | None -> ());
         (match handle with
-        | Some h -> if Genie.Endpoint.cancel h then decr live
+        | Some h -> if Genie.Endpoint.cancel h then Atomic.decr live
         | None -> ());
         note "transfer#%d %s->%s vc=%d out=%s len=%d REJECTED (backpressure)"
           id (sname send) (sname recv) vc (Sem.name send_sem) len)
@@ -410,7 +423,7 @@ let run ?trace cfg =
     let a_to_b = R.int rng ~bound:2 = 0 in
     let send, recv = if a_to_b then (side_a, side_b) else (side_b, side_a) in
     let vc, _mode = pick rng vcs in
-    let room = max 1 (cfg.max_in_flight - !live) in
+    let room = max 1 (cfg.max_in_flight - Atomic.get live) in
     let k = 1 + R.int rng ~bound:(min 6 room) in
     (* explicit loops: rng draws must happen in a defined order for the
        run to replay from its seed *)
@@ -441,7 +454,7 @@ let run ?trace cfg =
       (fun i outcome ->
         match outcome with
         | Genie.Endpoint.In_accepted h ->
-            incr live;
+            Atomic.incr live;
             Hashtbl.replace in_waiting
               (sname recv, vc, Genie.Endpoint.token h)
               in_conts.(i);
@@ -455,7 +468,7 @@ let run ?trace cfg =
     let uncancel_input i =
       match handles.(i) with
       | Some h when Genie.Endpoint.cancel h ->
-          decr live;
+          Atomic.decr live;
           Hashtbl.remove in_waiting (sname recv, vc, Genie.Endpoint.token h);
           handles.(i) <- None;
           true
@@ -588,8 +601,11 @@ let run ?trace cfg =
           | Some f -> taken := f :: !taken
           | None -> ()
         done;
-        Simcore.Engine.schedule engine ~delay:(Simcore.Sim_time.of_us hold_us)
-          (fun () -> List.iter (Genie.Host.pool_put side.s_host) !taken);
+        (* Release on the hogged side's own shard: the pool belongs to
+           that host. *)
+        Simcore.Engine.schedule side.s_host.Genie.Host.engine
+          ~delay:(Simcore.Sim_time.of_us hold_us) (fun () ->
+            List.iter (Genie.Host.pool_put side.s_host) !taken);
         note "hog %s overlay pool (%d frames) for %.0fus" (sname side) k hold_us
       end
     end
@@ -613,7 +629,7 @@ let run ?trace cfg =
         match Genie.Host.try_alloc_sys_frames side.s_host n with
         | None -> note "hog failed: %d frames unavailable on %s" n (sname side)
         | Some frames ->
-            Simcore.Engine.schedule engine
+            Simcore.Engine.schedule side.s_host.Genie.Host.engine
               ~delay:(Simcore.Sim_time.of_us hold_us) (fun () ->
                 Genie.Host.free_sys_frames side.s_host frames);
             note "hog %d sys frames on %s for %.0fus%s" n (sname side) hold_us
@@ -713,9 +729,9 @@ let run ?trace cfg =
   (* open legs of the current session: sender + receiver; a new session
      starts only once both have reached a terminal state, so go-back-N
      sequence numbers of different sessions never interleave *)
-  let rel_open = ref 0 in
+  let rel_open = Atomic.make 0 in
   let do_rel () =
-    if !rel_open > 0 then do_run ()
+    if Atomic.get rel_open > 0 then do_run ()
     else begin
       incr rel_sessions;
       let id = 1_000_000 + !rel_sessions in
@@ -761,11 +777,11 @@ let run ?trace cfg =
             incr faults;
             "dead"
       in
-      rel_open := 2;
+      Atomic.set rel_open 2;
       let sid = !rel_sessions in
       Genie.Rel_channel.recv rel_rx ~deadline_us:60_000. ~buf:dst
         ~on_complete:(fun ~ok ->
-          decr rel_open;
+          Atomic.decr rel_open;
           if
             ok
             && not
@@ -780,7 +796,7 @@ let run ?trace cfg =
           note "rel#%d receiver done ok=%b" sid ok)
         ();
       Genie.Rel_channel.send rel_tx ~buf:src ~on_complete:(fun r ->
-          decr rel_open;
+          Atomic.decr rel_open;
           Net.Adapter.clear_faults adapter ~vc:rel_data_vc;
           side_a.s_freeable <- src_r :: side_a.s_freeable;
           match r with
@@ -807,7 +823,7 @@ let run ?trace cfg =
        let actions =
          [
            (6, fun () ->
-             if !live >= cfg.max_in_flight then do_run ()
+             if Atomic.get live >= cfg.max_in_flight then do_run ()
              else if cfg.batch then do_batch_transfer ()
              else do_transfer ~orphan:false ());
            (4, do_run);
@@ -843,7 +859,7 @@ let run ?trace cfg =
        let n = reap_side side_a + reap_side side_b in
        if n > 0 then note "final reap %d completions" n
      end;
-     note "drained; %d/%d transfers completed" !completed !started;
+     note "drained; %d/%d transfers completed" (Atomic.get completed) !started;
      (* Full drain of the batched bookkeeping: an accepted batched
         operation whose completion never reached a ring means the ring
         path lost it. *)
@@ -857,11 +873,11 @@ let run ?trace cfg =
      (* Transfer accounting: at quiescence every queued transfer must
         have been completed or cancelled — a pending input with no PDU
         ever coming means a completion was silently lost. *)
-     if !live <> 0 || !rel_open <> 0 then
+     if Atomic.get live <> 0 || Atomic.get rel_open <> 0 then
        audit_violation ~invariant:"transfer-accounting" ~host:"world"
          ~subject:"drain"
          "%d datagram inputs and %d rel legs still pending after drain"
-         !live !rel_open;
+         (Atomic.get live) (Atomic.get rel_open);
      let pending =
        List.fold_left
          (fun acc (_, ep) -> acc + Genie.Endpoint.pending_inputs ep)
@@ -896,17 +912,35 @@ let run ?trace cfg =
             0 [ host_a; host_b ] ))
       event_keys
   in
+  let digest =
+    (* Only domain-count-invariant quantities go in: driver-side counts,
+       callback counter sums, audited tracer counters and the final
+       simulated instant.  Equality of this digest across [--domains]
+       values is the CI determinism gate for the parallel engine. *)
+    let b = Buffer.create 128 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "seed=%d;steps=%d;run=%d;started=%d;completed=%d;faults=%d;rejected=%d;rel=%d;t=%.3f;viol=%d;"
+         cfg.seed cfg.steps !steps_run !started (Atomic.get completed) !faults
+         !rejected !rel_sessions (Genie.Host.now_us host_a)
+         (List.length !violations));
+    List.iter
+      (fun (k, n) -> Buffer.add_string b (Printf.sprintf "%s=%d;" k n))
+      events;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
   {
     steps_run = !steps_run;
     stop = (if !violations = [] then Completed else Violations !violations);
     schedule = List.rev !schedule;
     transfers_started = !started;
-    transfers_completed = !completed;
+    transfers_completed = Atomic.get completed;
     faults_injected = !faults;
     rejected = !rejected;
     rel_sessions = !rel_sessions;
     events;
     trace_tail;
+    digest;
   }
 
 let pp_outcome fmt o =
@@ -936,4 +970,5 @@ let pp_outcome fmt o =
   if nonzero <> [] then begin
     fprintf fmt "pressure/fault events:@.";
     List.iter (fun (k, n) -> fprintf fmt "  %-22s %d@." k n) nonzero
-  end
+  end;
+  fprintf fmt "replay digest: %s@." o.digest

@@ -52,6 +52,11 @@ type config = {
           scheduled {!Genie.Endpoint.reap_completions} calls plus a
           final reap at drain.  Off isolates the sequential
           single-call path. *)
+  domains : int;
+      (** engine shards (OCaml domains) the world runs on; 1 is the
+          historical sequential engine.  The simulation outcome — and
+          therefore [outcome.digest] — must not depend on this value:
+          that equality is the parallel engine's determinism gate. *)
 }
 
 val default_config : config
@@ -81,6 +86,12 @@ type outcome = {
           [pdu_drops], [rel_gave_ups] *)
   trace_tail : string list;
       (** most recent tracer events of both hosts at the end of the run *)
+  digest : string;
+      (** hex digest of the domain-count-invariant results: driver
+          counts, completion sums, audited tracer counters and the final
+          simulated instant.  Runs of one [config] must produce one
+          digest regardless of [config.domains]; [schedule] line
+          interleaving is the only field allowed to vary. *)
 }
 
 val event_keys : string list

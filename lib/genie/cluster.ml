@@ -1,0 +1,97 @@
+type t = {
+  engine : Simcore.Engine.t;
+  pairs : (Host.t * Host.t) array;
+}
+
+let create ?(domains = 1) ?(pairs = 2) ?(params = Net.Net_params.oc3)
+    ?(spec = Machine.Machine_spec.micron_p166) ?pool_frames () =
+  if pairs < 1 then invalid_arg "Cluster.create: pairs must be >= 1";
+  let engine = Simcore.Engine.create ~domains () in
+  let k = Simcore.Engine.domains engine in
+  let mk_pair i =
+    let sa = Simcore.Engine.shard engine ~id:(2 * i mod k) in
+    let sb = Simcore.Engine.shard engine ~id:((2 * i + 1) mod k) in
+    let a =
+      Host.create ?pool_frames sa params spec ~name:(Printf.sprintf "p%d-a" i)
+    in
+    let b =
+      Host.create ?pool_frames sb params spec ~name:(Printf.sprintf "p%d-b" i)
+    in
+    Net.Adapter.connect a.Host.adapter b.Host.adapter;
+    (a, b)
+  in
+  { engine; pairs = Array.init pairs mk_pair }
+
+let engine t = t.engine
+let pairs t = t.pairs
+let run t = Simcore.Engine.run t.engine
+
+let page = 4096
+
+let make_buf host ~len =
+  let space = Host.new_space host in
+  let region =
+    Vm.Address_space.map_region space ~npages:((len + page - 1) / page)
+  in
+  Buf.make space ~addr:(Vm.Address_space.base_addr region ~page_size:page) ~len
+
+(* Deterministic pipelined workload: on every pair, the sender issues
+   [messages] datagrams back to back while the receiver preposts one
+   app-buffer input per message.  All submissions happen from driver
+   context before the run, so the only cross-shard traffic is the
+   adapters' wire events — which is exactly what the lookahead protocol
+   covers.  Message sizes are drawn from a pure per-pair [Rng.stream],
+   so the workload is identical for every domain count. *)
+let drive t ~seed ~messages =
+  if messages < 1 then invalid_arg "Cluster.drive: messages must be >= 1";
+  let root = Simcore.Rng.create ~seed in
+  let logs =
+    Array.mapi
+      (fun i (a, b) ->
+        let rng = Simcore.Rng.stream root ~id:i in
+        let ea = Endpoint.create a ~vc:1 ~mode:Net.Adapter.Early_demux in
+        let eb = Endpoint.create b ~vc:1 ~mode:Net.Adapter.Early_demux in
+        let sizes =
+          Array.init messages (fun _ ->
+              page * (1 + Simcore.Rng.int rng ~bound:4))
+        in
+        let log = Buffer.create 256 in
+        Array.iteri
+          (fun j len ->
+            let rbuf = make_buf b ~len in
+            match
+              Endpoint.input eb ~sem:Semantics.emulated_copy
+                ~spec:(Input_path.App_buffer rbuf)
+                ~on_complete:(fun r ->
+                  let ok =
+                    r.Input_path.ok
+                    && Bytes.equal (Buf.read rbuf)
+                         (Buf.expected_pattern ~len ~seed:((i * 7919) + j))
+                  in
+                  Buffer.add_string log
+                    (Printf.sprintf "%d:%d:%b:%.3f;" j len ok (Host.now_us b)))
+              with
+            | Ok _ -> ()
+            | Error `Again -> Buffer.add_string log (Printf.sprintf "%d:again;" j))
+          sizes;
+        Array.iteri
+          (fun j len ->
+            let sbuf = make_buf a ~len in
+            Buf.fill_pattern sbuf ~seed:((i * 7919) + j);
+            ignore
+              (Endpoint.output ea ~sem:Semantics.emulated_copy ~buf:sbuf ~seq:j
+                 ()))
+          sizes;
+        log)
+      t.pairs
+  in
+  Simcore.Engine.run t.engine;
+  let all = Buffer.create 256 in
+  Array.iteri
+    (fun i log ->
+      Buffer.add_string all (Printf.sprintf "p%d=%s|" i (Digest.string (Buffer.contents log) |> Digest.to_hex)))
+    logs;
+  Buffer.add_string all
+    (Printf.sprintf "t=%d"
+       (Simcore.Sim_time.to_ns (Simcore.Engine.now t.engine)));
+  Digest.to_hex (Digest.string (Buffer.contents all))

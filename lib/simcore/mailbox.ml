@@ -1,0 +1,87 @@
+(* Single-producer single-consumer mailbox for cross-shard event posts.
+
+   The fixed-capacity ring follows Genie.Ring's generation-counter
+   design, lifted to OCaml 5 domains: each slot carries an atomic stamp
+   that equals the producer position when the slot is free and
+   position + 1 once it is filled, so both sides detect full/empty from
+   the stamp alone and never write the same word concurrently.  The
+   stamp stores are release points: a consumer that observes
+   [pos + 1] also observes the slot's value.
+
+   The engine drains mailboxes only at epoch barriers (while producers
+   are parked), so the unbounded overflow queue behind the ring only
+   needs a mutex for the rare full-ring handoff. *)
+
+type 'a t = {
+  slots : 'a option array;
+  stamps : int Atomic.t array;
+  capacity : int;
+  mutable tail : int; (* producer position, producer-owned *)
+  mutable head : int; (* consumer position, consumer-owned *)
+  published : int Atomic.t; (* = tail, for cross-domain length reads *)
+  overflow : 'a Queue.t;
+  ov_mutex : Mutex.t;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  {
+    slots = Array.make capacity None;
+    stamps = Array.init capacity (fun i -> Atomic.make i);
+    capacity;
+    tail = 0;
+    head = 0;
+    published = Atomic.make 0;
+    overflow = Queue.create ();
+    ov_mutex = Mutex.create ();
+  }
+
+let push t v =
+  let pos = t.tail in
+  let slot = pos mod t.capacity in
+  if Atomic.get t.stamps.(slot) = pos then begin
+    t.slots.(slot) <- Some v;
+    Atomic.set t.stamps.(slot) (pos + 1);
+    t.tail <- pos + 1;
+    Atomic.set t.published (pos + 1)
+  end
+  else begin
+    (* Ring full: the slot still holds the entry from one lap ago. *)
+    Mutex.lock t.ov_mutex;
+    Queue.add v t.overflow;
+    Mutex.unlock t.ov_mutex
+  end
+
+(* FIFO across the ring and the overflow: every overflow entry was
+   pushed while the ring was full, i.e. after everything now in the
+   ring, so ring entries come first. *)
+let drain t =
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    let pos = t.head in
+    let slot = pos mod t.capacity in
+    if Atomic.get t.stamps.(slot) = pos + 1 then begin
+      (match t.slots.(slot) with
+      | Some v -> acc := v :: !acc
+      | None -> assert false);
+      t.slots.(slot) <- None;
+      Atomic.set t.stamps.(slot) (pos + t.capacity);
+      t.head <- pos + 1
+    end
+    else continue := false
+  done;
+  Mutex.lock t.ov_mutex;
+  Queue.iter (fun v -> acc := v :: !acc) t.overflow;
+  Queue.clear t.overflow;
+  Mutex.unlock t.ov_mutex;
+  List.rev !acc
+
+let length t =
+  let ring = Atomic.get t.published - t.head in
+  Mutex.lock t.ov_mutex;
+  let ov = Queue.length t.overflow in
+  Mutex.unlock t.ov_mutex;
+  ring + ov
+
+let is_empty t = length t = 0

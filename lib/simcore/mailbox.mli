@@ -1,0 +1,27 @@
+(** Single-producer single-consumer cross-domain mailbox.
+
+    A fixed-capacity ring with per-slot generation stamps (the
+    Genie.Ring design on OCaml 5 [Atomic]s) backed by an unbounded
+    mutex-protected overflow queue, so [push] never blocks and never
+    drops.  Exactly one domain may push and one domain may drain;
+    the engine drains only at epoch barriers.
+
+    Within one push→drain period FIFO order is preserved across the
+    ring and the overflow. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default ring capacity 1024 entries. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer side only. *)
+
+val drain : 'a t -> 'a list
+(** Consumer side only: remove and return everything pushed so far, in
+    FIFO order. *)
+
+val length : 'a t -> int
+(** Exact when producer and consumer are quiescent (at a barrier). *)
+
+val is_empty : 'a t -> bool

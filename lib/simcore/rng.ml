@@ -26,3 +26,8 @@ let float t =
 let range_float t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
 let split t = { state = next_int64 t }
+
+let stream t ~id =
+  if id < 0 then invalid_arg "Rng.stream: id must be non-negative";
+  let z = Int64.add t.state (Int64.mul (Int64.of_int (id + 1)) golden_gamma) in
+  { state = mix z }

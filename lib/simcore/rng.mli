@@ -18,4 +18,11 @@ val float : t -> float
 val range_float : t -> lo:float -> hi:float -> float
 
 val split : t -> t
-(** Derive an independent stream. *)
+(** Derive an independent stream, advancing [t]. *)
+
+val stream : t -> id:int -> t
+(** [stream t ~id] derives the [id]-th independent stream from [t]'s
+    current state {e without} advancing it: the same [(t, id)] always
+    yields the same stream, so per-shard generators split from one seed
+    are reproducible regardless of derivation order.  [id] must be
+    non-negative. *)

@@ -24,6 +24,7 @@ let () =
       ("endpoint", Test_endpoint.suite);
       ("ring", Test_ring.suite);
       ("properties", Test_properties.suite);
+      ("parallel", Test_parallel.suite);
       ("check", Test_check.suite);
       ("bench", Test_bench.suite);
     ]

@@ -1,0 +1,238 @@
+(* Parallel-engine determinism: the same simulation must produce
+   bit-identical results for every domain count, and the timer wheel
+   must preserve the binary heap's exact pop order. *)
+
+module T = Simcore.Sim_time
+
+(* {1 Timer wheel} *)
+
+(* Differential check against the reference Heap on an adversarial key
+   sequence: bursts of near keys, far-future keys that overflow into the
+   heap and must migrate back, equal keys that must pop in insertion
+   order, and interleaved pops that drag the cursor forward. *)
+let wheel_matches_heap =
+  QCheck.Test.make ~count:200 ~name:"wheel pops in exact heap order"
+    QCheck.(
+      list
+        (pair (oneofl [ `Push_near; `Push_far; `Push_dup; `Pop ]) small_nat))
+    (fun script ->
+      let w = Simcore.Wheel.create ~dummy:0 () in
+      let h = Simcore.Heap.create () in
+      let floor = ref 0 in
+      let last_key = ref 0 in
+      let check_pop () =
+        match (Simcore.Wheel.pop w, Simcore.Heap.pop h) with
+        | None, None -> true
+        | Some (wk, wv), Some (hk, hv) ->
+          floor := max !floor wk;
+          wk = hk && wv = hv
+        | _ -> false
+      in
+      let ok = ref true in
+      List.iter
+        (fun (op, n) ->
+          if !ok then
+            match op with
+            | `Push_near ->
+              let key = !floor + (n * 97) in
+              last_key := key;
+              Simcore.Wheel.push w ~key n;
+              Simcore.Heap.push h ~key n;
+              ok := Simcore.Wheel.length w = Simcore.Heap.length h
+            | `Push_far ->
+              (* Far beyond the 2^20 ns near window. *)
+              let key = !floor + 2_000_000 + (n * 131) in
+              last_key := key;
+              Simcore.Wheel.push w ~key n;
+              Simcore.Heap.push h ~key n
+            | `Push_dup ->
+              let key = max !floor !last_key in
+              Simcore.Wheel.push w ~key n;
+              Simcore.Heap.push h ~key n
+            | `Pop -> ok := check_pop ())
+        script;
+      while !ok && not (Simcore.Wheel.is_empty w) do
+        ok := check_pop ()
+      done;
+      !ok && Simcore.Heap.is_empty h)
+
+let test_wheel_same_timestamp_fifo () =
+  let w = Simcore.Wheel.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Simcore.Wheel.push w ~key:5000 i
+  done;
+  for i = 0 to 99 do
+    match Simcore.Wheel.pop w with
+    | Some (5000, v) -> Alcotest.(check int) "fifo at equal keys" i v
+    | _ -> Alcotest.fail "bad pop"
+  done
+
+let test_wheel_far_migration () =
+  (* Far-future events (beyond the ~1 ms near window) must come back in
+     order, including ties with near events pushed later. *)
+  let w = Simcore.Wheel.create ~dummy:(-1) () in
+  Simcore.Wheel.push w ~key:50_000_000 0;
+  Simcore.Wheel.push w ~key:10 1;
+  Simcore.Wheel.push w ~key:50_000_000 2;
+  Alcotest.(check (option int)) "near first" (Some 10)
+    (Simcore.Wheel.peek_key w);
+  Alcotest.(check bool) "pop near" true (Simcore.Wheel.pop w = Some (10, 1));
+  (* After the cursor jumps 50 ms ahead, a push between the old and new
+     cursor positions must still pop first (cursor rewind). *)
+  Alcotest.(check (option int)) "jump to far" (Some 50_000_000)
+    (Simcore.Wheel.peek_key w);
+  Simcore.Wheel.push w ~key:1_000_000 3;
+  Alcotest.(check bool) "rewound" true (Simcore.Wheel.pop w = Some (1_000_000, 3));
+  Alcotest.(check bool) "far tie order" true
+    (Simcore.Wheel.pop w = Some (50_000_000, 0));
+  Alcotest.(check bool) "far tie order 2" true
+    (Simcore.Wheel.pop w = Some (50_000_000, 2));
+  Alcotest.(check bool) "empty" true (Simcore.Wheel.is_empty w)
+
+let test_wheel_cancel () =
+  let w = Simcore.Wheel.create ~dummy:(-1) () in
+  Simcore.Wheel.push w ~key:100 0;
+  let tok_near = Simcore.Wheel.push_cancellable w ~key:100 1 in
+  let tok_far = Simcore.Wheel.push_cancellable w ~key:9_000_000 2 in
+  Simcore.Wheel.push w ~key:9_000_000 3;
+  Alcotest.(check int) "length counts live" 4 (Simcore.Wheel.length w);
+  Alcotest.(check bool) "cancel near" true (Simcore.Wheel.cancel w tok_near);
+  Alcotest.(check bool) "cancel far" true (Simcore.Wheel.cancel w tok_far);
+  Alcotest.(check bool) "double cancel" false (Simcore.Wheel.cancel w tok_near);
+  Alcotest.(check int) "length after cancel" 2 (Simcore.Wheel.length w);
+  Alcotest.(check bool) "skips near cancel" true
+    (Simcore.Wheel.pop w = Some (100, 0));
+  Alcotest.(check bool) "skips far cancel" true
+    (Simcore.Wheel.pop w = Some (9_000_000, 3));
+  Alcotest.(check bool) "cancel after pop" false
+    (Simcore.Wheel.cancel w tok_near);
+  Alcotest.(check bool) "empty" true (Simcore.Wheel.is_empty w)
+
+let test_wheel_floor_guard () =
+  let w = Simcore.Wheel.create ~dummy:0 () in
+  Simcore.Wheel.push w ~key:500 1;
+  ignore (Simcore.Wheel.pop w);
+  Alcotest.check_raises "below floor"
+    (Invalid_argument "Wheel.push: key below last popped key") (fun () ->
+      Simcore.Wheel.push w ~key:499 2);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Wheel.push: negative key") (fun () ->
+      Simcore.Wheel.push w ~key:(-1) 2)
+
+(* {1 Rng streams} *)
+
+let rng_stream_laws =
+  QCheck.Test.make ~count:200 ~name:"rng stream derivation is pure and stable"
+    QCheck.(pair small_nat (pair small_nat small_nat))
+    (fun (seed, (i, j)) ->
+      let draw r = List.init 4 (fun _ -> Simcore.Rng.next_int64 r) in
+      let base () = Simcore.Rng.create ~seed in
+      (* Pure: deriving does not advance the parent, and the same id
+         always yields the same stream regardless of derivation order. *)
+      let t = base () in
+      let a1 = draw (Simcore.Rng.stream t ~id:i) in
+      let a2 = draw (Simcore.Rng.stream t ~id:i) in
+      let parent_untouched = draw t = draw (base ()) in
+      let t2 = base () in
+      let _ = draw (Simcore.Rng.stream t2 ~id:j) in
+      let a3 = draw (Simcore.Rng.stream t2 ~id:i) in
+      a1 = a2 && a1 = a3 && parent_untouched
+      && (i = j || a1 <> draw (Simcore.Rng.stream (base ()) ~id:j)))
+
+(* {1 Engine cross-domain equivalence} *)
+
+let digest_for ~domains ~pairs ~seed ~messages =
+  let c = Genie.Cluster.create ~domains ~pairs () in
+  Genie.Cluster.drive c ~seed ~messages
+
+let cluster_digest_equivalence =
+  QCheck.Test.make ~count:6 ~name:"cluster digest identical for 1/2/4 domains"
+    QCheck.(pair (int_bound 1000) (int_bound 2))
+    (fun (seed, extra_pairs) ->
+      let pairs = 2 + extra_pairs and messages = 12 in
+      let d1 = digest_for ~domains:1 ~pairs ~seed ~messages in
+      let d2 = digest_for ~domains:2 ~pairs ~seed ~messages in
+      let d4 = digest_for ~domains:4 ~pairs ~seed ~messages in
+      if d1 <> d2 || d1 <> d4 then
+        QCheck.Test.fail_reportf "digests diverge: 1:%s 2:%s 4:%s" d1 d2 d4;
+      true)
+
+let test_world_two_domains () =
+  (* A two-domain World runs the same transfer to the same instant as
+     the sequential one. *)
+  let run ~domains =
+    let w = Genie.World.create ~domains () in
+    let ea, eb = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+    let page = 4096 in
+    let make_buf host ~len =
+      let space = Genie.Host.new_space host in
+      let region =
+        Vm.Address_space.map_region space ~npages:((len + page - 1) / page)
+      in
+      Genie.Buf.make space
+        ~addr:(Vm.Address_space.base_addr region ~page_size:page)
+        ~len
+    in
+    let len = 16384 in
+    let got = ref None in
+    let rbuf = make_buf w.Genie.World.b ~len in
+    ignore
+      (Genie.Endpoint.input eb ~sem:Genie.Semantics.emulated_copy
+         ~spec:(Genie.Input_path.App_buffer rbuf)
+         ~on_complete:(fun r ->
+           got := Some (r.Genie.Input_path.ok, Genie.Host.now_us w.Genie.World.b)));
+    let sbuf = make_buf w.Genie.World.a ~len in
+    Genie.Buf.fill_pattern sbuf ~seed:42;
+    ignore (Genie.Endpoint.output ea ~sem:Genie.Semantics.emulated_copy ~buf:sbuf ());
+    Genie.World.run w;
+    (!got, Genie.Buf.read rbuf)
+  in
+  let r1 = run ~domains:1 and r2 = run ~domains:2 in
+  Alcotest.(check bool) "delivered" true (fst r1 <> None);
+  Alcotest.(check bool) "identical across domains" true (r1 = r2)
+
+let test_engine_lookahead_registration () =
+  let e = Simcore.Engine.create ~domains:2 () in
+  let s1 = Simcore.Engine.shard e ~id:1 in
+  Alcotest.(check int) "no link yet" 0 (T.to_ns (Simcore.Engine.lookahead e));
+  Simcore.Engine.register_link e s1 ~latency:(T.of_ns 700);
+  Simcore.Engine.register_link s1 e ~latency:(T.of_ns 300);
+  Alcotest.(check int) "min latency" 300 (T.to_ns (Simcore.Engine.lookahead e));
+  Alcotest.(check int) "domains" 2 (Simcore.Engine.domains e);
+  Alcotest.(check bool) "shard identity" true
+    (Simcore.Engine.same_shard (Simcore.Engine.shard e ~id:0) e)
+
+let test_fuzzer_digest_across_domains () =
+  (* The full fault-schedule fuzzer — exhaustion, link faults, batching —
+     must report the same replay digest sequentially and sharded. *)
+  let cfg = { Check.Fuzzer.default_config with steps = 400; check_every = 10 } in
+  let o1 = Check.Fuzzer.run { cfg with domains = 1 } in
+  let o2 = Check.Fuzzer.run { cfg with domains = 2 } in
+  let ok o =
+    match o.Check.Fuzzer.stop with
+    | Check.Fuzzer.Completed -> true
+    | Check.Fuzzer.Violations _ -> false
+  in
+  Alcotest.(check bool) "domains=1 clean" true (ok o1);
+  Alcotest.(check bool) "domains=2 clean" true (ok o2);
+  Alcotest.(check string) "replay digest identical" o1.Check.Fuzzer.digest
+    o2.Check.Fuzzer.digest
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest wheel_matches_heap;
+    Alcotest.test_case "wheel same-timestamp fifo" `Quick
+      test_wheel_same_timestamp_fifo;
+    Alcotest.test_case "wheel far migration and rewind" `Quick
+      test_wheel_far_migration;
+    Alcotest.test_case "wheel cancel-while-scheduled" `Quick test_wheel_cancel;
+    Alcotest.test_case "wheel floor guard" `Quick test_wheel_floor_guard;
+    QCheck_alcotest.to_alcotest rng_stream_laws;
+    Alcotest.test_case "engine lookahead registration" `Quick
+      test_engine_lookahead_registration;
+    Alcotest.test_case "world identical across domains" `Quick
+      test_world_two_domains;
+    QCheck_alcotest.to_alcotest cluster_digest_equivalence;
+    Alcotest.test_case "fuzzer digest across domains" `Quick
+      test_fuzzer_digest_across_domains;
+  ]
