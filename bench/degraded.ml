@@ -39,7 +39,7 @@ let one_way w ~sem ~len =
   ignore
     (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer dst)
        ~on_complete:(fun r ->
-         if not r.Genie.Input_path.ok then failwith "degraded-mode transfer failed";
+         if not (Genie.Input_path.ok r) then failwith "degraded-mode transfer failed";
          done_at := Genie.Host.now_us w.Genie.World.b));
   let t0 = Genie.Host.now_us w.Genie.World.a in
   let used =
@@ -118,7 +118,7 @@ let reclaim c =
   ignore
     (Genie.Endpoint.input eb ~sem:Sem.copy ~spec:(Genie.Input_path.App_buffer dst)
        ~on_complete:(fun r ->
-         if r.Genie.Input_path.ok then done_at := Genie.Host.now_us w.Genie.World.b));
+         if (Genie.Input_path.ok r) then done_at := Genie.Host.now_us w.Genie.World.b));
   let t0 = Genie.Host.now_us w.Genie.World.a in
   let admitted =
     match Genie.Endpoint.output ea ~sem:Sem.copy ~buf:src () with
@@ -154,8 +154,8 @@ let rel_transfer ~drop =
       Net.Adapter.Drop;
   let t0 = Genie.Host.now_us w.Genie.World.a in
   Genie.Rel_channel.send tx ~buf:src ~on_complete:(function
-    | `Done r -> retx := r
-    | `Gave_up _ -> failwith "degraded-mode reliable sender gave up");
+    | Ok r -> retx := r
+    | Error (`Gave_up _) -> failwith "degraded-mode reliable sender gave up");
   Genie.World.run w;
   (Genie.Host.now_us w.Genie.World.a -. t0, !retx)
 

@@ -41,7 +41,7 @@ let measure send_sem recv_sem =
   let done_at = ref nan in
   ignore
   (Genie.Endpoint.input eb ~sem:recv_sem ~spec ~on_complete:(fun r ->
-      if not r.Genie.Input_path.ok then failwith "mixed transfer failed";
+      if not (Genie.Input_path.ok r) then failwith "mixed transfer failed";
       done_at := Genie.Host.now_us w.Genie.World.b));
   (* Warm the path once (region caches, etc.) would complicate
      system-allocated buffers; a single cold transfer is fine here since

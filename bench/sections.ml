@@ -599,7 +599,8 @@ let all : (string * (R.collector -> unit)) list =
     ("outboard", outboard); ("mixed", Mixed.run); ("load", load);
     ("ablations", Ablation.run_all); ("related", Related.run_all);
     ("micro_bench", Micro_bench.run); ("wall_data", Wall_metrics.run);
-    ("degraded_mode", Degraded.run); ("parallel_scaling", parallel_scaling);
+    ("degraded_mode", Degraded.run); ("storage", Storage.run);
+    ("parallel_scaling", parallel_scaling);
   ]
 
 (* Legacy spellings still accepted on the command line. *)
@@ -620,7 +621,10 @@ let timestamp () =
    exit non-zero. *)
 let run_one ?(out_dir = ".") ?(domains = 1) name =
   match List.assoc_opt name all with
-  | None -> Error (Printf.sprintf "unknown section %s" name)
+  | None ->
+    Error
+      (Printf.sprintf "unknown section %s (known: %s)" name
+         (String.concat ", " (names ())))
   | Some f ->
     let c = R.create_collector ~section:name () in
     R.set_created c (timestamp ());

@@ -212,6 +212,14 @@ let check_cmd =
                 every transfer through the sequential single-call API \
                 instead — isolates ring-path failures.")
   in
+  let no_storage_arg =
+    Arg.(value & flag
+         & info [ "no-storage" ]
+             ~doc:
+               "Disable the storage regime (file writes, reads, fsyncs and \
+                sendfile through the simulated page cache, audited against \
+                a flat-file model) and fuzz the network paths alone.")
+  in
   let domains_arg =
     Arg.(value & opt int 1
          & info [ "domains" ] ~docv:"K"
@@ -220,13 +228,15 @@ let check_cmd =
                 replay digest must be identical for every K — CI gates on \
                 it.")
   in
-  let run steps seed check_every no_exhaustion no_faults no_batch domains =
+  let run steps seed check_every no_exhaustion no_faults no_batch no_storage
+      domains =
     let cfg =
       { Check.Fuzzer.default_config with
         steps; seed; check_every; domains;
         exhaustion = not no_exhaustion;
         link_faults = not no_faults;
-        batch = not no_batch }
+        batch = not no_batch;
+        storage = not no_storage }
     in
     let o = Check.Fuzzer.run cfg in
     Check.Fuzzer.pp_outcome Format.std_formatter o;
@@ -234,11 +244,12 @@ let check_cmd =
     | Check.Fuzzer.Completed -> ()
     | Check.Fuzzer.Violations _ ->
       Printf.printf
-        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s\n"
+        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s%s\n"
         steps seed
         (if no_exhaustion then " --no-exhaustion" else "")
         (if no_faults then " --no-faults" else "")
         (if no_batch then " --no-batch" else "")
+        (if no_storage then " --no-storage" else "")
         (if domains <> 1 then Printf.sprintf " --domains %d" domains else "");
       exit 1
   in
@@ -249,7 +260,7 @@ let check_cmd =
           kernel-state invariants after every step.")
     Term.(
       const run $ steps_arg $ seed_arg $ check_every_arg $ no_exhaustion_arg
-      $ no_faults_arg $ no_batch_arg $ domains_arg)
+      $ no_faults_arg $ no_batch_arg $ no_storage_arg $ domains_arg)
 
 (* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
 

@@ -47,13 +47,13 @@ let exchange sem ~aligned =
       ignore
       (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer in_b)
         ~on_complete:(fun r ->
-          if not r.Genie.Input_path.ok then failwith "exchange failed";
+          if not (Genie.Input_path.ok r) then failwith "exchange failed";
           ignore (Genie.Endpoint.output eb ~sem ~buf:in_b ())));
       ignore (Genie.Endpoint.output ea ~sem ~buf:out_a ());
       ignore
       (Genie.Endpoint.input ea ~sem ~spec:(Genie.Input_path.App_buffer in_a)
         ~on_complete:(fun r ->
-          if not r.Genie.Input_path.ok then failwith "exchange failed";
+          if not (Genie.Input_path.ok r) then failwith "exchange failed";
           round ()))
     end
     else t1 := Genie.Host.now_us world.Genie.World.a

@@ -46,7 +46,7 @@ let stream sem =
     ignore
     (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
       ~on_complete:(fun r ->
-        if not r.Genie.Input_path.ok then failwith "frame dropped";
+        if not (Genie.Input_path.ok r) then failwith "frame dropped";
         incr received;
         if !received < frames_to_send then post_input ()
         else t_end := Genie.Host.now_us world.Genie.World.b))

@@ -40,7 +40,7 @@ let () =
       let now = Genie.Host.now_us world.Genie.World.b in
       Printf.printf "received %d bytes after %.1f usec (ok=%b, seq=%d)\n"
         result.Genie.Input_path.payload_len (now -. !t_send)
-        result.Genie.Input_path.ok result.Genie.Input_path.seq;
+        (Genie.Input_path.ok result) result.Genie.Input_path.seq;
       match result.Genie.Input_path.buf with
       | Some b -> Printf.printf "payload: %s\n" (Bytes.to_string (Genie.Buf.read b))
       | None -> print_endline "no data"));

@@ -16,6 +16,7 @@ type config = {
   exhaustion : bool;
   link_faults : bool;
   batch : bool;
+  storage : bool;
   domains : int;
 }
 
@@ -31,6 +32,7 @@ let default_config =
     exhaustion = true;
     link_faults = true;
     batch = true;
+    storage = true;
     domains = 1;
   }
 
@@ -45,6 +47,7 @@ type outcome = {
   faults_injected : int;
   rejected : int;
   rel_sessions : int;
+  storage_ops : int;
   events : (string * int) list;
   trace_tail : string list;
   digest : string;
@@ -72,6 +75,18 @@ let event_keys =
     "rel_gave_ups";
     "rel_deadline_cancels";
     "ring_cq_overflows";
+    (* storage regime: page cache and block device *)
+    "cache_hits";
+    "cache_misses";
+    "writebacks";
+    "readaheads";
+    "fsyncs";
+    "cache_evictions";
+    "wb_throttles";
+    "store_rejects";
+    "disk_reads";
+    "disk_writes";
+    "disk_seeks";
   ]
 
 (* An application-allocated output buffer: candidate for mid-flight pokes
@@ -81,6 +96,27 @@ type app_out = {
   ao_buf : Genie.Buf.t;
   ao_region : Vm.Region.t;
   mutable ao_done : bool;
+}
+
+(* One simulated file under the storage regime, audited against a flat
+   byte-array model.  [sf_busy] serializes operations per file: the
+   cache itself supports concurrent I/O, but the audit needs a stable
+   expected image per in-flight operation. *)
+type sfile = {
+  sf_fd : int;
+  mutable sf_model : Bytes.t;
+  mutable sf_busy : bool;
+}
+
+type storage = {
+  st_fio : Genie.File_io.t;
+  st_files : sfile array;
+  st_ep : Genie.Endpoint.t;
+      (* this side's endpoint on the storage VC: source of its sendfile
+         datagrams, sink for the peer's *)
+  mutable st_sendfile_busy : bool;
+      (* one sendfile in flight per side, so preposted inputs on the
+         peer pair with transmissions in order *)
 }
 
 type side = {
@@ -110,6 +146,23 @@ let vcs = [ (1, Net.Adapter.Early_demux); (2, Net.Adapter.Pooled); (3, Net.Adapt
    sequence numbers never mix with the datagram traffic. *)
 let rel_data_vc = 4
 let rel_ack_vc = 5
+
+(* Sendfile traffic rides its own fault-free VC: a dropped or corrupted
+   file datagram would strand its preposted input, which the
+   transfer-accounting audit must keep flagging as a bug elsewhere. *)
+let store_vc = 6
+
+(* A deliberately small cache with a fast flusher: three 64-page files
+   per side against 48 frames keeps eviction, batched writeback and the
+   throttled-completion regime all active within a short schedule. *)
+let store_cache_config =
+  {
+    Store.Page_cache.default_config with
+    Store.Page_cache.max_pages = 48;
+    writeback_interval_us = 2_000.;
+    dirty_high = 12;
+    dirty_throttle = 18;
+  }
 
 let pick rng l = List.nth l (R.int rng ~bound:(List.length l))
 
@@ -152,6 +205,34 @@ let run ?trace cfg =
   let side_a = mk_side host_a (List.map (fun (vc, (ea, _)) -> (vc, ea)) pairs) in
   let side_b = mk_side host_b (List.map (fun (vc, (_, eb)) -> (vc, eb)) pairs) in
   let psize = Genie.Host.page_size host_a in
+  (* Storage regime state: one File_io per host (cache frames drawn from
+     the same exhaustion-aware allocator the network paths use), three
+     files per side, and a dedicated endpoint pair for sendfile. *)
+  let storage_a, storage_b =
+    if not cfg.storage then (None, None)
+    else begin
+      let ea, eb =
+        Genie.World.endpoint_pair w ~vc:store_vc ~mode:Net.Adapter.Early_demux
+      in
+      let mk side ep =
+        let fio =
+          Genie.File_io.create ~config:store_cache_config side.s_host
+        in
+        let st_files =
+          Array.init 3 (fun _ ->
+              {
+                sf_fd = Genie.File_io.open_file fio;
+                sf_model = Bytes.create 0;
+                sf_busy = false;
+              })
+        in
+        Some { st_fio = fio; st_files; st_ep = ep; st_sendfile_busy = false }
+      in
+      (mk side_a ea, mk side_b eb)
+    end
+  in
+  let storage_of side = if side == side_a then storage_a else storage_b in
+  let storage_ops = ref 0 in
   let rng = R.create ~seed:cfg.seed in
   let schedule = ref [] in
   (* Counters bumped from completion callbacks are atomic and the
@@ -210,7 +291,7 @@ let run ?trace cfg =
      claiming [ok] whose buffer covers the full payload of a known,
      untainted transfer must hold exactly the sent pattern. *)
   let audit_delivery host (res : Genie.Input_path.result) =
-    if res.Genie.Input_path.ok && res.Genie.Input_path.seq >= 0 then
+    if Genie.Input_path.ok res && res.Genie.Input_path.seq >= 0 then
       match
         (res.Genie.Input_path.buf, Hashtbl.find_opt sent_meta res.Genie.Input_path.seq)
       with
@@ -243,6 +324,183 @@ let run ?trace cfg =
     let r = Vm.Address_space.map_region side.s_space ~npages:(pages_for off len) in
     let base = Vm.Address_space.base_addr r ~page_size:psize in
     (r, Genie.Buf.make side.s_space ~addr:(base + off) ~len)
+  in
+
+  (* --- the storage regime ------------------------------------------- *)
+
+  (* Files are capped at 64 pages; three per side against a 48-frame
+     cache keeps capacity eviction live for the whole run. *)
+  let file_cap = 64 * psize in
+  let model_write f ~off data =
+    let len = Bytes.length data in
+    let need = off + len in
+    if Bytes.length f.sf_model < need then begin
+      let m = Bytes.make need '\000' in
+      Bytes.blit f.sf_model 0 m 0 (Bytes.length f.sf_model);
+      f.sf_model <- m
+    end;
+    Bytes.blit data 0 f.sf_model off len
+  in
+  let quiet_files st =
+    Array.to_list st.st_files |> List.filter (fun f -> not f.sf_busy)
+  in
+  let with_storage f =
+    let side = pick_side () in
+    match storage_of side with
+    | None -> note "skip storage action: regime off"
+    | Some st -> f side st
+  in
+  let do_store_write () =
+    with_storage @@ fun side st ->
+    match quiet_files st with
+    | [] -> note "skip store write: all files busy on %s" (sname side)
+    | fs ->
+        let f = pick rng fs in
+        let len = pick rng sizes in
+        let off = R.int rng ~bound:(max 1 (file_cap - len)) in
+        let seed = R.int rng ~bound:1_000_000 in
+        let data = Genie.Buf.expected_pattern ~len ~seed in
+        incr storage_ops;
+        f.sf_busy <- true;
+        (match
+           Genie.File_io.write st.st_fio ~fd:f.sf_fd ~off ~data
+             ~on_complete:(fun () -> f.sf_busy <- false)
+         with
+        | Ok () ->
+            model_write f ~off data;
+            note "store write %s fd=%d off=%d len=%d" (sname side) f.sf_fd off
+              len
+        | Error `Again ->
+            f.sf_busy <- false;
+            incr rejected;
+            note "store write REJECTED (backpressure) %s fd=%d len=%d"
+              (sname side) f.sf_fd len)
+  in
+  let do_store_read () =
+    with_storage @@ fun side st ->
+    match
+      List.filter (fun f -> Bytes.length f.sf_model > 0) (quiet_files st)
+    with
+    | [] -> note "skip store read: no quiet non-empty file on %s" (sname side)
+    | fs ->
+        let f = pick rng fs in
+        let size = Bytes.length f.sf_model in
+        let off = R.int rng ~bound:size in
+        let len = 1 + R.int rng ~bound:(min (size - off) (32 * psize)) in
+        (* the file is quiet for the whole flight, so the model slice
+           snapshotted here is exactly what the read must return *)
+        let expected = Bytes.sub f.sf_model off len in
+        incr storage_ops;
+        f.sf_busy <- true;
+        (match
+           Genie.File_io.read st.st_fio ~fd:f.sf_fd ~off ~len
+             ~on_complete:(fun got ->
+               f.sf_busy <- false;
+               if not (Bytes.equal got expected) then
+                 audit_violation ~invariant:"byte-integrity" ~host:(sname side)
+                   ~subject:(Printf.sprintf "file fd=%d" f.sf_fd)
+                   "store read off=%d len=%d diverges from the flat-file model"
+                   off len)
+         with
+        | Ok () ->
+            note "store read %s fd=%d off=%d len=%d" (sname side) f.sf_fd off
+              len
+        | Error `Again ->
+            f.sf_busy <- false;
+            incr rejected;
+            note "store read REJECTED (backpressure) %s fd=%d len=%d"
+              (sname side) f.sf_fd len)
+  in
+  let do_store_fsync () =
+    with_storage @@ fun side st ->
+    match quiet_files st with
+    | [] -> note "skip fsync: all files busy on %s" (sname side)
+    | fs ->
+        let f = pick rng fs in
+        incr storage_ops;
+        f.sf_busy <- true;
+        Genie.File_io.fsync st.st_fio ~fd:f.sf_fd ~on_complete:(fun () ->
+            f.sf_busy <- false);
+        note "store fsync %s fd=%d" (sname side) f.sf_fd
+  in
+  let do_store_cachectl () =
+    with_storage @@ fun side st ->
+    incr storage_ops;
+    if R.int rng ~bound:2 = 0 then begin
+      let n = Genie.File_io.drop_caches st.st_fio in
+      note "store drop_caches %s evicted=%d" (sname side) n
+    end
+    else begin
+      Genie.File_io.writeback_now st.st_fio;
+      note "store writeback kick %s" (sname side)
+    end
+  in
+  let do_store_sendfile () =
+    with_storage @@ fun side st ->
+    let peer = if side == side_a then side_b else side_a in
+    let pst =
+      match storage_of peer with Some p -> p | None -> assert false
+    in
+    if st.st_sendfile_busy then
+      note "skip sendfile: in flight on %s" (sname side)
+    else
+      match
+        List.filter (fun f -> Bytes.length f.sf_model > 0) (quiet_files st)
+      with
+      | [] ->
+          note "skip sendfile: no quiet non-empty file on %s" (sname side)
+      | fs ->
+          let f = pick rng fs in
+          let size = Bytes.length f.sf_model in
+          let cap = Net.Aal5.max_pdu - Proto.Dgram_header.length in
+          let len = 1 + R.int rng ~bound:(min cap size) in
+          let off = R.int rng ~bound:(size - len + 1) in
+          let expected = Bytes.sub f.sf_model off len in
+          (* prepost the receiving buffer on the peer's storage endpoint;
+             app-buffer inputs never reject *)
+          let r, buf = app_buffer peer len in
+          let handle =
+            match
+              Genie.Endpoint.input pst.st_ep ~sem:Sem.emulated_copy
+                ~spec:(Genie.Input_path.App_buffer buf)
+                ~on_complete:(fun res ->
+                  peer.s_freeable <- r :: peer.s_freeable;
+                  if
+                    not
+                      (Genie.Input_path.ok res
+                      && res.Genie.Input_path.payload_len = len
+                      && Bytes.equal (Genie.Buf.read buf) expected)
+                  then
+                    audit_violation ~invariant:"byte-integrity"
+                      ~host:(sname peer)
+                      ~subject:(Printf.sprintf "sendfile fd=%d" f.sf_fd)
+                      "sendfile delivery off=%d len=%d diverges from the \
+                       flat-file model"
+                      off len)
+            with
+            | Ok h -> h
+            | Error `Again -> assert false
+          in
+          incr storage_ops;
+          f.sf_busy <- true;
+          st.st_sendfile_busy <- true;
+          (match
+             Genie.File_io.sendfile st.st_fio st.st_ep ~fd:f.sf_fd ~off ~len
+               ~on_complete:(fun () ->
+                 f.sf_busy <- false;
+                 st.st_sendfile_busy <- false)
+               ()
+           with
+          | Ok seq ->
+              note "sendfile#%d %s->%s fd=%d off=%d len=%d" seq (sname side)
+                (sname peer) f.sf_fd off len
+          | Error `Again ->
+              incr rejected;
+              f.sf_busy <- false;
+              st.st_sendfile_busy <- false;
+              ignore (Genie.Endpoint.cancel handle : bool);
+              note "sendfile REJECTED (backpressure) %s fd=%d len=%d"
+                (sname side) f.sf_fd len)
   in
 
   let send_buffer ~id send sem len =
@@ -296,7 +554,7 @@ let run ?trace cfg =
     Atomic.incr completed;
     audit_delivery recv.s_host res;
     match res.Genie.Input_path.buf with
-    | Some b when res.Genie.Input_path.ok ->
+    | Some b when Genie.Input_path.ok res ->
         let r =
           Vm.Address_space.region_of_addr recv.s_space ~vaddr:b.Genie.Buf.addr
         in
@@ -800,8 +1058,8 @@ let run ?trace cfg =
           Net.Adapter.clear_faults adapter ~vc:rel_data_vc;
           side_a.s_freeable <- src_r :: side_a.s_freeable;
           match r with
-          | `Done retx -> note "rel#%d sender done retx=%d" sid retx
-          | `Gave_up retx -> note "rel#%d sender GAVE UP retx=%d" sid retx);
+          | Ok retx -> note "rel#%d sender done retx=%d" sid retx
+          | Error (`Gave_up retx) -> note "rel#%d sender GAVE UP retx=%d" sid retx);
       note "rel#%d start len=%d fault=%s" sid len mode_name
     end
   in
@@ -842,6 +1100,15 @@ let run ?trace cfg =
          @ (if cfg.batch then [ (3, do_reap) ] else [])
          @ (if cfg.exhaustion then [ (2, do_hog) ] else [])
          @ (if cfg.link_faults then [ (2, do_link_fault); (2, do_rel) ] else [])
+         @ (if cfg.storage then
+              [
+                (3, do_store_write);
+                (2, do_store_read);
+                (1, do_store_fsync);
+                (1, do_store_sendfile);
+                (1, do_store_cachectl);
+              ]
+            else [])
        in
        let total = List.fold_left (fun acc (w, _) -> acc + w) 0 actions in
        let roll = R.int rng ~bound:total in
@@ -854,6 +1121,58 @@ let run ?trace cfg =
      done;
      (* drain everything still in flight and audit the quiesced world *)
      Genie.World.run w;
+     (* Storage end-state: sizes must match the flat-file model, every
+        operation must have completed, and a full readback of each file
+        must return exactly the model bytes — whatever the eviction,
+        writeback and fsync interleaving did to the cache. *)
+     if cfg.storage then begin
+       List.iter
+         (fun side ->
+           match storage_of side with
+           | None -> ()
+           | Some st ->
+               Array.iter
+                 (fun f ->
+                   if f.sf_busy then
+                     audit_violation ~invariant:"transfer-accounting"
+                       ~host:(sname side)
+                       ~subject:(Printf.sprintf "file fd=%d" f.sf_fd)
+                       "storage operation never completed after drain";
+                   let sz = Genie.File_io.size st.st_fio ~fd:f.sf_fd in
+                   if sz <> Bytes.length f.sf_model then
+                     audit_violation ~invariant:"byte-integrity"
+                       ~host:(sname side)
+                       ~subject:(Printf.sprintf "file fd=%d" f.sf_fd)
+                       "file size %d diverges from the model's %d" sz
+                       (Bytes.length f.sf_model);
+                   let len = Bytes.length f.sf_model in
+                   if len > 0 then begin
+                     let expected = Bytes.copy f.sf_model in
+                     match
+                       Genie.File_io.read st.st_fio ~fd:f.sf_fd ~off:0 ~len
+                         ~on_complete:(fun got ->
+                           if not (Bytes.equal got expected) then
+                             audit_violation ~invariant:"byte-integrity"
+                               ~host:(sname side)
+                               ~subject:(Printf.sprintf "file fd=%d" f.sf_fd)
+                               "end-state readback (%d bytes) diverges from \
+                                the flat-file model"
+                               len)
+                     with
+                     | Ok () -> ()
+                     | Error `Again ->
+                         note "skip end-state readback fd=%d: admission \
+                               rejected" f.sf_fd
+                   end)
+                 st.st_files;
+               if Genie.Endpoint.pending_inputs st.st_ep <> 0 then
+                 audit_violation ~invariant:"transfer-accounting"
+                   ~host:(sname side) ~subject:"sendfile"
+                   "%d storage-VC inputs still pending after drain"
+                   (Genie.Endpoint.pending_inputs st.st_ep))
+         [ side_a; side_b ];
+       Genie.World.run w
+     end;
      (* final reap: every batched completion must be on a ring by now *)
      if cfg.batch then begin
        let n = reap_side side_a + reap_side side_b in
@@ -894,10 +1213,11 @@ let run ?trace cfg =
     List.concat_map
       (fun host ->
         List.map
-          (fun (t, label) ->
+          (fun ev ->
             Printf.sprintf "[%s t=%8.2fus] %s" host.Genie.Host.name
-              (Simcore.Sim_time.to_us t) label)
-          (Simcore.Tracer.last_n host.Genie.Host.tracer cfg.trace_tail))
+              (Simcore.Sim_time.to_us ev.Simcore.Tracer.time)
+              (Simcore.Tracer.render ev))
+          (Simcore.Tracer.tail host.Genie.Host.tracer cfg.trace_tail))
       [ host_a; host_b ]
   in
   let events =
@@ -920,9 +1240,9 @@ let run ?trace cfg =
     let b = Buffer.create 128 in
     Buffer.add_string b
       (Printf.sprintf
-         "seed=%d;steps=%d;run=%d;started=%d;completed=%d;faults=%d;rejected=%d;rel=%d;t=%.3f;viol=%d;"
+         "seed=%d;steps=%d;run=%d;started=%d;completed=%d;faults=%d;rejected=%d;rel=%d;store=%d;t=%.3f;viol=%d;"
          cfg.seed cfg.steps !steps_run !started (Atomic.get completed) !faults
-         !rejected !rel_sessions (Genie.Host.now_us host_a)
+         !rejected !rel_sessions !storage_ops (Genie.Host.now_us host_a)
          (List.length !violations));
     List.iter
       (fun (k, n) -> Buffer.add_string b (Printf.sprintf "%s=%d;" k n))
@@ -938,6 +1258,7 @@ let run ?trace cfg =
     faults_injected = !faults;
     rejected = !rejected;
     rel_sessions = !rel_sessions;
+    storage_ops = !storage_ops;
     events;
     trace_tail;
     digest;
@@ -949,9 +1270,10 @@ let pp_outcome fmt o =
   | Completed ->
       fprintf fmt
         "fuzz: %d steps, %d transfers started, %d completed, %d rejected, %d \
-         rel sessions, %d faults injected, all invariants held@."
+         rel sessions, %d storage ops, %d faults injected, all invariants \
+         held@."
         o.steps_run o.transfers_started o.transfers_completed o.rejected
-        o.rel_sessions o.faults_injected
+        o.rel_sessions o.storage_ops o.faults_injected
   | Violations vs ->
       fprintf fmt "fuzz: INVARIANT VIOLATION after %d steps@." o.steps_run;
       List.iter (fun v -> fprintf fmt "  %a@." Invariants.pp_violation v) vs;

@@ -52,6 +52,17 @@ type config = {
           scheduled {!Genie.Endpoint.reap_completions} calls plus a
           final reap at drain.  Off isolates the sequential
           single-call path. *)
+  storage : bool;
+      (** drive file I/O through each host's {!Genie.File_io}: random
+          writes, reads and fsyncs over three files per side against a
+          deliberately small page cache, sendfile datagrams on a
+          dedicated VC, and drop-caches/writeback-kick control actions —
+          so writeback batching, capacity eviction, throttled
+          completions and [`Again] cache-admission rejects all run under
+          the exhaustion regime.  Every read, every sendfile delivery
+          and a full end-of-run readback are audited against a flat-file
+          model ([byte-integrity]); the store counters join the audited
+          event set and the replay digest. *)
   domains : int;
       (** engine shards (OCaml domains) the world runs on; 1 is the
           historical sequential engine.  The simulation outcome — and
@@ -61,8 +72,8 @@ type config = {
 
 val default_config : config
 (** seed 1, 2000 steps, checking every step, 128 pool frames, 32 MB,
-    6 transfers in flight, 48 trace events, exhaustion, link faults and
-    batching all on. *)
+    6 transfers in flight, 48 trace events, exhaustion, link faults,
+    batching and storage all on. *)
 
 type stop_reason =
   | Completed
@@ -79,6 +90,7 @@ type outcome = {
   faults_injected : int;  (** corruptions, orphan sends, pokes, removals *)
   rejected : int;  (** typed [`Again] backpressure rejections observed *)
   rel_sessions : int;  (** reliable-transport sessions started *)
+  storage_ops : int;  (** storage-regime operations issued *)
   events : (string * int) list;
       (** pressure/fault trace counters of both hosts summed, one entry
           per name in the audited set (zeroes included) — e.g.

@@ -64,7 +64,7 @@ let drive t ~seed ~messages =
                 ~spec:(Input_path.App_buffer rbuf)
                 ~on_complete:(fun r ->
                   let ok =
-                    r.Input_path.ok
+                    Input_path.ok r
                     && Bytes.equal (Buf.read rbuf)
                          (Buf.expected_pattern ~len ~seed:((i * 7919) + j))
                   in

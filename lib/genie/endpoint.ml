@@ -25,6 +25,11 @@ let vc t = t.vc
 let mode t = t.mode
 let pending_inputs t = List.length t.pendings
 
+let alloc_seq t =
+  let s = t.next_token in
+  t.next_token <- t.next_token + 1;
+  s
+
 let take_pending t p = t.pendings <- List.filter (fun q -> q != p) t.pendings
 
 let on_rx t (result : Net.Adapter.rx_result) =
@@ -144,7 +149,7 @@ let drain t = List.iter (fun p -> ignore (cancel { ep = t; p })) t.pendings
 type sub_outcome =
   | Out_accepted of Output_path.outcome * int  (* the sequence number used *)
   | In_accepted of handle
-  | Rejected of [ `Again ]
+  | Rejected of Outcome.pressure
 
 let push_completion t c =
   (* FIFO across the ring/overflow boundary: once the ring has spilled,

@@ -20,13 +20,14 @@ val output :
   ?seq:int ->
   ?on_complete:(unit -> unit) ->
   unit ->
-  (Output_path.outcome, [ `Again ]) result
+  (Output_path.outcome, Outcome.pressure) result
 (** Send one datagram.  Returns after the prepare stage is charged; the
     callback fires when the dispose stage retires.  [seq] overrides the
     header sequence number (endpoint-assigned by default) — transport
     protocols above Genie use it to identify retransmissions.
-    [Error `Again] is backpressure under frame exhaustion: nothing was
-    sent and [on_complete] will not fire (see {!Output_path.output}). *)
+    [Error `Again] (shared {!Outcome} vocabulary) is backpressure under
+    frame exhaustion: nothing was sent and [on_complete] will not fire
+    (see {!Output_path.output}). *)
 
 type handle
 (** A posted input, cancellable until its completion is dispatched —
@@ -37,7 +38,7 @@ val input :
   sem:Semantics.t ->
   spec:Input_path.spec ->
   on_complete:(Input_path.result -> unit) ->
-  (handle, [ `Again ]) result
+  (handle, Outcome.pressure) result
 (** Post an input.  With early demultiplexing this preposts the buffer
     descriptors to the adapter; with pooled or outboard buffering the
     input matches arrivals in FIFO order (including PDUs that arrived
@@ -60,6 +61,13 @@ val token : handle -> int
     completions carry it (io_uring's [user_data]). *)
 
 val pending_inputs : t -> int
+
+val alloc_seq : t -> int
+(** Draw the next sequence number / token from the endpoint's stream —
+    what {!output} does implicitly when [seq] is omitted.  Callers that
+    build datagrams outside the output path ({!File_io.sendfile}) use
+    this so batched and single-shot traffic stay in one ordered
+    stream. *)
 
 val drain : t -> unit
 (** Cancel all pending inputs, oldest first (test teardown); equivalent
@@ -88,9 +96,9 @@ type sub_outcome =
   | Out_accepted of Output_path.outcome * int
       (** admitted output and the sequence number it carries *)
   | In_accepted of handle  (** posted input, cancellable mid-batch *)
-  | Rejected of [ `Again ]
-      (** typed backpressure, per entry: the rest of the batch still
-          proceeds (partial admission) *)
+  | Rejected of Outcome.pressure
+      (** typed backpressure, per entry (shared {!Outcome} vocabulary):
+          the rest of the batch still proceeds (partial admission) *)
 
 type completion =
   | Out_complete of { seq : int }  (** the output's dispose retired *)

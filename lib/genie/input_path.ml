@@ -8,8 +8,10 @@ type result = {
   buf : Buf.t option;
   payload_len : int;
   seq : int;
-  ok : bool;
+  status : (unit, Outcome.drop) Stdlib.result;
 }
+
+let ok r = r.status = Ok ()
 
 exception Backpressure
 (* Raised by [prepare] when the admission check cannot find frames even
@@ -268,6 +270,9 @@ let retire_entry (host : Host.t) p =
     p.ledger_id <- None
   | None -> ()
 
+let status_of_ok ok : (unit, Outcome.drop) Stdlib.result =
+  if ok then Ok () else Error `Crc_dropped
+
 let finish (host : Host.t) p ~buf ~payload_len ~seq ~ok =
   if Simcore.Tracer.on host.Host.scope then
     Simcore.Tracer.instant host.Host.scope "input.complete"
@@ -278,7 +283,7 @@ let finish (host : Host.t) p ~buf ~payload_len ~seq ~ok =
           ("len", Simcore.Tracer.Int payload_len);
         ];
   retire_entry host p;
-  let result = { buf; payload_len; seq; ok } in
+  let result = { buf; payload_len; seq; status = status_of_ok ok } in
   let span = p.p_span in
   p.p_span <- 0;
   Simcore.Engine.at host.Host.engine ~time:(Ops.completion_time host.Host.ops)

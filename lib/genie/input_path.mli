@@ -22,8 +22,14 @@ type result = {
           corrupt *)
   payload_len : int;
   seq : int;  (** sender sequence number, [-1] if the header was bad *)
-  ok : bool;  (** CRC and header both valid *)
+  status : (unit, Outcome.drop) Stdlib.result;
+      (** [Ok ()] when CRC and header are both valid; [Error
+          `Crc_dropped] when the payload was dropped at the integrity
+          check (the shared {!Outcome} vocabulary) *)
 }
+
+val ok : result -> bool
+(** [ok r] is [r.status = Ok ()]. *)
 
 type pending
 

@@ -44,7 +44,7 @@ let recv t ~buf ~on_complete =
       ignore
       (Endpoint.input t.ep ~sem:t.sem ~spec:(Input_path.App_buffer piece)
         ~on_complete:(fun r ->
-          if not r.Input_path.ok then all_ok := false;
+          if not (Input_path.ok r) then all_ok := false;
           decr remaining;
           if !remaining = 0 then on_complete ~ok:!all_ok)))
     pieces

@@ -1,0 +1,13 @@
+type pressure = [ `Again ]
+type terminal = [ `Gave_up of int ]
+type drop = [ `Crc_dropped ]
+type t = [ pressure | terminal | drop ]
+
+let to_string : [< t ] -> string = function
+  | `Again -> "again"
+  | `Gave_up r -> Printf.sprintf "gave_up(%d)" r
+  | `Crc_dropped -> "crc_dropped"
+
+let retryable : [< t ] -> bool = function
+  | `Again -> true
+  | `Gave_up _ | `Crc_dropped -> false

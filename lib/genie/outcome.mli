@@ -1,0 +1,37 @@
+(** One vocabulary for typed pressure/rejection outcomes.
+
+    Before PR 8 the rejection variants were scattered per call site:
+    [Endpoint.output]/[input]/[submit_batch] each declared their own
+    [[ `Again ]], the reliable channel its own [`Gave_up], and CRC
+    drops travelled as a bare [ok : bool].  This module is the single
+    shared set; every Genie operation — network or storage — states its
+    failure mode as a subset of {!t}, so callers can write one handler
+    for backpressure across both paths.
+
+    - [`Again] is {e transient} backpressure: nothing was admitted and
+      no state changed; retry once memory pressure drains.
+    - [`Gave_up r] is {e terminal}: a retry policy exhausted itself
+      after [r] retransmissions; the operation will never complete.
+    - [`Crc_dropped] is an {e integrity} failure: the payload arrived
+      but was dropped at the CRC/header check; strong-integrity inputs
+      leave the application buffer untouched. *)
+
+type pressure = [ `Again ]
+(** Transient backpressure under frame/pool exhaustion. *)
+
+type terminal = [ `Gave_up of int ]
+(** Terminal retry exhaustion; the payload is the retransmission
+    count. *)
+
+type drop = [ `Crc_dropped ]
+(** Delivered-but-rejected: the datagram failed its CRC or header
+    check. *)
+
+type t = [ pressure | terminal | drop ]
+
+val to_string : [< t ] -> string
+(** Stable lower-snake rendering, e.g. ["again"], ["gave_up(3)"]. *)
+
+val retryable : [< t ] -> bool
+(** [true] only for [`Again]: the caller may re-issue the identical
+    operation and expect it to eventually succeed. *)

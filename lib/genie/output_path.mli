@@ -22,11 +22,12 @@ val output :
   buf:Buf.t ->
   seq:int ->
   on_complete:(unit -> unit) ->
-  (outcome, [ `Again ]) result
+  (outcome, Outcome.pressure) result
 (** Start an output.  [on_complete] fires when dispose-stage work retires
     (the application's send has fully completed).
 
-    [Error `Again] is backpressure: the plain-copy path could not admit
+    [Error `Again] (shared {!Outcome} vocabulary) is backpressure: the
+    plain-copy path could not admit
     the system-buffer allocation even after a pageout-reclaim retry.
     Nothing was sent and no state changed; the caller may retry once
     memory pressure drains.  In-place paths are always admitted.

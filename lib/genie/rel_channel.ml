@@ -95,7 +95,7 @@ let send t ~buf ~on_complete =
                 ack_handle := None
               | None -> ());
               trace "rel.gave_up" "rel_gave_ups";
-              on_complete (`Gave_up !retransmissions)
+              on_complete (Error (`Gave_up !retransmissions))
             end
             else begin
               (* Timeout: go back to the window base and resend. *)
@@ -109,7 +109,7 @@ let send t ~buf ~on_complete =
             end)
     end
   and on_ack (r : Input_path.result) =
-    if (not !finished) && r.Input_path.ok then begin
+    if (not !finished) && Input_path.ok r then begin
       let expected = r.Input_path.seq in
       if expected > !base then begin
         base := expected;
@@ -123,7 +123,7 @@ let send t ~buf ~on_complete =
           finished := true;
           incr timer_generation;
           ack_handle := None;
-          on_complete (`Done !retransmissions)
+          on_complete (Ok !retransmissions)
         end
         else begin
           arm_timer ();
@@ -176,7 +176,7 @@ let recv t ?deadline_us ~buf ~on_complete () =
           ~on_complete:(fun r ->
             data_handle := None;
             if !finished then ()
-            else if r.Input_path.ok && r.Input_path.seq = !expected then begin
+            else if Input_path.ok r && r.Input_path.seq = !expected then begin
               incr expected;
               send_ack ();
               if !expected = n then finish ~ok:true else post_expected ()

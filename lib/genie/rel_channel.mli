@@ -41,13 +41,14 @@ val create :
 val send :
   t ->
   buf:Buf.t ->
-  on_complete:([ `Done of int | `Gave_up of int ] -> unit) ->
+  on_complete:((int, Outcome.terminal) result -> unit) ->
   unit
-(** Send [buf] reliably.  [`Done r] after the last cumulative ack, with
-    [r] total chunk retransmissions; [`Gave_up r] after [max_retries]
-    consecutive timeout rounds produced no progress (terminal: the ack
-    input is cancelled and the timer stops).  Recovery after loss and
-    the give-up are traced as [rel.recovered] / [rel.gave_up]. *)
+(** Send [buf] reliably.  [Ok r] after the last cumulative ack, with
+    [r] total chunk retransmissions; [Error (`Gave_up r)] after
+    [max_retries] consecutive timeout rounds produced no progress
+    (terminal: the ack input is cancelled and the timer stops) — the
+    shared {!Outcome} vocabulary.  Recovery after loss and the give-up
+    are traced as [rel.recovered] / [rel.gave_up]. *)
 
 val recv :
   t ->

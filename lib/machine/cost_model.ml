@@ -26,6 +26,16 @@ type op =
   | Sysbuf_deallocate
   | Syscall_entry
   | Interrupt_dispatch
+  (* Storage path (PR 8).  New ops are appended so the positional
+     [op_index] seeding of [micro_factor] keeps every pre-existing op's
+     scaled cost bit-identical on non-reference machines. *)
+  | Disk_seek
+  | Disk_read
+  | Disk_write
+  | Fsync_barrier
+  | Cache_lookup
+  | Readahead_issue
+  | Writeback_schedule
 
 type domain = Cpu | Memory | Cache | Device
 
@@ -37,6 +47,8 @@ let all_ops =
     Region_check; Region_check_unref_reinstate_mark_in;
     Region_check_unref_mark_in; Overlay_allocate; Overlay; Overlay_deallocate;
     Sysbuf_allocate; Sysbuf_deallocate; Syscall_entry; Interrupt_dispatch;
+    Disk_seek; Disk_read; Disk_write; Fsync_barrier; Cache_lookup;
+    Readahead_issue; Writeback_schedule;
   ]
 
 let op_name = function
@@ -68,6 +80,13 @@ let op_name = function
   | Sysbuf_deallocate -> "system buffer deallocate"
   | Syscall_entry -> "syscall entry"
   | Interrupt_dispatch -> "interrupt dispatch"
+  | Disk_seek -> "disk seek"
+  | Disk_read -> "disk read"
+  | Disk_write -> "disk write"
+  | Fsync_barrier -> "fsync barrier"
+  | Cache_lookup -> "page-cache lookup"
+  | Readahead_issue -> "read-ahead issue"
+  | Writeback_schedule -> "writeback schedule"
 
 let op_index op =
   let rec find i = function
@@ -110,6 +129,18 @@ let reference_us op =
   | Sysbuf_deallocate -> (0., 1.)
   | Syscall_entry -> (0., 35.)
   | Interrupt_dispatch -> (0., 45.)
+  (* Storage calibration: a mid-90s fast-SCSI disk in the Micron P166's
+     class (~10 MB/s media rate = 0.1 us/B, ~8.5 ms average seek +
+     rotational delay, ~200 us per-command device overhead).  Device
+     multiplier and fixed terms are device time, not host CPU time, so
+     they do not scale with the machine spec (see [scale_param]). *)
+  | Disk_seek -> (0., 8500.)
+  | Disk_read -> (0.1, 200.)
+  | Disk_write -> (0.1, 200.)
+  | Fsync_barrier -> (0., 500.)
+  | Cache_lookup -> (0., 2.)
+  | Readahead_issue -> (0., 3.)
+  | Writeback_schedule -> (0., 3.)
 
 let mult_domain = function
   | Copyin -> Cache
@@ -120,6 +151,8 @@ let mult_domain = function
   | Region_check_unref_reinstate_mark_in | Region_check_unref_mark_in
   | Overlay_allocate | Overlay | Overlay_deallocate | Sysbuf_allocate
   | Sysbuf_deallocate | Syscall_entry | Interrupt_dispatch -> Cpu
+  | Disk_seek | Disk_read | Disk_write | Fsync_barrier -> Device
+  | Cache_lookup | Readahead_issue | Writeback_schedule -> Cpu
 
 type t = {
   spec : Machine_spec.t;
@@ -174,11 +207,13 @@ let create spec =
     (fun op ->
       let i = op_index op in
       let mult_us, fixed_us = reference_us op in
-      (* The fixed term of every operation is CPU work (trap handling,
-         data-structure manipulation); only the multiplicative factor has a
-         per-domain behaviour. *)
+      (* The fixed term of a CPU-side operation is CPU work (trap
+         handling, data-structure manipulation); only the multiplicative
+         factor has a per-domain behaviour.  Device-domain ops are pure
+         device time in both terms, so neither scales with the host. *)
+      let fixed_domain = if mult_domain op = Device then Device else Cpu in
       mult_ns.(i) <- scale_param spec op (mult_domain op) (mult_us *. 1000.);
-      fixed.(i) <- scale_param spec op Cpu (fixed_us *. 1000.))
+      fixed.(i) <- scale_param spec op fixed_domain (fixed_us *. 1000.))
     all_ops;
   { spec; mult_ns; fixed }
 

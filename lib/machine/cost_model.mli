@@ -51,6 +51,13 @@ type op =
   | Sysbuf_deallocate
   | Syscall_entry  (** fixed kernel-crossing cost on the output/input call *)
   | Interrupt_dispatch  (** RX interrupt + driver fixed cost *)
+  | Disk_seek  (** average seek + rotational delay before a transfer *)
+  | Disk_read  (** media transfer into host memory, per byte *)
+  | Disk_write  (** media transfer from host memory, per byte *)
+  | Fsync_barrier  (** flush-barrier command: order all prior writes *)
+  | Cache_lookup  (** page-cache hash probe on a file read/write *)
+  | Readahead_issue  (** sequential detector decides and queues read-ahead *)
+  | Writeback_schedule  (** dirty page queued for batched writeback *)
 
 type domain = Cpu | Memory | Cache | Device
 

@@ -1,10 +1,11 @@
-type subsystem = Vm | Mem | Genie | Net | Sim
+type subsystem = Vm | Mem | Genie | Net | Store | Sim
 
 let subsystem_name = function
   | Vm -> "vm"
   | Mem -> "mem"
   | Genie -> "genie"
   | Net -> "net"
+  | Store -> "store"
   | Sim -> "sim"
 
 type arg = Int of int | Str of string | Bool of bool | Float of float
@@ -120,15 +121,7 @@ let clear t =
   Hashtbl.reset t.counters
 
 (* ------------------------------------------------------------------ *)
-(* Legacy string API                                                   *)
-
-let record t time label =
-  if t.enabled then
-    push t ~time ~host:"" ~sub:Sim ~name:label ~kind:Instant ~args:[]
-
-let record_f t time label =
-  if t.enabled then
-    push t ~time ~host:"" ~sub:Sim ~name:(label ()) ~kind:Instant ~args:[]
+(* Rendering                                                           *)
 
 let arg_to_string = function
   | Int n -> string_of_int n
@@ -162,16 +155,14 @@ let render (ev : event) =
     ev.args;
   Buffer.contents b
 
-let events t = List.rev_map (fun ev -> (ev.time, render ev)) t.events
-
-let last_n t n =
+let tail t n =
   let rec take k = function
     | x :: tl when k > 0 -> x :: take (k - 1) tl
     | _ -> []
   in
-  List.rev_map (fun ev -> (ev.time, render ev)) (take n t.events)
+  List.rev (take (max n 0) t.events)
 
 let pp fmt t =
   List.iter
-    (fun (time, label) -> Format.fprintf fmt "%a %s@." Sim_time.pp time label)
-    (events t)
+    (fun ev -> Format.fprintf fmt "%a %s@." Sim_time.pp ev.time (render ev))
+    (typed_events t)

@@ -8,11 +8,10 @@
 
     Disabled by default and near-zero cost while disabled: emitters test
     one boolean and return, and argument lists can be guarded with {!on}
-    so hot paths build no payload at all.  The legacy string API
-    ([record] / [events] / [last_n]) is preserved on top of the typed
-    model for trace tails and debugging. *)
+    so hot paths build no payload at all.  Trace tails and debugging
+    render typed events to strings on read-out via {!render}. *)
 
-type subsystem = Vm | Mem | Genie | Net | Sim
+type subsystem = Vm | Mem | Genie | Net | Store | Sim
 
 val subsystem_name : subsystem -> string
 (** Lower-case short name, e.g. ["vm"]. *)
@@ -31,7 +30,7 @@ type kind =
 type event = {
   seq : int;  (** recording order, 0-based *)
   time : Sim_time.t;
-  host : string;  (** [""] for events recorded via the legacy API *)
+  host : string;
   sub : subsystem;
   name : string;
   kind : kind;
@@ -99,15 +98,12 @@ val counters : t -> (string * string * int) list
 val clear : t -> unit
 (** Drop recorded events and reset counters (keeps enablement). *)
 
-(** {1 Legacy string API}
+val tail : t -> int -> event list
+(** The most recent [n] events, oldest first ([[]] for [n <= 0]). *)
 
-    Kept for trace tails and existing tooling: typed events are rendered
-    to strings on read-out, and [record] wraps the string in an instant
-    event. *)
+(** {1 Rendering} *)
 
-val record : t -> Sim_time.t -> string -> unit
-val record_f : t -> Sim_time.t -> (unit -> string) -> unit
 val render : event -> string
-val events : t -> (Sim_time.t * string) list
-val last_n : t -> int -> (Sim_time.t * string) list
+(** One-line human-readable form, e.g. ["[a/store] cache_hits = 3"]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,7 +3,7 @@ module T = Simcore.Tracer
 let ts_us time = float_of_int (Simcore.Sim_time.to_ns time) /. 1000.
 
 (* Stable process ids: hosts in order of first appearance.  Pid 0 is
-   reserved for events recorded through the legacy string API (host ""). *)
+   reserved for host-less events (host ""). *)
 let pid_table events =
   let next = ref 0 in
   let pids = Hashtbl.create 4 in
@@ -22,7 +22,8 @@ let tid_of_sub = function
   | T.Mem -> 2
   | T.Genie -> 3
   | T.Net -> 4
-  | T.Sim -> 5
+  | T.Store -> 5
+  | T.Sim -> 6
 
 let arg_json = function
   | T.Int n -> Json.Int n

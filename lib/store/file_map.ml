@@ -1,0 +1,70 @@
+module C = Machine.Cost_model
+
+type mapping = {
+  m_fd : int;
+  m_space : Vm.Address_space.t;
+  m_region : Vm.Region.t;
+  m_pages : int;
+  m_reused : bool;
+}
+
+let fd m = m.m_fd
+let region m = m.m_region
+let npages m = m.m_pages
+let reused m = m.m_reused
+
+let base m =
+  Vm.Address_space.base_addr m.m_region
+    ~page_size:(Vm.Address_space.page_size m.m_space)
+
+let map cache ~space ~fd ~on_ready =
+  let psize = Page_cache.page_size cache in
+  let size = Page_cache.file_size cache fd in
+  let npages = max 1 ((size + psize - 1) / psize) in
+  let chg = Page_cache.charging cache in
+  Page_cache.read cache ~fd ~off:0 ~len:size ~on_complete:(fun desc ->
+      let reused_region =
+        Vm.Address_space.dequeue_cached space ~kind:Vm.Region.Weakly_moved_out
+          ~npages
+      in
+      let region, reused =
+        match reused_region with
+        | Some r ->
+          chg.Page_cache.charge C.Region_check ~bytes:0;
+          r.Vm.Region.state <- Vm.Region.Moved_in;
+          Vm.Address_space.reinstate space r;
+          (r, true)
+        | None ->
+          chg.Page_cache.charge C.Region_create ~bytes:0;
+          (Vm.Address_space.map_region space ~state:Vm.Region.Moved_in ~npages,
+           false)
+      in
+      let addr = Vm.Address_space.base_addr region ~page_size:psize in
+      if size > 0 then begin
+        chg.Page_cache.charge C.Copyin ~bytes:size;
+        Vm.Address_space.write_iov space ~addr (Memory.Io_desc.to_iovec desc)
+      end;
+      chg.Page_cache.charge_n C.Read_only ~bytes:psize ~n:npages;
+      Vm.Address_space.make_readonly space region ~first:0 ~pages:npages;
+      on_ready
+        { m_fd = fd; m_space = space; m_region = region; m_pages = npages;
+          m_reused = reused })
+
+let sync cache m ~on_complete =
+  let size = Page_cache.file_size cache m.m_fd in
+  if size = 0 then begin
+    Simcore.Engine.schedule
+      (Page_cache.engine cache)
+      ~delay:Simcore.Sim_time.zero on_complete;
+    Ok ()
+  end
+  else begin
+    let len = min size (m.m_pages * Page_cache.page_size cache) in
+    let data = Vm.Address_space.read m.m_space ~addr:(base m) ~len in
+    Page_cache.write cache ~fd:m.m_fd ~off:0 ~data ~on_complete
+  end
+
+let unmap _cache m =
+  m.m_region.Vm.Region.state <- Vm.Region.Weakly_moved_out;
+  Vm.Address_space.invalidate m.m_space m.m_region ~first:0 ~pages:m.m_pages;
+  Vm.Address_space.cache_region m.m_space m.m_region

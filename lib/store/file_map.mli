@@ -1,0 +1,48 @@
+(** mmap-style file regions.
+
+    [map] materializes a file into a fresh VM region — populated
+    through the page cache, so cold maps pay device transfers and warm
+    maps run at memory speed — and then arms TCOW on every page
+    ({!Vm.Address_space.make_readonly}): the first store to a mapped
+    page takes a write fault and resolves through the VM's TCOW
+    machinery, exactly like an output buffer under emulated copy.
+
+    [unmap] uses region hiding rather than removal: the region is
+    marked weakly-moved-out, access is invalidated, and the region is
+    parked on the address space's reuse queue.  A later [map] of the
+    same page count dequeues it ({!Vm.Address_space.dequeue_cached}),
+    paying a region check instead of a region create — the same reuse
+    economics as weak-move networking, now on the storage path.
+
+    [sync] writes the region's current contents back through the cache
+    (msync): modified bytes become dirty cache pages subject to the
+    ordinary writeback and fsync machinery. *)
+
+type mapping
+
+val fd : mapping -> int
+val region : mapping -> Vm.Region.t
+val npages : mapping -> int
+
+val base : mapping -> int
+(** First virtual address of the mapping. *)
+
+val map :
+  Page_cache.t ->
+  space:Vm.Address_space.t ->
+  fd:int ->
+  on_ready:(mapping -> unit) ->
+  (unit, [ `Again ]) result
+(** Map the whole file (at least one page).  [on_ready] fires once the
+    populating read retires and the region is armed; [Error `Again] is
+    the cache's admission backpressure — nothing was mapped. *)
+
+val sync :
+  Page_cache.t -> mapping -> on_complete:(unit -> unit) -> (unit, [ `Again ]) result
+(** Write the mapped bytes (clamped to the file size) back through the
+    cache. *)
+
+val unmap : Page_cache.t -> mapping -> unit
+
+val reused : mapping -> bool
+(** Whether [map] reused a cached region instead of creating one. *)

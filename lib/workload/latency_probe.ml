@@ -126,7 +126,7 @@ let run ?recorder cfg =
         ~on_complete:on_a_recv)
     end
   and on_b_recv (r : Genie.Input_path.result) =
-    if not r.Genie.Input_path.ok then failwith "Latency_probe: corrupt forward leg";
+    if not (Genie.Input_path.ok r) then failwith "Latency_probe: corrupt forward leg";
     if !round > cfg.warmup then Simcore.Stat.add forward (now () -. !t_send);
     update_send b r;
     let echo =
@@ -142,7 +142,7 @@ let run ?recorder cfg =
       (Genie.Endpoint.input b.ep ~sem:cfg.sem ~spec:(b.recv_spec ())
         ~on_complete:on_b_recv)
   and on_a_recv (r : Genie.Input_path.result) =
-    if not r.Genie.Input_path.ok then failwith "Latency_probe: corrupt echo leg";
+    if not (Genie.Input_path.ok r) then failwith "Latency_probe: corrupt echo leg";
     if !round > cfg.warmup then Simcore.Stat.add rtt (now () -. !t_send);
     update_send a r;
     start_round ()

@@ -74,7 +74,7 @@ let run cfg =
     (Genie.Endpoint.input eb ~sem:cfg.sem
       ~spec:(Genie.Input_path.App_buffer recv_bufs.(i))
       ~on_complete:(fun r ->
-        if r.Genie.Input_path.ok then begin
+        if Genie.Input_path.ok r then begin
           incr received;
           bytes := !bytes + r.Genie.Input_path.payload_len;
           t_last_recv := Genie.Host.now_us b;

@@ -125,6 +125,42 @@ let test_batched_replay_event_counts () =
   Alcotest.(check bool) "isolation regime avoids the ring path" true
     (not (List.exists (fun line -> contains line "batched") o3.F.schedule))
 
+(* Satellite: storage-regime replay.  File writes, reads, fsyncs and
+   sendfile drive writeback and eviction through the page cache; the
+   run stays a pure function of its seed, the store counters land in
+   the audited event set and the replay digest, and the same seed with
+   storage off must still complete (the regime behind [--no-storage]). *)
+let test_storage_replay_digest () =
+  let fuzz storage =
+    F.run { F.default_config with steps = 500; seed = 11; storage }
+  in
+  let o1 = fuzz true and o2 = fuzz true in
+  (match o1.F.stop with
+  | F.Completed -> ()
+  | F.Violations vs ->
+    Alcotest.failf "storage run violated invariants:\n%s"
+      (String.concat "\n" (List.map I.violation_to_string vs)));
+  Alcotest.(check string) "same seed, same replay digest" o1.F.digest
+    o2.F.digest;
+  Alcotest.(check (list (pair string int)))
+    "same seed, same event counts under storage" o1.F.events o2.F.events;
+  Alcotest.(check bool) "storage ops were scheduled" true (o1.F.storage_ops > 10);
+  (* the cache actually worked: hits, misses and writebacks all observed *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " observed") true
+        (List.assoc k o1.F.events >= 1))
+    [ "cache_hits"; "cache_misses"; "writebacks"; "disk_writes" ];
+  let o3 = fuzz false in
+  (match o3.F.stop with
+  | F.Completed -> ()
+  | F.Violations vs ->
+    Alcotest.failf "no-storage run violated invariants:\n%s"
+      (String.concat "\n" (List.map I.violation_to_string vs)));
+  Alcotest.(check int) "no storage ops with the regime off" 0 o3.F.storage_ops;
+  Alcotest.(check bool) "distinct digest without storage" true
+    (o1.F.digest <> o3.F.digest)
+
 (* The checker actually catches broken kernels: with I/O-deferred page
    deallocation disabled, a TCOW displacement during an in-flight
    emulated-copy output frees a frame the adapter's gather descriptor
@@ -200,6 +236,8 @@ let suite =
       test_replay_deterministic;
     Alcotest.test_case "batched replay keeps event counts equal" `Quick
       test_batched_replay_event_counts;
+    Alcotest.test_case "storage replay keeps the digest stable" `Quick
+      test_storage_replay_digest;
     Alcotest.test_case "broken deferred-dealloc is caught" `Quick
       test_broken_invariant_caught;
     Alcotest.test_case "deferred dealloc keeps invariants" `Quick

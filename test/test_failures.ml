@@ -59,7 +59,7 @@ let test_corruption_reported () =
       match result with
       | Some r ->
         Alcotest.(check bool) (Sem.name sem ^ ": reported bad") false
-          r.Genie.Input_path.ok;
+          (Genie.Input_path.ok r);
         Alcotest.(check bool) (Sem.name sem ^ ": no buffer") true
           (r.Genie.Input_path.buf = None)
       | None -> Alcotest.failf "%s: completion lost" (Sem.name sem))
@@ -97,7 +97,7 @@ let test_pool_conserved_on_corruption () =
     (fun sem ->
       let rig, result, _ = corrupt_transfer Net.Adapter.Pooled sem in
       (match result with
-      | Some r -> Alcotest.(check bool) "failed" false r.Genie.Input_path.ok
+      | Some r -> Alcotest.(check bool) "failed" false (Genie.Input_path.ok r)
       | None -> Alcotest.fail "no completion");
       Alcotest.(check int)
         (Sem.name sem ^ ": pool restored")
@@ -129,7 +129,7 @@ let test_region_requeued_after_corruption () =
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf:buf1 ());
   Genie.World.run rig.w;
   (match !r1 with
-  | Some r -> Alcotest.(check bool) "first failed" false r.Genie.Input_path.ok
+  | Some r -> Alcotest.(check bool) "first failed" false (Genie.Input_path.ok r)
   | None -> Alcotest.fail "no completion");
   Alcotest.(check bool) "region back in moved-out state" true
     (seeded.R.state = R.Moved_out);
@@ -144,7 +144,7 @@ let test_region_requeued_after_corruption () =
   ignore (Genie.Endpoint.output rig.ea ~sem ~buf:buf2 ());
   Genie.World.run rig.w;
   match !r2 with
-  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+  | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
     Alcotest.(check int) "reused the cached region"
       (As.base_addr seeded ~page_size:psize)
       b.Genie.Buf.addr;
@@ -166,7 +166,7 @@ let test_recovery_after_corruption () =
     Genie.Buf.fill_pattern buf ~seed;
     ignore
     (Genie.Endpoint.input rig.eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
-      ~on_complete:(fun r -> results := r.Genie.Input_path.ok :: !results));
+      ~on_complete:(fun r -> results := (Genie.Input_path.ok r) :: !results));
     if corrupt then
       Net.Adapter.corrupt_next_pdu rig.w.Genie.World.a.Genie.Host.adapter ~vc:1;
     ignore (Genie.Endpoint.output rig.ea ~sem ~buf ());

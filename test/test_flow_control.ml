@@ -29,7 +29,7 @@ let one_way ?credit_cells len =
   (Genie.Endpoint.input eb ~sem:Genie.Semantics.emulated_share
     ~spec:(Genie.Input_path.App_buffer rbuf)
     ~on_complete:(fun r ->
-      if not r.Genie.Input_path.ok then Alcotest.fail "transfer failed";
+      if not (Genie.Input_path.ok r) then Alcotest.fail "transfer failed";
       done_at := Some (Genie.Host.now_us w.Genie.World.b)));
   ignore (Genie.Endpoint.output ea ~sem:Genie.Semantics.emulated_share ~buf ());
   Genie.World.run w;

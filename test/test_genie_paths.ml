@@ -101,7 +101,7 @@ let test_move_region_removed () =
   (Genie.Endpoint.input eb ~sem:Sem.move
     ~spec:(Genie.Input_path.Sys_alloc { space = space_b; len = 8192 })
     ~on_complete:(fun r ->
-      Alcotest.(check bool) "ok" true r.Genie.Input_path.ok));
+      Alcotest.(check bool) "ok" true (Genie.Input_path.ok r)));
   ignore (Genie.Endpoint.output ea ~sem:Sem.move ~buf ());
   Genie.World.run w;
   Alcotest.(check bool) "region removed after move output" false region.R.valid;
@@ -223,7 +223,7 @@ let reverse_copyout_case ~len ~offset =
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
   Genie.World.run w;
   (match !got with
-  | Some r -> Alcotest.(check bool) "ok" true r.Genie.Input_path.ok
+  | Some r -> Alcotest.(check bool) "ok" true (Genie.Input_path.ok r)
   | None -> Alcotest.fail "no completion");
   Alcotest.(check bytes) "payload intact"
     (Genie.Buf.expected_pattern ~len ~seed:6)
@@ -367,7 +367,7 @@ let test_overrun_fails_strong_input_cleanly () =
   Genie.World.run w;
   (match !got with
   | Some r ->
-    Alcotest.(check bool) "failed" false r.Genie.Input_path.ok;
+    Alcotest.(check bool) "failed" false (Genie.Input_path.ok r);
     Alcotest.(check bool) "no buffer returned" true (r.Genie.Input_path.buf = None)
   | None -> Alcotest.fail "no completion");
   Alcotest.(check bool) "buffer untouched" true
@@ -408,7 +408,7 @@ let test_mixed_semantics_matrix () =
           ignore (Genie.Endpoint.output ea ~sem:send_sem ~buf ());
           Genie.World.run w;
           match !got with
-          | Some { Genie.Input_path.buf = Some b; ok = true; _ } ->
+          | Some { Genie.Input_path.buf = Some b; status = Ok (); _ } ->
             if not (Bytes.equal (Genie.Buf.read b) (Genie.Buf.expected_pattern ~len ~seed:8))
             then
               Alcotest.failf "%s -> %s: data mismatch" (Sem.name send_sem)
@@ -437,7 +437,7 @@ let test_synchronous_input_pooled () =
     ~on_complete:(fun r -> got := Some r));
   Genie.World.run w;
   match !got with
-  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+  | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
     Alcotest.(check bytes) "late input still gets the data"
       (Genie.Buf.expected_pattern ~len:5000 ~seed:11)
       (Genie.Buf.read b)

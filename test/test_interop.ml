@@ -47,7 +47,7 @@ let cross_machine_case send_sem recv_sem mode =
       ignore (Genie.Endpoint.output ea ~sem:send_sem ~buf ());
       Genie.World.run w;
       match !got with
-      | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+      | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
         Test_util.check_bytes name
           (Genie.Buf.expected_pattern ~len ~seed:90)
           (Genie.Buf.read b)
@@ -85,7 +85,7 @@ let test_concurrent_vcs () =
       ignore
       (Genie.Endpoint.input eb ~sem ~spec:(Genie.Input_path.App_buffer rbuf)
         ~on_complete:(fun r ->
-          if not r.Genie.Input_path.ok then Alcotest.failf "vc %d failed" vc;
+          if not (Genie.Input_path.ok r) then Alcotest.failf "vc %d failed" vc;
           Test_util.check_bytes
             (Printf.sprintf "vc %d" vc)
             (Genie.Buf.expected_pattern ~len ~seed:vc)
@@ -122,13 +122,13 @@ let test_bidirectional_simultaneous () =
   (Genie.Endpoint.input ea ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer a_in)
     ~on_complete:(fun r ->
-      Alcotest.(check bool) "a<-b ok" true r.Genie.Input_path.ok;
+      Alcotest.(check bool) "a<-b ok" true (Genie.Input_path.ok r);
       incr done_count));
   ignore
   (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer b_in)
     ~on_complete:(fun r ->
-      Alcotest.(check bool) "b<-a ok" true r.Genie.Input_path.ok;
+      Alcotest.(check bool) "b<-a ok" true (Genie.Input_path.ok r);
       incr done_count));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf:a_out ());
   ignore (Genie.Endpoint.output eb ~sem:Sem.emulated_copy ~buf:b_out ());
@@ -158,7 +158,7 @@ let e2e_fuzz =
         Test_util.one_way ~mode ~send_sem:sem ~recv_sem:sem ~len
           ~app_offset:offset ~recv_spec ()
       in
-      r.Genie.Input_path.ok && Bytes.equal data (Test_util.expected ~len))
+      (Genie.Input_path.ok r) && Bytes.equal data (Test_util.expected ~len))
 
 let suite =
   [

@@ -19,6 +19,7 @@ let () =
       ("failures", Test_failures.suite);
       ("interop", Test_interop.suite);
       ("pressure", Test_pressure.suite);
+      ("store", Test_store.suite);
       ("trace", Test_trace.suite);
       ("rel-channel", Test_rel_channel.suite);
       ("endpoint", Test_endpoint.suite);

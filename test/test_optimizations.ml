@@ -43,7 +43,7 @@ let test_exit_during_output () =
     (Memory.Phys_mem.zombie_count phys_a > 0);
   Genie.World.run w;
   (match !got with
-  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+  | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
     Alcotest.(check bytes) "receiver got intact data"
       (Genie.Buf.expected_pattern ~len ~seed:31)
       (Genie.Buf.read b)
@@ -73,7 +73,7 @@ let test_pageout_during_output () =
       Alcotest.(check bool) "output pages were evictable" true (n > 0));
   Genie.World.run w;
   (match !got with
-  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+  | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
     Alcotest.(check bytes) "data survived pageout during output"
       (Genie.Buf.expected_pattern ~len ~seed:32)
       (Genie.Buf.read b)
@@ -103,7 +103,7 @@ let test_pageout_during_pending_input () =
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_share ~buf ());
   Genie.World.run w;
   match !got with
-  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+  | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
     Alcotest.(check bytes) "input landed despite the sweep"
       (Genie.Buf.expected_pattern ~len ~seed:33)
       (Genie.Buf.read b)
@@ -129,7 +129,7 @@ let test_fork_during_input () =
     (fun () -> child := Some (As.clone_cow rbuf.Genie.Buf.space));
   Genie.World.run w;
   (match !got with
-  | Some { Genie.Input_path.ok = true; _ } -> ()
+  | Some { Genie.Input_path.status = Ok (); _ } -> ()
   | _ -> Alcotest.fail "transfer failed");
   match !child with
   | Some child_space ->

@@ -180,7 +180,7 @@ let test_world_two_domains () =
       (Genie.Endpoint.input eb ~sem:Genie.Semantics.emulated_copy
          ~spec:(Genie.Input_path.App_buffer rbuf)
          ~on_complete:(fun r ->
-           got := Some (r.Genie.Input_path.ok, Genie.Host.now_us w.Genie.World.b)));
+           got := Some ((Genie.Input_path.ok r), Genie.Host.now_us w.Genie.World.b)));
     let sbuf = make_buf w.Genie.World.a ~len in
     Genie.Buf.fill_pattern sbuf ~seed:42;
     ignore (Genie.Endpoint.output ea ~sem:Genie.Semantics.emulated_copy ~buf:sbuf ());

@@ -66,7 +66,7 @@ let test_transfer_under_pressure () =
   ignore
   (Genie.Endpoint.input eb ~sem:Sem.emulated_copy
     ~spec:(Genie.Input_path.App_buffer rbuf)
-    ~on_complete:(fun r -> ok := r.Genie.Input_path.ok));
+    ~on_complete:(fun r -> ok := (Genie.Input_path.ok r)));
   ignore (Genie.Endpoint.output ea ~sem:Sem.emulated_copy ~buf ());
   Genie.World.run w;
   Alcotest.(check bool) "transfer ok under pressure" true !ok;
@@ -98,7 +98,7 @@ let test_sys_buffers_alloc_output () =
   ignore (Genie.Endpoint.output ea ~sem:Sem.move ~buf ());
   Genie.World.run w;
   match !got with
-  | Some { Genie.Input_path.ok = true; buf = Some b; _ } ->
+  | Some { Genie.Input_path.status = Ok (); buf = Some b; _ } ->
     Alcotest.(check bytes) "data"
       (Genie.Buf.expected_pattern ~len:10_000 ~seed:5)
       (Genie.Buf.read b)

@@ -36,7 +36,7 @@ let make_buf host ~len =
   Genie.Buf.make space ~addr:(As.base_addr region ~page_size:psize) ~len
 
 type outcome = {
-  sent : [ `Done of int | `Gave_up of int ] option;
+  sent : (int, Genie.Outcome.terminal) result option;
   delivered : bool option;
   intact : bool;
   elapsed_us : float;
@@ -81,8 +81,8 @@ let transfer ?chunk ?window ?(corrupt = 0) ~sem ~len () =
   Alcotest.(check bool) "receiver completed" true (o.delivered = Some true);
   Alcotest.(check bool) "payload intact" true o.intact;
   match o.sent with
-  | Some (`Done r) -> r
-  | Some (`Gave_up _) -> Alcotest.fail "sender gave up"
+  | Some (Ok r) -> r
+  | Some (Error (`Gave_up _)) -> Alcotest.fail "sender gave up"
   | None -> Alcotest.fail "sender did not complete"
 
 let test_clean_transfer_no_retransmissions () =
@@ -119,7 +119,7 @@ let test_drop_recovered () =
   Alcotest.(check bool) "delivered" true (o.delivered = Some true);
   Alcotest.(check bool) "payload intact" true o.intact;
   match o.sent with
-  | Some (`Done r) -> Alcotest.(check bool) "retransmitted" true (r > 0)
+  | Some (Ok r) -> Alcotest.(check bool) "retransmitted" true (r > 0)
   | _ -> Alcotest.fail "sender did not complete"
 
 let test_duplicate_harmless () =
@@ -131,7 +131,7 @@ let test_duplicate_harmless () =
   in
   Alcotest.(check bool) "delivered" true (o.delivered = Some true);
   Alcotest.(check bool) "payload intact" true o.intact;
-  Alcotest.(check bool) "no retransmissions" true (o.sent = Some (`Done 0))
+  Alcotest.(check bool) "no retransmissions" true (o.sent = Some (Ok 0))
 
 let test_delay_reorder_recovered () =
   (* Delaying the first PDU past the ack timeout forces a retransmission
@@ -160,7 +160,7 @@ let test_probabilistic_loss_deterministic () =
   Alcotest.(check bool) "delivered" true (o1.delivered = Some true);
   Alcotest.(check bool) "payload intact" true o1.intact;
   (match (o1.sent, o2.sent) with
-  | Some (`Done r1), Some (`Done r2) ->
+  | Some (Ok r1), Some (Ok r2) ->
     Alcotest.(check bool) "lossy enough to retransmit" true (r1 > 0);
     Alcotest.(check int) "replay: same retransmission count" r1 r2
   | _ -> Alcotest.fail "sender did not complete");
@@ -188,8 +188,8 @@ let test_retry_cap_gives_up () =
       ~rates:(7, drop_rates 1.0) ~sem:Sem.emulated_copy ~len:(4 * 61440) ()
   in
   (match o.sent with
-  | Some (`Gave_up r) -> Alcotest.(check bool) "counted retransmissions" true (r > 0)
-  | Some (`Done _) -> Alcotest.fail "delivered over a dead link?"
+  | Some (Error (`Gave_up r)) -> Alcotest.(check bool) "counted retransmissions" true (r > 0)
+  | Some (Ok _) -> Alcotest.fail "delivered over a dead link?"
   | None -> Alcotest.fail "sender never terminated");
   Alcotest.(check bool) "receiver saw nothing" true (o.delivered = None)
 
@@ -202,7 +202,7 @@ let test_backoff_growth () =
       ~rates:(7, drop_rates 1.0) ~sem:Sem.emulated_copy ~len:61440 ()
   in
   (match o.sent with
-  | Some (`Gave_up _) -> ()
+  | Some (Error (`Gave_up _)) -> ()
   | _ -> Alcotest.fail "expected give-up");
   Alcotest.(check bool)
     (Printf.sprintf "gave up after backed-off rounds (%.0f us)" o.elapsed_us)
@@ -223,7 +223,7 @@ let test_deadline_cancels_receiver () =
   Alcotest.(check int) "pending input cancelled" 0
     (Genie.Endpoint.pending_inputs o.rig.db);
   match o.sent with
-  | Some (`Gave_up _) -> ()
+  | Some (Error (`Gave_up _)) -> ()
   | _ -> Alcotest.fail "expected sender give-up"
 
 let test_deadline_not_hit_on_clean_link () =

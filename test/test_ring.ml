@@ -295,7 +295,7 @@ let run_world ~batched ~mode plan =
            | None -> Printf.sprintf "#%d: no result" i
            | Some (r : Genie.Input_path.result) ->
                Printf.sprintf "#%d: ok=%b seq=%d payload=%d bytes=%s" i
-                 r.Genie.Input_path.ok r.Genie.Input_path.seq
+                 (Genie.Input_path.ok r) r.Genie.Input_path.seq
                  r.Genie.Input_path.payload_len
                  (match r.Genie.Input_path.buf with
                  | None -> "-"
@@ -394,7 +394,7 @@ let test_mixed_batch_order () =
   List.iter
     (function
       | Genie.Endpoint.In_complete { result; _ } ->
-          Alcotest.(check bool) "delivery ok" true result.Genie.Input_path.ok;
+          Alcotest.(check bool) "delivery ok" true (Genie.Input_path.ok result);
           got := result.Genie.Input_path.payload_len :: !got
       | Genie.Endpoint.Out_complete _ -> ())
     (Genie.Endpoint.reap_completions eb);

@@ -172,14 +172,18 @@ let test_cpu_idle_gap () =
 
 let test_tracer () =
   let tr = Simcore.Tracer.create ~enabled:true () in
-  Simcore.Tracer.record tr 5 "x";
-  Simcore.Tracer.record tr 9 "y";
-  Alcotest.(check int) "events" 2 (List.length (Simcore.Tracer.events tr));
+  let s = Simcore.Tracer.scope tr ~host:"h" ~sub:Simcore.Tracer.Sim in
+  Simcore.Tracer.instant s "x";
+  Simcore.Tracer.instant s "y";
+  Alcotest.(check int) "events" 2
+    (List.length (Simcore.Tracer.typed_events tr));
   Simcore.Tracer.disable tr;
-  Simcore.Tracer.record tr 12 "z";
-  Alcotest.(check int) "disabled" 2 (List.length (Simcore.Tracer.events tr));
+  Simcore.Tracer.instant s "z";
+  Alcotest.(check int) "disabled" 2
+    (List.length (Simcore.Tracer.typed_events tr));
   Simcore.Tracer.clear tr;
-  Alcotest.(check int) "cleared" 0 (List.length (Simcore.Tracer.events tr))
+  Alcotest.(check int) "cleared" 0
+    (List.length (Simcore.Tracer.typed_events tr))
 
 let suite =
   [

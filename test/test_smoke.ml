@@ -18,7 +18,7 @@ let transfer_case mode sem =
       let latency, data, r =
         Test_util.one_way ~mode ~send_sem:sem ~recv_sem:sem ~len ~recv_spec ()
       in
-      Alcotest.(check bool) "input ok" true r.Genie.Input_path.ok;
+      Alcotest.(check bool) "input ok" true (Genie.Input_path.ok r);
       Alcotest.(check int) "payload length" len r.Genie.Input_path.payload_len;
       Test_util.check_bytes name (Test_util.expected ~len) data;
       if latency < 100. then Alcotest.failf "%s: latency %.1fus implausibly low" name latency;
@@ -36,7 +36,7 @@ let offsets_case mode sem =
         Test_util.one_way ~mode ~send_sem:sem ~recv_sem:sem ~len ~app_offset:1234
           ~recv_spec:`Buffer ()
       in
-      Alcotest.(check bool) "input ok" true r.Genie.Input_path.ok;
+      Alcotest.(check bool) "input ok" true (Genie.Input_path.ok r);
       Test_util.check_bytes name (Test_util.expected ~len) data)
 
 let mixed_semantics_case =
@@ -46,7 +46,7 @@ let mixed_semantics_case =
         Test_util.one_way ~send_sem:Genie.Semantics.copy
           ~recv_sem:Genie.Semantics.emulated_copy ~len ()
       in
-      Alcotest.(check bool) "input ok" true r.Genie.Input_path.ok;
+      Alcotest.(check bool) "input ok" true (Genie.Input_path.ok r);
       Test_util.check_bytes "mixed" (Test_util.expected ~len) data)
 
 let tiny_and_large_cases =
@@ -64,7 +64,7 @@ let tiny_and_large_cases =
               let _, data, r =
                 Test_util.one_way ~send_sem:sem ~recv_sem:sem ~len ~recv_spec ()
               in
-              Alcotest.(check bool) "ok" true r.Genie.Input_path.ok;
+              Alcotest.(check bool) "ok" true (Genie.Input_path.ok r);
               Test_util.check_bytes "payload" (Test_util.expected ~len) data))
         semantics_cases)
     [ 1; 48; 1000; 4096; 61440 ]

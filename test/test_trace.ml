@@ -293,36 +293,32 @@ let test_chrome_export_round_trip () =
       (List.length (T.typed_events trace))
       (List.length events - n "M")
 
-(* {1 Legacy string API} *)
+(* {1 Tail and render} *)
 
-let test_record_f_is_lazy () =
-  let t = T.create () in
-  let forced = ref false in
-  T.record_f t Simcore.Sim_time.zero (fun () ->
-      forced := true;
-      "never built");
-  Alcotest.(check bool) "thunk not forced while disabled" false !forced;
-  Alcotest.(check int) "nothing recorded" 0 (List.length (T.events t));
-  T.enable t;
-  T.record_f t (Simcore.Sim_time.of_ns 5) (fun () ->
-      forced := true;
-      "built");
-  Alcotest.(check bool) "thunk forced while enabled" true !forced;
-  Alcotest.(check (list string)) "recorded" [ "built" ]
-    (List.map snd (T.events t))
-
-let test_last_n () =
+let test_render () =
   let t = T.create ~enabled:true () in
-  List.iter
-    (fun i -> T.record t (Simcore.Sim_time.of_ns i) (string_of_int i))
-    [ 1; 2; 3; 4; 5 ];
+  let s = T.scope t ~host:"a" ~sub:T.Store in
+  T.instant s ~args:[ ("fd", T.Int 3); ("mode", T.Str "seq") ] "file_read";
+  T.add_counter s ~n:2 "cache_hits";
+  match T.typed_events t with
+  | [ ev_read; ev_ctr ] ->
+    Alcotest.(check string)
+      "instant rendering" "[a/store] file_read fd=3 mode=seq" (T.render ev_read);
+    Alcotest.(check string)
+      "counter rendering" "[a/store] cache_hits = 2 delta=2" (T.render ev_ctr)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_tail () =
+  let t = T.create ~enabled:true () in
+  let s = T.scope t ~host:"h" ~sub:T.Sim in
+  List.iter (fun i -> T.instant s (string_of_int i)) [ 1; 2; 3; 4; 5 ];
+  let names evs = List.map (fun ev -> ev.T.name) evs in
   Alcotest.(check (list string)) "last three, oldest first" [ "3"; "4"; "5" ]
-    (List.map snd (T.last_n t 3));
+    (names (T.tail t 3));
   Alcotest.(check (list string)) "n beyond length gives everything"
     [ "1"; "2"; "3"; "4"; "5" ]
-    (List.map snd (T.last_n t 10));
-  Alcotest.(check (list string)) "zero gives nothing" []
-    (List.map snd (T.last_n t 0))
+    (names (T.tail t 10));
+  Alcotest.(check (list string)) "zero gives nothing" [] (names (T.tail t 0))
 
 let suite =
   [
@@ -341,8 +337,7 @@ let suite =
       test_span_nesting_under_fuzzer;
     Alcotest.test_case "chrome export round-trips through Stats.Json" `Quick
       test_chrome_export_round_trip;
-    Alcotest.test_case "record_f is lazy while disabled" `Quick
-      test_record_f_is_lazy;
-    Alcotest.test_case "last_n returns recent events oldest first" `Quick
-      test_last_n;
+    Alcotest.test_case "render formats scope, kind and args" `Quick test_render;
+    Alcotest.test_case "tail returns recent events oldest first" `Quick
+      test_tail;
   ]
