@@ -591,16 +591,19 @@ let parallel_scaling c =
 
 (* {1 Section registry} *)
 
+(* Alphabetical by section name, so the known-section listing printed
+   on a bad name (and the default run order) is stable as sections are
+   added. *)
 let all : (string * (R.collector -> unit)) list =
   [
-    ("table1", table1); ("table5", table5); ("table6", table6); ("fig3", fig3);
-    ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
-    ("table7", table7); ("table8", table8); ("oc12", oc12);
-    ("outboard", outboard); ("mixed", Mixed.run); ("load", load);
-    ("ablations", Ablation.run_all); ("related", Related.run_all);
-    ("micro_bench", Micro_bench.run); ("wall_data", Wall_metrics.run);
-    ("degraded_mode", Degraded.run); ("storage", Storage.run);
-    ("parallel_scaling", parallel_scaling);
+    ("ablations", Ablation.run_all); ("degraded_mode", Degraded.run);
+    ("fabric_scale", Fabric_scale.run); ("fig3", fig3); ("fig4", fig4);
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("load", load);
+    ("micro_bench", Micro_bench.run); ("mixed", Mixed.run); ("oc12", oc12);
+    ("outboard", outboard); ("parallel_scaling", parallel_scaling);
+    ("related", Related.run_all); ("storage", Storage.run);
+    ("table1", table1); ("table5", table5); ("table6", table6);
+    ("table7", table7); ("table8", table8); ("wall_data", Wall_metrics.run);
   ]
 
 (* Legacy spellings still accepted on the command line. *)

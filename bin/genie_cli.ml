@@ -220,6 +220,14 @@ let check_cmd =
                 sendfile through the simulated page cache, audited against \
                 a flat-file model) and fuzz the network paths alone.")
   in
+  let no_fabric_arg =
+    Arg.(value & flag
+         & info [ "no-fabric" ]
+             ~doc:
+               "Disable the fabric-churn regime (flow open/close storms \
+                against the recycled flow table, audited against a shadow \
+                model) — isolates flow-table failures.")
+  in
   let domains_arg =
     Arg.(value & opt int 1
          & info [ "domains" ] ~docv:"K"
@@ -229,14 +237,15 @@ let check_cmd =
                 it.")
   in
   let run steps seed check_every no_exhaustion no_faults no_batch no_storage
-      domains =
+      no_fabric domains =
     let cfg =
       { Check.Fuzzer.default_config with
         steps; seed; check_every; domains;
         exhaustion = not no_exhaustion;
         link_faults = not no_faults;
         batch = not no_batch;
-        storage = not no_storage }
+        storage = not no_storage;
+        fabric = not no_fabric }
     in
     let o = Check.Fuzzer.run cfg in
     Check.Fuzzer.pp_outcome Format.std_formatter o;
@@ -244,12 +253,13 @@ let check_cmd =
     | Check.Fuzzer.Completed -> ()
     | Check.Fuzzer.Violations _ ->
       Printf.printf
-        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s%s\n"
+        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s%s%s\n"
         steps seed
         (if no_exhaustion then " --no-exhaustion" else "")
         (if no_faults then " --no-faults" else "")
         (if no_batch then " --no-batch" else "")
         (if no_storage then " --no-storage" else "")
+        (if no_fabric then " --no-fabric" else "")
         (if domains <> 1 then Printf.sprintf " --domains %d" domains else "");
       exit 1
   in
@@ -260,7 +270,175 @@ let check_cmd =
           kernel-state invariants after every step.")
     Term.(
       const run $ steps_arg $ seed_arg $ check_every_arg $ no_exhaustion_arg
-      $ no_faults_arg $ no_batch_arg $ no_storage_arg $ domains_arg)
+      $ no_faults_arg $ no_batch_arg $ no_storage_arg $ no_fabric_arg
+      $ domains_arg)
+
+(* {1 fabric: the datacenter-scale fan-in flow engine} *)
+
+let fabric_cmd =
+  let hosts_arg =
+    Arg.(value & opt int Workload.Fabric.default.Workload.Fabric.hosts
+         & info [ "hosts" ] ~docv:"N"
+             ~doc:"Logical client hosts fanning in (rates, not state).")
+  in
+  let ports_arg =
+    Arg.(value & opt int Workload.Fabric.default.Workload.Fabric.ports
+         & info [ "ports" ] ~docv:"P"
+             ~doc:"Simulated host pairs carrying the fan-in traffic.")
+  in
+  let circuits_arg =
+    Arg.(value & opt int Workload.Fabric.default.Workload.Fabric.circuits_per_port
+         & info [ "circuits" ] ~docv:"C"
+             ~doc:
+               "Pooled circuits (VCs) per port — the active-flow cap; \
+                arrivals beyond it are rejected.")
+  in
+  let flows_arg =
+    Arg.(value & opt int Workload.Fabric.default.Workload.Fabric.flows
+         & info [ "flows" ] ~docv:"M" ~doc:"Total flows to offer.")
+  in
+  let load_arg =
+    Arg.(value & opt float Workload.Fabric.default.Workload.Fabric.load
+         & info [ "load" ] ~docv:"L"
+             ~doc:"Offered utilization of each port link (e.g. 0.7).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"K"
+             ~doc:
+               "Shard the engine across K OCaml domains.  The completion \
+                digest must be identical for every K — CI gates on it.")
+  in
+  let seed_arg =
+    Arg.(value & opt int Workload.Fabric.default.Workload.Fabric.seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the outcome (or sweep curve) as JSON here.")
+  in
+  let sweep_arg =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"L1,L2,..."
+             ~doc:
+               "Run a load sweep over the comma-separated grid instead of \
+                a single run; reports one latency/throughput point per \
+                load.")
+  in
+  let knee_arg =
+    Arg.(value & opt (some float) None
+         & info [ "knee" ] ~docv:"P99_US"
+             ~doc:
+               "Closed-loop knee search: bisect for the highest load in \
+                [0.1, 1.5] whose p99 sojourn stays under P99_US \
+                microseconds.")
+  in
+  let config hosts ports circuits flows load domains seed =
+    { Workload.Fabric.default with
+      Workload.Fabric.hosts; ports; circuits_per_port = circuits; flows;
+      load; domains; seed }
+  in
+  let point_json (p : Workload.Load_sweep.fabric_point) =
+    Printf.sprintf
+      "{\"load\": %.4f, \"delivered_mbps\": %.3f, \"rejected_frac\": %.4f, \
+       \"p50_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": %.3f}"
+      p.Workload.Load_sweep.load p.Workload.Load_sweep.delivered_mbps
+      p.Workload.Load_sweep.rejected_frac p.Workload.Load_sweep.p50_us
+      p.Workload.Load_sweep.p99_us p.Workload.Load_sweep.p999_us
+  in
+  let print_point (p : Workload.Load_sweep.fabric_point) =
+    Printf.printf
+      "load %.3f  delivered %8.2f Mbps  rejected %5.1f%%  p50 %9.1f us  \
+       p99 %9.1f us  p99.9 %9.1f us\n"
+      p.Workload.Load_sweep.load p.Workload.Load_sweep.delivered_mbps
+      (100. *. p.Workload.Load_sweep.rejected_frac)
+      p.Workload.Load_sweep.p50_us p.Workload.Load_sweep.p99_us
+      p.Workload.Load_sweep.p999_us
+  in
+  let write_out out body =
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc body;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "[fabric] wrote %s\n" path
+  in
+  let run hosts ports circuits flows load domains seed out sweep knee =
+    let cfg = config hosts ports circuits flows load domains seed in
+    match (sweep, knee) with
+    | Some grid, _ ->
+      let loads =
+        grid |> String.split_on_char ',' |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map float_of_string |> Array.of_list
+      in
+      let points = Workload.Load_sweep.fabric_curve cfg ~loads in
+      Array.iter print_point points;
+      write_out out
+        (Printf.sprintf "[%s]"
+           (String.concat ",\n "
+              (Array.to_list (Array.map point_json points))))
+    | None, Some p99_limit_us ->
+      let best, probes =
+        Workload.Load_sweep.fabric_knee cfg ~p99_limit_us ~lo:0.1 ~hi:1.5
+      in
+      List.iter print_point probes;
+      Printf.printf "knee: load %.3f (p99 %.1f us <= %.1f us)\n"
+        best.Workload.Load_sweep.load best.Workload.Load_sweep.p99_us
+        p99_limit_us;
+      write_out out
+        (Printf.sprintf "{\"knee\": %s,\n \"probes\": [%s]}" (point_json best)
+           (String.concat ",\n  " (List.map point_json probes)))
+    | None, None ->
+      let o = Workload.Fabric.run cfg in
+      let q p =
+        if Stats.Streaming_summary.is_empty o.Workload.Fabric.sojourn_us then
+          nan
+        else Stats.Streaming_summary.quantile o.Workload.Fabric.sojourn_us p
+      in
+      Printf.printf
+        "flows: offered %d  accepted %d  rejected %d  completed %d  \
+         retries %d\n"
+        o.Workload.Fabric.offered o.Workload.Fabric.accepted
+        o.Workload.Fabric.rejected o.Workload.Fabric.completed
+        o.Workload.Fabric.retries;
+      Printf.printf "delivered: %.2f Mbps over %.0f us (%d bytes)\n"
+        o.Workload.Fabric.delivered_mbps o.Workload.Fabric.duration_us
+        o.Workload.Fabric.rx_bytes;
+      Printf.printf "sojourn: p50 %.1f us  p99 %.1f us  p99.9 %.1f us\n"
+        (q 0.5) (q 0.99) (q 0.999);
+      Printf.printf "active flows: high water %d of %d pooled slots\n"
+        o.Workload.Fabric.active_high_water o.Workload.Fabric.table_capacity;
+      Printf.printf "fabric digest: %s\n" o.Workload.Fabric.digest;
+      write_out out
+        (Printf.sprintf
+           "{\"offered\": %d, \"accepted\": %d, \"rejected\": %d, \
+            \"completed\": %d, \"retries\": %d, \"crc_failures\": %d,\n \
+            \"rx_bytes\": %d, \"duration_us\": %.3f, \"delivered_mbps\": \
+            %.3f,\n \"p50_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": %.3f,\n \
+            \"active_high_water\": %d, \"table_capacity\": %d, \"digest\": \
+            \"%s\"}"
+           o.Workload.Fabric.offered o.Workload.Fabric.accepted
+           o.Workload.Fabric.rejected o.Workload.Fabric.completed
+           o.Workload.Fabric.retries o.Workload.Fabric.crc_failures
+           o.Workload.Fabric.rx_bytes o.Workload.Fabric.duration_us
+           o.Workload.Fabric.delivered_mbps (q 0.5) (q 0.99) (q 0.999)
+           o.Workload.Fabric.active_high_water
+           o.Workload.Fabric.table_capacity o.Workload.Fabric.digest)
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Run the datacenter-scale fan-in flow engine: heavy-tailed flows \
+          over pooled circuits with credit contention, memory bounded by \
+          active flows.  Single runs print a deterministic completion \
+          digest; --sweep and --knee drive offered-load curves.")
+    Term.(
+      const run $ hosts_arg $ ports_arg $ circuits_arg $ flows_arg $ load_arg
+      $ domains_arg $ seed_arg $ out_arg $ sweep_arg $ knee_arg)
 
 (* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
 
@@ -512,4 +690,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd;
-            check_cmd; trace_cmd; bench_cmd ]))
+            check_cmd; fabric_cmd; trace_cmd; bench_cmd ]))

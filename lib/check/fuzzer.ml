@@ -17,6 +17,7 @@ type config = {
   link_faults : bool;
   batch : bool;
   storage : bool;
+  fabric : bool;
   domains : int;
 }
 
@@ -33,6 +34,7 @@ let default_config =
     link_faults = true;
     batch = true;
     storage = true;
+    fabric = true;
     domains = 1;
   }
 
@@ -48,6 +50,7 @@ type outcome = {
   rejected : int;
   rel_sessions : int;
   storage_ops : int;
+  fabric_ops : int;
   events : (string * int) list;
   trace_tail : string list;
   digest : string;
@@ -465,11 +468,16 @@ let run ?trace cfg =
                 ~spec:(Genie.Input_path.App_buffer buf)
                 ~on_complete:(fun res ->
                   peer.s_freeable <- r :: peer.s_freeable;
+                  (* A typed failure is a legitimate outcome under the
+                     exhaustion regime — ready-time frame allocation can
+                     fail and the input completes as a typed drop without
+                     touching the flat-file model.  Only a delivery that
+                     claims [ok] owes the model's exact bytes. *)
                   if
-                    not
-                      (Genie.Input_path.ok res
-                      && res.Genie.Input_path.payload_len = len
-                      && Bytes.equal (Genie.Buf.read buf) expected)
+                    Genie.Input_path.ok res
+                    && not
+                         (res.Genie.Input_path.payload_len = len
+                         && Bytes.equal (Genie.Buf.read buf) expected)
                   then
                     audit_violation ~invariant:"byte-integrity"
                       ~host:(sname peer)
@@ -1064,6 +1072,90 @@ let run ?trace cfg =
     end
   in
 
+  (* --- the fabric-churn regime -------------------------------------- *)
+
+  (* Flow open/close storms against a [Genie.Flow_table] — the slab the
+     fabric engine recycles its flow state machines through — audited
+     against a shadow model.  The properties that make stale handles
+     safe at datacenter scale: a fresh handle never equals any handle
+     that is (or was ever) live with a different tenant, freed handles
+     go inert ([get] = [None], [free] = [false]) rather than aliasing
+     the slot's next tenant, and the live count tracks the model
+     exactly. *)
+  let fabric_ops = ref 0 in
+  let fab_table = Genie.Flow_table.create ~initial:4 ~dummy:(-1) () in
+  let fab_live : (Genie.Flow_table.handle, int) Hashtbl.t = Hashtbl.create 64 in
+  let fab_ever : (Genie.Flow_table.handle, unit) Hashtbl.t = Hashtbl.create 64 in
+  let fab_retired = Array.make 64 None in
+  let fab_retired_at = ref 0 in
+  let fab_next_payload = ref 0 in
+  let fab_violation fmt =
+    audit_violation ~invariant:"flow-table" ~host:"world" ~subject:"fabric" fmt
+  in
+  let do_fabric_churn () =
+    let storm = 8 + R.int rng ~bound:57 in
+    note "fabric churn storm of %d ops (live %d)" storm
+      (Genie.Flow_table.live fab_table);
+    for _ = 1 to storm do
+      incr fabric_ops;
+      let roll = R.int rng ~bound:10 in
+      if roll < 5 then begin
+        (* open: a fresh handle must be live, carry its payload, and
+           never collide with a live handle. *)
+        let p = !fab_next_payload in
+        incr fab_next_payload;
+        let h = Genie.Flow_table.alloc fab_table p in
+        if Hashtbl.mem fab_ever h then
+          fab_violation "free list reissued handle %#x" h;
+        Hashtbl.replace fab_ever h ();
+        if Genie.Flow_table.get fab_table h <> Some p then
+          fab_violation "fresh handle %#x does not hold its payload" h;
+        Hashtbl.replace fab_live h p
+      end
+      else if roll < 8 then begin
+        (* close: a live handle picked from the shadow model. *)
+        match
+          Hashtbl.fold (fun h p acc ->
+              match acc with Some _ -> acc | None -> Some (h, p))
+            fab_live None
+        with
+        | None -> ()
+        | Some (h, p) ->
+          if Genie.Flow_table.get fab_table h <> Some p then
+            fab_violation "live handle %#x lost its payload" h;
+          if not (Genie.Flow_table.free fab_table h) then
+            fab_violation "freeing live handle %#x refused" h;
+          if Genie.Flow_table.is_live fab_table h then
+            fab_violation "handle %#x still live after free" h;
+          Hashtbl.remove fab_live h;
+          fab_retired.(!fab_retired_at mod Array.length fab_retired) <- Some h;
+          incr fab_retired_at
+      end
+      else begin
+        (* stale probe: a retired handle must be inert even when its
+           slot has a new tenant. *)
+        match fab_retired.(R.int rng ~bound:(Array.length fab_retired)) with
+        | None -> ()
+        | Some h ->
+          (* Generations are monotonic, so a retired handle can never
+             come back live — it must be fully inert. *)
+          if Genie.Flow_table.get fab_table h <> None then
+            fab_violation "stale handle %#x still reads a payload" h;
+          if Genie.Flow_table.free fab_table h then
+            fab_violation "stale handle %#x freed the slot's new tenant" h
+      end
+    done;
+    if Genie.Flow_table.live fab_table <> Hashtbl.length fab_live then
+      fab_violation "live count %d diverges from the model's %d"
+        (Genie.Flow_table.live fab_table)
+        (Hashtbl.length fab_live);
+    if Genie.Flow_table.high_water fab_table > Genie.Flow_table.capacity fab_table
+    then
+      fab_violation "high water %d exceeds capacity %d"
+        (Genie.Flow_table.high_water fab_table)
+        (Genie.Flow_table.capacity fab_table)
+  in
+
   (* --- main loop ---------------------------------------------------- *)
 
   let violations = ref [] in
@@ -1109,6 +1201,7 @@ let run ?trace cfg =
                 (1, do_store_cachectl);
               ]
             else [])
+         @ (if cfg.fabric then [ (2, do_fabric_churn) ] else [])
        in
        let total = List.fold_left (fun acc (w, _) -> acc + w) 0 actions in
        let roll = R.int rng ~bound:total in
@@ -1240,9 +1333,10 @@ let run ?trace cfg =
     let b = Buffer.create 128 in
     Buffer.add_string b
       (Printf.sprintf
-         "seed=%d;steps=%d;run=%d;started=%d;completed=%d;faults=%d;rejected=%d;rel=%d;store=%d;t=%.3f;viol=%d;"
+         "seed=%d;steps=%d;run=%d;started=%d;completed=%d;faults=%d;rejected=%d;rel=%d;store=%d;fab=%d;t=%.3f;viol=%d;"
          cfg.seed cfg.steps !steps_run !started (Atomic.get completed) !faults
-         !rejected !rel_sessions !storage_ops (Genie.Host.now_us host_a)
+         !rejected !rel_sessions !storage_ops !fabric_ops
+         (Genie.Host.now_us host_a)
          (List.length !violations));
     List.iter
       (fun (k, n) -> Buffer.add_string b (Printf.sprintf "%s=%d;" k n))
@@ -1259,6 +1353,7 @@ let run ?trace cfg =
     rejected = !rejected;
     rel_sessions = !rel_sessions;
     storage_ops = !storage_ops;
+    fabric_ops = !fabric_ops;
     events;
     trace_tail;
     digest;
@@ -1270,10 +1365,10 @@ let pp_outcome fmt o =
   | Completed ->
       fprintf fmt
         "fuzz: %d steps, %d transfers started, %d completed, %d rejected, %d \
-         rel sessions, %d storage ops, %d faults injected, all invariants \
-         held@."
+         rel sessions, %d storage ops, %d fabric ops, %d faults injected, \
+         all invariants held@."
         o.steps_run o.transfers_started o.transfers_completed o.rejected
-        o.rel_sessions o.storage_ops o.faults_injected
+        o.rel_sessions o.storage_ops o.fabric_ops o.faults_injected
   | Violations vs ->
       fprintf fmt "fuzz: INVARIANT VIOLATION after %d steps@." o.steps_run;
       List.iter (fun v -> fprintf fmt "  %a@." Invariants.pp_violation v) vs;

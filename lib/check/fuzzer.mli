@@ -60,9 +60,20 @@ type config = {
           so writeback batching, capacity eviction, throttled
           completions and [`Again] cache-admission rejects all run under
           the exhaustion regime.  Every read, every sendfile delivery
-          and a full end-of-run readback are audited against a flat-file
-          model ([byte-integrity]); the store counters join the audited
-          event set and the replay digest. *)
+          that completes [ok] (a typed drop under memory exhaustion is a
+          legitimate outcome, not a violation) and a full end-of-run
+          readback are audited against a flat-file model
+          ([byte-integrity]); the store counters join the audited event
+          set and the replay digest. *)
+  fabric : bool;
+      (** drive flow open/close storms against a {!Genie.Flow_table} —
+          the recycled-slot slab the fabric engine stores its flow state
+          machines in — audited against a shadow model: the free list
+          must never reissue a handle (a stale handle can never alias a
+          slot's next tenant), freed handles must go inert ([get] =
+          [None], [free] = [false]), and live/high-water accounting must
+          track the model.  Violations report under the [flow-table]
+          invariant. *)
   domains : int;
       (** engine shards (OCaml domains) the world runs on; 1 is the
           historical sequential engine.  The simulation outcome — and
@@ -73,7 +84,7 @@ type config = {
 val default_config : config
 (** seed 1, 2000 steps, checking every step, 128 pool frames, 32 MB,
     6 transfers in flight, 48 trace events, exhaustion, link faults,
-    batching and storage all on. *)
+    batching, storage and fabric churn all on. *)
 
 type stop_reason =
   | Completed
@@ -91,6 +102,7 @@ type outcome = {
   rejected : int;  (** typed [`Again] backpressure rejections observed *)
   rel_sessions : int;  (** reliable-transport sessions started *)
   storage_ops : int;  (** storage-regime operations issued *)
+  fabric_ops : int;  (** fabric-churn flow-table operations issued *)
   events : (string * int) list;
       (** pressure/fault trace counters of both hosts summed, one entry
           per name in the audited set (zeroes included) — e.g.

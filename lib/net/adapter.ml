@@ -77,6 +77,8 @@ type t = {
   mutable next_outboard_id : int;
   mutable dropped : int;
   tx_queue : tx_job Queue.t;
+  resumes : (unit -> unit) Queue.t;
+      (* unparked mid-PDU continuations; run before fresh tx jobs *)
   mutable tx_active : bool;
   credits : (int, credit_state) Hashtbl.t;
   mutable stalls : int;
@@ -98,10 +100,22 @@ and tx_window = {
   mutable win_open : bool;
 }
 
+(* Credit arbitration is an active-set discipline: a VC whose next burst
+   lacks credits *parks* — the transmitter is released to other VCs and
+   the parked continuation waits on this record, while later jobs of the
+   same VC divert to [blocked] so per-VC PDU order is preserved.  A
+   credit grant touches only its own VC: when the window covers the
+   parked burst the continuation moves to the adapter's resume queue and
+   the diverted jobs rejoin the transmit queue.  Nothing on the credit
+   or transmit path ever scans the set of VCs, so thousands of VCs with
+   independent windows contend in O(1) per event — and one stalled VC
+   no longer head-of-line blocks the whole adapter. *)
 and credit_state = {
   limit : int;
   mutable available : int;
-  mutable waiting : (unit -> unit) option;
+  mutable parked : (int * (unit -> unit)) option;
+      (* cells the parked burst needs, and its continuation *)
+  blocked : tx_job Queue.t;  (* same-VC jobs diverted while parked *)
 }
 
 and tx_job = {
@@ -140,6 +154,7 @@ let create engine p ~page_size ~name =
     next_outboard_id = 0;
     dropped = 0;
     tx_queue = Queue.create ();
+    resumes = Queue.create ();
     tx_active = false;
     credits = Hashtbl.create 4;
     stalls = 0;
@@ -244,7 +259,8 @@ let flow t vc =
 
 let set_credit_limit t ~vc ~cells =
   if cells <= 0 then invalid_arg "Adapter.set_credit_limit: cells must be positive";
-  Hashtbl.replace t.credits vc { limit = cells; available = cells; waiting = None }
+  Hashtbl.replace t.credits vc
+    { limit = cells; available = cells; parked = None; blocked = Queue.create () }
 
 let credits_available t ~vc =
   Option.map (fun cs -> cs.available) (Hashtbl.find_opt t.credits vc)
@@ -331,17 +347,6 @@ let maybe_corrupt t fl ~first_burst (chunk : bytes) ~len =
     Bytes.set chunk 0 (Char.chr (Char.code (Bytes.get chunk 0) lxor 0xFF))
   | _ -> ()
 
-let grant_credits t ~vc ~cells =
-  match Hashtbl.find_opt t.credits vc with
-  | None -> ()
-  | Some cs ->
-    cs.available <- min cs.limit (cs.available + cells);
-    (match cs.waiting with
-    | Some resume ->
-      cs.waiting <- None;
-      resume ()
-    | None -> ())
-
 (* {1 Receive path} *)
 
 let start_rx t vc total_len =
@@ -421,9 +426,44 @@ let demux_scatter (posted : posted) (chunk : bytes) ~chunk_len pdu_off ~hdr_len
     if n < pay_chunk then overrun ()
   end
 
+(* Stage one burst into a pooled buffer with a single gather pass over
+   the flight's hdr++payload view.  Bursts must be materialized at
+   serialization time — weak-integrity overwrites corrupt only later
+   bursts — so this copy is semantic, but it is the only one: the
+   buffer is recycled and the gather never builds intermediate bytes. *)
+let gather_pdu_range t fl ~off ~len =
+  let out = Memory.Buf_pool.take t.tx_pool ~len in
+  Memory.Iovec.blit_to (Memory.Iovec.sub fl.fl_iov ~off ~len) ~dst:out
+    ~dst_off:0;
+  out
+
+let cell_time_ns t = Net_params.cell_time_ns t.p
+
+(* Receiving a burst grants credits back to the sender; a grant may
+   unpark a credit-stalled VC and restart the transmitter; the
+   transmitter delivers bursts to the peer's receive path.  One
+   mutually recursive event loop. *)
+
+let rec grant_credits t ~vc ~cells =
+  match Hashtbl.find_opt t.credits vc with
+  | None -> ()
+  | Some cs ->
+    cs.available <- min cs.limit (cs.available + cells);
+    (match cs.parked with
+    | Some (needed, resume) when cs.available >= needed ->
+      (* The parked burst now fits.  Its continuation goes on the resume
+         queue — it runs before fresh jobs and without re-paying
+         tx_setup, since its PDU is already mid-flight — and the VC's
+         diverted jobs rejoin the transmit queue behind it. *)
+      cs.parked <- None;
+      Queue.add resume t.resumes;
+      Queue.transfer cs.blocked t.tx_queue;
+      pump t
+    | _ -> ())
+
 (* [chunk] is a recycled staging buffer that may be larger than the
    burst; only the first [chunk_len] bytes are live. *)
-let rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
+and rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
     ~tx_crc ~cells =
   (* Consuming the burst frees receive buffering: return the credits to
      the sender after the propagation delay. *)
@@ -496,26 +536,11 @@ let rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
         t.rx_complete { vc; completion; crc_ok })
   end
 
-(* {1 Transmit path} *)
-
-(* Stage one burst into a pooled buffer with a single gather pass over
-   the flight's hdr++payload view.  Bursts must be materialized at
-   serialization time — weak-integrity overwrites corrupt only later
-   bursts — so this copy is semantic, but it is the only one: the
-   buffer is recycled and the gather never builds intermediate bytes. *)
-let gather_pdu_range t fl ~off ~len =
-  let out = Memory.Buf_pool.take t.tx_pool ~len in
-  Memory.Iovec.blit_to (Memory.Iovec.sub fl.fl_iov ~off ~len) ~dst:out
-    ~dst_off:0;
-  out
-
-let cell_time_ns t = Net_params.cell_time_ns t.p
-
 (* Transmit one burst of a job; [cells_done] cells are already on the
    wire.  Bursts are gathered from host memory when their serialization
    begins (weak-integrity overwrites corrupt only later bursts) and wait
    for flow-control credits when the VC is credited. *)
-let rec send_burst t job ~i ~cells_done =
+and send_burst t job ~i ~cells_done =
   let fl = job.job_fl in
   let peer = match t.peer with Some p -> p | None -> assert false in
   let total_cells = Aal5.cells_for_len fl.fl_total in
@@ -638,7 +663,9 @@ let rec send_burst t job ~i ~cells_done =
   in
   match Hashtbl.find_opt t.credits fl.fl_vc with
   | Some cs when cs.available < burst_cells ->
-    (* Stall until the receiver returns enough credits. *)
+    (* Park this VC until the receiver returns enough credits, and hand
+       the transmitter to other VCs: a stalled VC must not head-of-line
+       block the adapter. *)
     t.stalls <- t.stalls + 1;
     traced t (fun s ->
         Simcore.Tracer.add_counter s "tx_stalls";
@@ -648,15 +675,36 @@ let rec send_burst t job ~i ~cells_done =
               ("vc", Simcore.Tracer.Int fl.fl_vc);
               ("cells_needed", Simcore.Tracer.Int burst_cells);
             ]);
-    cs.waiting <- Some (fun () -> send_burst t job ~i ~cells_done)
+    cs.parked <- Some (burst_cells, fun () -> send_burst t job ~i ~cells_done);
+    t.tx_active <- false;
+    pump t
   | Some _ | None -> proceed ()
 
 and pump t =
-  if (not t.tx_active) && not (Queue.is_empty t.tx_queue) then begin
-    t.tx_active <- true;
-    let job = Queue.take t.tx_queue in
-    Simcore.Engine.schedule t.engine ~delay:t.p.Net_params.tx_setup (fun () ->
-        send_burst t job ~i:0 ~cells_done:0)
+  if not t.tx_active then begin
+    match Queue.take_opt t.resumes with
+    | Some k ->
+      (* A just-unparked burst: the transmitter picks its PDU back up
+         mid-flight, with no new tx_setup. *)
+      t.tx_active <- true;
+      k ()
+    | None ->
+      let rec next () =
+        match Queue.take_opt t.tx_queue with
+        | None -> ()
+        | Some job -> (
+          match Hashtbl.find_opt t.credits job.job_vc with
+          | Some cs when cs.parked <> None ->
+            (* This VC already has a parked PDU in flight; divert behind
+               it so per-VC PDU order holds on the wire. *)
+            Queue.add job cs.blocked;
+            next ()
+          | _ ->
+            t.tx_active <- true;
+            Simcore.Engine.schedule t.engine ~delay:t.p.Net_params.tx_setup
+              (fun () -> send_burst t job ~i:0 ~cells_done:0))
+      in
+      next ()
   end
 
 let transmit t ~vc ~hdr ~desc ~on_tx_complete =

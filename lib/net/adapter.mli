@@ -119,7 +119,16 @@ val staging_pool_stats : t -> int * int
     default VCs are uncredited (effectively infinite credit, which is
     how the latency experiments run — the receiver always drains at link
     rate).  Setting a limit enables real backpressure: transmission
-    stalls mid-PDU until credits return. *)
+    stalls mid-PDU until credits return.
+
+    Credit arbitration is an active-set discipline: a stalled VC {e
+    parks} off the transmit path (its later PDUs divert to a per-VC
+    queue so per-VC order holds) and the transmitter moves on to other
+    VCs — one stalled VC never head-of-line blocks the adapter.  A
+    credit grant touches only its own VC and unparks it when the window
+    covers the waiting burst; no path scans the set of VCs, so
+    thousands of independently credited VCs contend in O(1) per
+    event. *)
 
 val set_credit_limit : t -> vc:int -> cells:int -> unit
 (** Grant the {e sender} an initial window of [cells] for the VC.  Must
@@ -130,7 +139,7 @@ val credits_available : t -> vc:int -> int option
 (** [None] if the VC is uncredited. *)
 
 val tx_stalls : t -> int
-(** Number of times transmission paused waiting for credits. *)
+(** Number of times a VC parked waiting for credits. *)
 
 (** {1 Link-fault schedule}
 

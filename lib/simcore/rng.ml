@@ -25,6 +25,21 @@ let float t =
 
 let range_float t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  (* Clamp u away from 0 so log never sees it. *)
+  -.mean *. log (Float.max 1e-12 (float t))
+
+let bounded_pareto t ~alpha ~lo ~hi =
+  if alpha <= 0. then invalid_arg "Rng.bounded_pareto: alpha must be positive";
+  if lo <= 0. || hi <= lo then
+    invalid_arg "Rng.bounded_pareto: need 0 < lo < hi";
+  (* Inverse-CDF sampling of the bounded (truncated) Pareto: heavy tail
+     between [lo] and [hi], the classic heavy-tailed request-size model. *)
+  let u = float t in
+  let la = lo ** -.alpha and ha = hi ** -.alpha in
+  (la -. (u *. (la -. ha))) ** (-1. /. alpha)
+
 let split t = { state = next_int64 t }
 
 let stream t ~id =

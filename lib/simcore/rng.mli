@@ -17,6 +17,15 @@ val float : t -> float
 
 val range_float : t -> lo:float -> hi:float -> float
 
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given positive [mean] — Poisson
+    interarrival gaps for open-loop workload generators. *)
+
+val bounded_pareto : t -> alpha:float -> lo:float -> hi:float -> float
+(** Bounded (truncated) Pareto with shape [alpha] on [\[lo, hi\]]
+    ([0 < lo < hi]), by inverse-CDF sampling: the heavy-tailed
+    request-size model of the fabric workload generator. *)
+
 val split : t -> t
 (** Derive an independent stream, advancing [t]. *)
 

@@ -258,7 +258,9 @@ let handle_write_fault t vpn =
         Memory.Frame.copy_contents ~src:frame ~dst:fresh;
         let displaced = Vm_sys.replace_page t.vm obj idx fresh in
         (* The displaced frame keeps carrying the pending output; it is
-           reclaimed when the output unreferences it. *)
+           reclaimed when the output unreferences it.  Any active wiring
+           that pinned it is logged on the region and will unwire the
+           displaced frame itself, not the replacement. *)
         Memory.Phys_mem.deallocate t.vm.Vm_sys.phys displaced;
         Page_table.map t.pt ~vpn ~frame:fresh ~prot:Prot.Read_write;
         fresh
@@ -424,23 +426,58 @@ let resident_frames (region : Region.t) =
   done;
   !acc
 
-let wire t (region : Region.t) =
-  region.Region.wired <- region.Region.wired + 1;
+(* Wiring pins the frames backing a virtual page range.  Residency can
+   change while a wiring is active — COW and TCOW breaks replace the
+   resident frame, faults materialize swapped or chain-shared pages
+   into the top object — so each wiring logs the exact frame set it
+   pinned on the region, and unwire decrements precisely that set.  A
+   residency snapshot taken at unwire time would decrement frames that
+   were never wired (and strand the counts of frames displaced
+   mid-flight). *)
+
+let log_wiring (region : Region.t) key frames =
+  region.Region.wire_log <- (fst key, snd key, frames) :: region.Region.wire_log
+
+let pop_wiring (region : Region.t) key =
+  let rec go acc = function
+    | [] -> None
+    | (f, p, frames) :: rest when (f, p) = key ->
+      region.Region.wire_log <- List.rev_append acc rest;
+      Some frames
+    | e :: rest -> go (e :: acc) rest
+  in
+  go [] region.Region.wire_log
+
+let wire_frames t frames =
   List.iter
     (fun (frame : Memory.Frame.t) ->
       frame.Memory.Frame.wired <- frame.Memory.Frame.wired + 1;
       Memory.Pageout.unregister t.vm.Vm_sys.pageout frame)
-    (resident_frames region)
+    frames
 
-let unwire t (region : Region.t) =
-  if region.Region.wired <= 0 then invalid_arg "Address_space.unwire: not wired";
-  region.Region.wired <- region.Region.wired - 1;
+let unwire_frames t (region : Region.t) frames =
   List.iter
     (fun (frame : Memory.Frame.t) ->
       frame.Memory.Frame.wired <- frame.Memory.Frame.wired - 1;
       if frame.Memory.Frame.wired = 0 && region.Region.obj.Memory_object.pageable
       then Memory.Pageout.register t.vm.Vm_sys.pageout frame)
-    (resident_frames region)
+    frames
+
+(* The whole-region wiring's log key; range wirings use (first, pages). *)
+let whole_region = (-1, -1)
+
+let wire t (region : Region.t) =
+  region.Region.wired <- region.Region.wired + 1;
+  let frames = resident_frames region in
+  log_wiring region whole_region frames;
+  wire_frames t frames
+
+let unwire t (region : Region.t) =
+  if region.Region.wired <= 0 then invalid_arg "Address_space.unwire: not wired";
+  region.Region.wired <- region.Region.wired - 1;
+  match pop_wiring region whole_region with
+  | Some frames -> unwire_frames t region frames
+  | None -> invalid_arg "Address_space.unwire: no whole-region wiring active"
 
 let range_frames (region : Region.t) ~first ~pages =
   page_range_check region ~first ~pages;
@@ -454,21 +491,17 @@ let range_frames (region : Region.t) ~first ~pages =
 
 let wire_range t (region : Region.t) ~first ~pages =
   region.Region.wired <- region.Region.wired + 1;
-  List.iter
-    (fun (frame : Memory.Frame.t) ->
-      frame.Memory.Frame.wired <- frame.Memory.Frame.wired + 1;
-      Memory.Pageout.unregister t.vm.Vm_sys.pageout frame)
-    (range_frames region ~first ~pages)
+  let frames = range_frames region ~first ~pages in
+  log_wiring region (first, pages) frames;
+  wire_frames t frames
 
 let unwire_range t (region : Region.t) ~first ~pages =
   if region.Region.wired <= 0 then invalid_arg "Address_space.unwire_range: not wired";
   region.Region.wired <- region.Region.wired - 1;
-  List.iter
-    (fun (frame : Memory.Frame.t) ->
-      frame.Memory.Frame.wired <- frame.Memory.Frame.wired - 1;
-      if frame.Memory.Frame.wired = 0 && region.Region.obj.Memory_object.pageable
-      then Memory.Pageout.register t.vm.Vm_sys.pageout frame)
-    (range_frames region ~first ~pages)
+  match pop_wiring region (first, pages) with
+  | Some frames -> unwire_frames t region frames
+  | None ->
+    invalid_arg "Address_space.unwire_range: no matching range wiring active"
 
 let swap_into_region t (region : Region.t) ~page frame =
   page_range_check region ~first:page ~pages:1;

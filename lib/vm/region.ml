@@ -13,6 +13,7 @@ type t = {
   mutable state : movability;
   mutable obj : Memory_object.t;
   mutable wired : int;
+  mutable wire_log : (int * int * Memory.Frame.t list) list;
   mutable valid : bool;
 }
 
@@ -20,7 +21,16 @@ let counter = ref 0
 
 let make ~start_vpn ~npages ~state ~obj =
   incr counter;
-  { id = !counter; start_vpn; npages; state; obj; wired = 0; valid = true }
+  {
+    id = !counter;
+    start_vpn;
+    npages;
+    state;
+    obj;
+    wired = 0;
+    wire_log = [];
+    valid = true;
+  }
 
 let contains_vpn t vpn = vpn >= t.start_vpn && vpn < t.start_vpn + t.npages
 let end_vpn t = t.start_vpn + t.npages

@@ -24,6 +24,13 @@ type t = {
   mutable state : movability;
   mutable obj : Memory_object.t;
   mutable wired : int;
+  mutable wire_log : (int * int * Memory.Frame.t list) list;
+      (** one entry per active wiring, [(first, pages, frames)]: the
+          exact frames that wiring pinned.  Unwire decrements precisely
+          its own entry's frames — residency can change mid-flight (COW
+          and TCOW breaks, swap-ins), so a fresh residency snapshot at
+          unwire time would decrement frames that were never wired.  A
+          whole-region wiring logs [(-1, -1, frames)]. *)
   mutable valid : bool;  (** false once removed from its address space *)
 }
 

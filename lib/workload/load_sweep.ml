@@ -38,6 +38,76 @@ type outcome = {
   receiver_busy_fraction : float;
 }
 
+(* {1 Fabric load sweeps}
+
+   The closed-loop face of the fabric engine: run the fan-in scenario
+   across a grid of offered loads and read the latency/throughput
+   curves off the streaming summaries; or let the sweep steer itself —
+   bisect on the measured p99 to find the knee, the highest load whose
+   tail latency still meets a target.  Each probe is a full
+   deterministic {!Fabric.run}; the sweep's control loop feeds measured
+   output back into the next offered load, which is what makes it
+   closed-loop. *)
+
+type fabric_point = {
+  load : float;
+  delivered_mbps : float;
+  rejected_frac : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+}
+
+let fabric_point_of (cfg : Fabric.config) (o : Fabric.outcome) =
+  let q p =
+    if Stats.Streaming_summary.is_empty o.Fabric.sojourn_us then nan
+    else Stats.Streaming_summary.quantile o.Fabric.sojourn_us p
+  in
+  {
+    load = cfg.Fabric.load;
+    delivered_mbps = o.Fabric.delivered_mbps;
+    rejected_frac =
+      (if o.Fabric.offered = 0 then 0.
+       else float_of_int o.Fabric.rejected /. float_of_int o.Fabric.offered);
+    p50_us = q 0.5;
+    p99_us = q 0.99;
+    p999_us = q 0.999;
+  }
+
+let fabric_curve cfg ~loads =
+  Array.map
+    (fun load ->
+      let o = Fabric.run { cfg with Fabric.load } in
+      fabric_point_of { cfg with Fabric.load } o)
+    loads
+
+let fabric_knee ?(iters = 6) cfg ~p99_limit_us ~lo ~hi =
+  if not (lo > 0. && hi > lo) then
+    invalid_arg "Load_sweep.fabric_knee: need 0 < lo < hi";
+  let probe load = fabric_point_of { cfg with Fabric.load }
+      (Fabric.run { cfg with Fabric.load })
+  in
+  let ok p = Float.is_nan p.p99_us || p.p99_us <= p99_limit_us in
+  let plo = probe lo in
+  if not (ok plo) then (plo, [ plo ])
+  else begin
+    let phi = probe hi in
+    if ok phi then (phi, [ plo; phi ])
+    else begin
+      (* Invariant: [best] meets the limit, [bad] does not. *)
+      let rec bisect best bad lo hi n history =
+        if n = 0 then (best, List.rev history)
+        else begin
+          let mid = (lo +. hi) /. 2. in
+          let p = probe mid in
+          if ok p then bisect p bad mid hi (n - 1) (p :: history)
+          else bisect best p lo mid (n - 1) (p :: history)
+        end
+      in
+      bisect plo phi lo hi iters [ phi; plo ]
+    end
+  end
+
 let run cfg =
   if Genie.Semantics.system_allocated cfg.sem then
     invalid_arg "Load_sweep.run: application-allocated semantics only";

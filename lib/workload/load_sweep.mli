@@ -29,3 +29,36 @@ type outcome = {
 }
 
 val run : config -> outcome
+
+(** {1 Fabric load sweeps}
+
+    Closed-loop driving of the {!Fabric} fan-in engine: each probe is a
+    full deterministic fabric run, and the sweep reads sojourn
+    percentiles off the streaming summaries to decide (or report) the
+    next offered load. *)
+
+type fabric_point = {
+  load : float;  (** offered utilization of each port link *)
+  delivered_mbps : float;
+  rejected_frac : float;  (** arrivals refused at the circuit pool *)
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;  (** sojourn percentiles; [nan] when none completed *)
+}
+
+val fabric_curve : Fabric.config -> loads:float array -> fabric_point array
+(** Offered-load vs latency/throughput curve: one fabric run per grid
+    point ([cfg.load] is overridden by each entry of [loads]). *)
+
+val fabric_knee :
+  ?iters:int ->
+  Fabric.config ->
+  p99_limit_us:float ->
+  lo:float ->
+  hi:float ->
+  fabric_point * fabric_point list
+(** Bisect ([iters] probes, default 6) for the highest load in
+    [lo, hi] whose measured p99 sojourn still meets [p99_limit_us] —
+    the knee of the latency curve.  Returns the best admissible point
+    (the [lo] endpoint if even it violates the limit) and every probe
+    made, in probe order. *)

@@ -21,7 +21,10 @@ let test_catalogue () =
    semantics over all three buffering architectures, with the full
    invariant suite after every step. *)
 let test_long_fuzz () =
-  let o = F.run { F.default_config with steps = 2000; seed = 1 } in
+  (* Seed 2: with the fabric-churn regime in the action mix, this is a
+     2000-step schedule that still exhibits every degradation mechanism
+     asserted below. *)
+  let o = F.run { F.default_config with steps = 2000; seed = 2 } in
   (match o.F.stop with
   | F.Completed -> ()
   | F.Violations vs ->

@@ -90,6 +90,61 @@ let test_small_pdu_within_window () =
   Alcotest.(check int) "no stalls" 0 stalls;
   Alcotest.(check bool) "normal latency" true (lat < 600.)
 
+let test_stalled_vc_does_not_block_others () =
+  (* Two VCs share the sending adapter: VC 1 has a tight credit window
+     and stalls mid-PDU, VC 2 is uncredited.  The active-set credit
+     discipline parks the stalled VC and hands the transmitter to VC 2,
+     so VC 2's PDU — queued behind VC 1's — must complete first.  (The
+     old global-FIFO transmitter head-of-line blocked: a parked VC 1
+     held the transmitter and VC 2 finished only after it.) *)
+  let len = 61440 in
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  let ea1, eb1 = Genie.World.endpoint_pair w ~vc:1 ~mode:Net.Adapter.Early_demux in
+  let ea2, eb2 = Genie.World.endpoint_pair w ~vc:2 ~mode:Net.Adapter.Early_demux in
+  Net.Adapter.set_credit_limit w.Genie.World.a.Genie.Host.adapter ~vc:1 ~cells:400;
+  let psize = 4096 in
+  let npages = (len + psize - 1) / psize in
+  let mk_out seed =
+    let sa = Genie.Host.new_space w.Genie.World.a in
+    let region = Vm.Address_space.map_region sa ~npages in
+    let buf =
+      Genie.Buf.make sa
+        ~addr:(Vm.Address_space.base_addr region ~page_size:psize) ~len
+    in
+    Genie.Buf.fill_pattern buf ~seed;
+    buf
+  in
+  let mk_in eb done_at =
+    let sb = Genie.Host.new_space w.Genie.World.b in
+    let region = Vm.Address_space.map_region sb ~npages in
+    let rbuf =
+      Genie.Buf.make sb
+        ~addr:(Vm.Address_space.base_addr region ~page_size:psize) ~len
+    in
+    ignore
+      (Genie.Endpoint.input eb ~sem:Genie.Semantics.emulated_share
+         ~spec:(Genie.Input_path.App_buffer rbuf)
+         ~on_complete:(fun r ->
+           if not (Genie.Input_path.ok r) then Alcotest.fail "transfer failed";
+           done_at := Some (Genie.Host.now_us w.Genie.World.b)));
+    rbuf
+  in
+  let done1 = ref None and done2 = ref None in
+  let rbuf1 = mk_in eb1 done1 and rbuf2 = mk_in eb2 done2 in
+  let buf1 = mk_out 71 and buf2 = mk_out 72 in
+  (* VC 1 (stalling) is queued first; VC 2 rides behind it. *)
+  ignore (Genie.Endpoint.output ea1 ~sem:Genie.Semantics.emulated_share ~buf:buf1 ());
+  ignore (Genie.Endpoint.output ea2 ~sem:Genie.Semantics.emulated_share ~buf:buf2 ());
+  Genie.World.run w;
+  let t1 = Option.get !done1 and t2 = Option.get !done2 in
+  Alcotest.(check bool) "data vc1" true
+    (Bytes.equal (Genie.Buf.read rbuf1) (Genie.Buf.expected_pattern ~len ~seed:71));
+  Alcotest.(check bool) "data vc2" true
+    (Bytes.equal (Genie.Buf.read rbuf2) (Genie.Buf.expected_pattern ~len ~seed:72));
+  Alcotest.(check bool) "vc1 stalled" true
+    (Net.Adapter.tx_stalls w.Genie.World.a.Genie.Host.adapter > 0);
+  Alcotest.(check bool) "uncredited vc2 overtakes the stalled vc1" true (t2 < t1)
+
 let suite =
   [
     Alcotest.test_case "uncredited baseline" `Quick test_uncredited_baseline;
@@ -101,4 +156,6 @@ let suite =
     Alcotest.test_case "window size orders throughput" `Quick
       test_throttled_throughput_bound;
     Alcotest.test_case "small PDU within window" `Quick test_small_pdu_within_window;
+    Alcotest.test_case "stalled VC does not block others" `Quick
+      test_stalled_vc_does_not_block_others;
   ]

@@ -14,6 +14,7 @@ let () =
       ("stats", Test_stats.suite);
       ("claims", Test_claims.suite);
       ("workload", Test_workload.suite);
+      ("fabric", Test_fabric.suite);
       ("flow-control", Test_flow_control.suite);
       ("msg-channel", Test_msg_channel.suite);
       ("failures", Test_failures.suite);

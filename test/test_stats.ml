@@ -65,6 +65,89 @@ let test_ascii_chart () =
   Alcotest.(check bool) "has legend" true (contains_sub chart "up");
   Alcotest.(check string) "empty input" "" (Stats.Ascii_chart.render [])
 
+(* {1 Streaming summary laws}
+
+   The fixed-memory quantile summary backs the parallel fabric's
+   latency statistics, so its contract is law-tested: quantiles within
+   the documented relative error of the exact nearest-rank sample, and
+   a merge that is exactly associative and commutative (the property
+   that makes shard-local summaries fold into one global summary
+   bit-identically for every domain count). *)
+
+module SS = Stats.Streaming_summary
+
+let samples_gen =
+  QCheck.(list_of_size Gen.(int_range 1 300) (float_range 0.001 1e6))
+
+(* Exact nearest-rank quantile, the same rank convention the summary
+   documents: round(q * (n-1)) on the ascending-sorted samples. *)
+let exact_nearest_rank sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+
+let streaming_quantile_tolerance =
+  QCheck.Test.make
+    ~name:"streaming quantiles track exact nearest-rank within bucket error"
+    ~count:200 samples_gen
+    (fun samples ->
+      let t = SS.create () in
+      List.iter (SS.add t) samples;
+      let sorted = Array.of_list samples in
+      Array.sort Float.compare sorted;
+      SS.min t = sorted.(0)
+      && SS.max t = sorted.(Array.length sorted - 1)
+      && SS.count t = Array.length sorted
+      && List.for_all
+           (fun q ->
+             let exact = exact_nearest_rank sorted q in
+             (* bucket width is 1/64 of the value; the midpoint is
+                within half that, 1% covers it with slack *)
+             Float.abs (SS.quantile t q -. exact) <= (0.01 *. exact) +. 1e-9)
+           [ 0.; 0.25; 0.5; 0.9; 0.99; 0.999; 1. ])
+
+let streaming_merge_laws =
+  QCheck.Test.make
+    ~name:"streaming summary merge is associative, commutative, order-blind"
+    ~count:200
+    QCheck.(triple samples_gen samples_gen samples_gen)
+    (fun (xs, ys, zs) ->
+      let of_list l =
+        let t = SS.create () in
+        List.iter (SS.add t) l;
+        t
+      in
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      let abc = SS.merge (SS.merge a b) c in
+      SS.equal abc (SS.merge a (SS.merge b c))
+      && SS.equal (SS.merge a b) (SS.merge b a)
+      && String.equal (SS.digest abc) (SS.digest (SS.merge c (SS.merge b a)))
+      (* merging shards is the same population as one summary fed every
+         sample, whatever the arrival order *)
+      && SS.equal abc (of_list (zs @ xs @ ys))
+      && SS.count abc = List.length xs + List.length ys + List.length zs)
+
+let test_streaming_summary_basics () =
+  let t = SS.create () in
+  Alcotest.(check bool) "fresh is empty" true (SS.is_empty t);
+  Alcotest.check_raises "quantile on empty rejected"
+    (Invalid_argument "Streaming_summary.quantile: empty summary") (fun () ->
+      ignore (SS.quantile t 0.5));
+  Alcotest.check_raises "negative sample rejected"
+    (Invalid_argument "Streaming_summary.add: samples must be non-negative")
+    (fun () -> SS.add t (-1.));
+  List.iter (SS.add t) [ 10.; 20.; 30.; 40. ];
+  Alcotest.(check (float 1e-9)) "mean exact" 25. (SS.mean t);
+  Alcotest.(check (float 1e-9)) "p0 is min" 10. (SS.percentile t 0.);
+  Alcotest.(check (float 1e-9)) "p100 is max" 40. (SS.percentile t 100.);
+  let m = SS.memory_words t in
+  let big = SS.create () in
+  for i = 1 to 100_000 do
+    SS.add big (float_of_int i)
+  done;
+  Alcotest.(check int) "fixed footprint regardless of count" m
+    (SS.memory_words big)
+
 let suite =
   [
     Alcotest.test_case "fit exact line" `Quick test_fit_exact_line;
@@ -74,4 +157,8 @@ let suite =
     QCheck_alcotest.to_alcotest fit_recovers_random_lines;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "ascii chart" `Quick test_ascii_chart;
+    Alcotest.test_case "streaming summary basics" `Quick
+      test_streaming_summary_basics;
+    QCheck_alcotest.to_alcotest streaming_quantile_tolerance;
+    QCheck_alcotest.to_alcotest streaming_merge_laws;
   ]
