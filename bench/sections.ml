@@ -596,6 +596,7 @@ let parallel_scaling c =
    added. *)
 let all : (string * (R.collector -> unit)) list =
   [
+    ("adaptive", Adaptive.run);
     ("ablations", Ablation.run_all); ("degraded_mode", Degraded.run);
     ("fabric_scale", Fabric_scale.run); ("fig3", fig3); ("fig4", fig4);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("load", load);

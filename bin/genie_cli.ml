@@ -228,6 +228,15 @@ let check_cmd =
                 against the recycled flow table, audited against a shadow \
                 model) — isolates flow-table failures.")
   in
+  let no_adapt_arg =
+    Arg.(value & flag
+         & info [ "no-adapt" ]
+             ~doc:
+               "Disable the adaptation regime (an online semantics \
+                controller choosing host a's output semantics under \
+                mid-run workload shifts, audited against the migration \
+                cap).")
+  in
   let domains_arg =
     Arg.(value & opt int 1
          & info [ "domains" ] ~docv:"K"
@@ -237,7 +246,7 @@ let check_cmd =
                 it.")
   in
   let run steps seed check_every no_exhaustion no_faults no_batch no_storage
-      no_fabric domains =
+      no_fabric no_adapt domains =
     let cfg =
       { Check.Fuzzer.default_config with
         steps; seed; check_every; domains;
@@ -245,7 +254,8 @@ let check_cmd =
         link_faults = not no_faults;
         batch = not no_batch;
         storage = not no_storage;
-        fabric = not no_fabric }
+        fabric = not no_fabric;
+        adapt = not no_adapt }
     in
     let o = Check.Fuzzer.run cfg in
     Check.Fuzzer.pp_outcome Format.std_formatter o;
@@ -253,13 +263,14 @@ let check_cmd =
     | Check.Fuzzer.Completed -> ()
     | Check.Fuzzer.Violations _ ->
       Printf.printf
-        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s%s%s\n"
+        "reproduce with: genie_cli check --steps %d --seed %d%s%s%s%s%s%s%s\n"
         steps seed
         (if no_exhaustion then " --no-exhaustion" else "")
         (if no_faults then " --no-faults" else "")
         (if no_batch then " --no-batch" else "")
         (if no_storage then " --no-storage" else "")
         (if no_fabric then " --no-fabric" else "")
+        (if no_adapt then " --no-adapt" else "")
         (if domains <> 1 then Printf.sprintf " --domains %d" domains else "");
       exit 1
   in
@@ -271,7 +282,7 @@ let check_cmd =
     Term.(
       const run $ steps_arg $ seed_arg $ check_every_arg $ no_exhaustion_arg
       $ no_faults_arg $ no_batch_arg $ no_storage_arg $ no_fabric_arg
-      $ domains_arg)
+      $ no_adapt_arg $ domains_arg)
 
 (* {1 fabric: the datacenter-scale fan-in flow engine} *)
 
@@ -334,10 +345,18 @@ let fabric_cmd =
                 [0.1, 1.5] whose p99 sojourn stays under P99_US \
                 microseconds.")
   in
-  let config hosts ports circuits flows load domains seed =
+  let adaptive_arg =
+    Arg.(value & flag
+         & info [ "adaptive" ]
+             ~doc:
+               "Give every circuit slot an online semantics controller: \
+                flows start on the slot's learned choice and migrate \
+                mid-flow as evidence accumulates.")
+  in
+  let config hosts ports circuits flows load adaptive domains seed =
     { Workload.Fabric.default with
       Workload.Fabric.hosts; ports; circuits_per_port = circuits; flows;
-      load; domains; seed }
+      load; adaptive; domains; seed }
   in
   let point_json (p : Workload.Load_sweep.fabric_point) =
     Printf.sprintf
@@ -366,8 +385,8 @@ let fabric_cmd =
       close_out oc;
       Printf.printf "[fabric] wrote %s\n" path
   in
-  let run hosts ports circuits flows load domains seed out sweep knee =
-    let cfg = config hosts ports circuits flows load domains seed in
+  let run hosts ports circuits flows load adaptive domains seed out sweep knee =
+    let cfg = config hosts ports circuits flows load adaptive domains seed in
     match (sweep, knee) with
     | Some grid, _ ->
       let loads =
@@ -412,6 +431,9 @@ let fabric_cmd =
         (q 0.5) (q 0.99) (q 0.999);
       Printf.printf "active flows: high water %d of %d pooled slots\n"
         o.Workload.Fabric.active_high_water o.Workload.Fabric.table_capacity;
+      if cfg.Workload.Fabric.adaptive then
+        Printf.printf "adaptation: %d migrations over %d epochs\n"
+          o.Workload.Fabric.adapt_migrations o.Workload.Fabric.adapt_epochs;
       Printf.printf "fabric digest: %s\n" o.Workload.Fabric.digest;
       write_out out
         (Printf.sprintf
@@ -438,7 +460,7 @@ let fabric_cmd =
           digest; --sweep and --knee drive offered-load curves.")
     Term.(
       const run $ hosts_arg $ ports_arg $ circuits_arg $ flows_arg $ load_arg
-      $ domains_arg $ seed_arg $ out_arg $ sweep_arg $ knee_arg)
+      $ adaptive_arg $ domains_arg $ seed_arg $ out_arg $ sweep_arg $ knee_arg)
 
 (* {1 trace: run a named scenario with tracing on, export Chrome JSON} *)
 
@@ -681,6 +703,106 @@ let bench_cmd =
           gate on perf regressions.")
     [ bench_run_cmd; bench_compare_cmd ]
 
+let adapt_cmd =
+  let regime_arg =
+    Arg.(value & opt string "all"
+         & info [ "regime" ] ~docv:"NAME"
+             ~doc:
+               "Which workload to run: one of short, half_page, large, \
+                pooled_large, mixed, or \"all\" for the four single-regime \
+                convergence checks plus the mixed comparison.")
+  in
+  let start_index_arg =
+    Arg.(value & opt int 0
+         & info [ "start-index" ] ~docv:"N"
+             ~doc:
+               "Pick the N-th non-winning candidate (mod their count) as \
+                the adaptive run's deliberately wrong starting semantics — \
+                different indices exercise different wrong starts.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"K"
+             ~doc:"Shard the simulation engine across K OCaml domains.")
+  in
+  let run_single ~domains ~start_index r =
+    let c = Workload.Adaptive_run.converge ~domains ~start_index r in
+    Printf.printf "regime %-12s (start %s)\n" c.Workload.Adaptive_run.c_regime
+      c.Workload.Adaptive_run.c_start;
+    List.iter
+      (fun (name, us) ->
+        Printf.printf "  static   %-19s %10.2f us%s\n" name us
+          (if name = c.Workload.Adaptive_run.c_winner then "  <- winner"
+           else ""))
+      c.Workload.Adaptive_run.c_static_us;
+    Printf.printf
+      "  adaptive %-19s %10.2f us  (%d epochs, %d migrations, last at %d)\n"
+      c.Workload.Adaptive_run.c_final c.Workload.Adaptive_run.c_adaptive_us
+      c.Workload.Adaptive_run.c_epochs c.Workload.Adaptive_run.c_migrations
+      c.Workload.Adaptive_run.c_last_migration_epoch;
+    Printf.printf "  %s\n"
+      (if c.Workload.Adaptive_run.c_settled then "settled: OK"
+       else "settled: FAILED");
+    c.Workload.Adaptive_run.c_settled
+  in
+  let run_mixed ~domains ~start_index r =
+    let c = Workload.Adaptive_run.converge ~domains ~start_index r in
+    let best_static =
+      List.fold_left
+        (fun acc (_, us) -> min acc us)
+        infinity c.Workload.Adaptive_run.c_static_us
+    in
+    let cap =
+      Genie.Adapt.migration_cap r.Workload.Adaptive_run.r_adapt
+        ~epochs:c.Workload.Adaptive_run.c_epochs
+    in
+    Printf.printf "regime %-12s (start %s)\n" c.Workload.Adaptive_run.c_regime
+      c.Workload.Adaptive_run.c_start;
+    List.iter
+      (fun (name, us) -> Printf.printf "  static   %-19s %10.2f us\n" name us)
+      c.Workload.Adaptive_run.c_static_us;
+    Printf.printf "  adaptive %-19s %10.2f us  (%d migrations, cap %d)\n"
+      c.Workload.Adaptive_run.c_final c.Workload.Adaptive_run.c_adaptive_us
+      c.Workload.Adaptive_run.c_migrations cap;
+    let ok =
+      c.Workload.Adaptive_run.c_adaptive_us < best_static
+      && c.Workload.Adaptive_run.c_migrations <= cap
+    in
+    Printf.printf "  %s\n"
+      (if ok then "beats every static: OK" else "beats every static: FAILED");
+    ok
+  in
+  let run regime start_index domains =
+    let ok =
+      match regime with
+      | "all" ->
+        let singles =
+          List.map
+            (fun r -> run_single ~domains ~start_index r)
+            Workload.Adaptive_run.regimes
+        in
+        let mixed =
+          run_mixed ~domains ~start_index Workload.Adaptive_run.mixed_regime
+        in
+        List.for_all Fun.id singles && mixed
+      | "mixed" -> run_mixed ~domains ~start_index Workload.Adaptive_run.mixed_regime
+      | name -> (
+        match Workload.Adaptive_run.find_regime name with
+        | Some r -> run_single ~domains ~start_index r
+        | None ->
+          Printf.eprintf "unknown regime %s\n" name;
+          false)
+    in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Run the online-adaptation convergence check: measure every static \
+          semantics on a workload, then verify the per-flow controller \
+          discovers the winner from a wrong start and settles on it.")
+    Term.(const run $ regime_arg $ start_index_arg $ domains_arg)
+
 let () =
   let info =
     Cmd.info "genie_cli" ~version:"1.0"
@@ -690,4 +812,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; sweep_cmd; estimate_cmd; ops_cmd; taxonomy_cmd;
-            check_cmd; fabric_cmd; trace_cmd; bench_cmd ]))
+            check_cmd; fabric_cmd; trace_cmd; bench_cmd; adapt_cmd ]))

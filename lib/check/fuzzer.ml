@@ -18,6 +18,7 @@ type config = {
   batch : bool;
   storage : bool;
   fabric : bool;
+  adapt : bool;
   domains : int;
 }
 
@@ -35,6 +36,7 @@ let default_config =
     batch = true;
     storage = true;
     fabric = true;
+    adapt = true;
     domains = 1;
   }
 
@@ -78,6 +80,9 @@ let event_keys =
     "rel_gave_ups";
     "rel_deadline_cancels";
     "ring_cq_overflows";
+    (* adaptation regime: the online semantics controller *)
+    "adapt_epochs";
+    "adapt_migrations";
     (* storage regime: page cache and block device *)
     "cache_hits";
     "cache_misses";
@@ -261,6 +266,58 @@ let run ?trace cfg =
   let pages_for off len = (off + len + psize - 1) / psize in
   let pick_side () = if R.int rng ~bound:2 = 0 then side_a else side_b in
   let sname side = side.s_host.Genie.Host.name in
+
+  (* --- the adaptation regime ---------------------------------------- *)
+
+  (* One online controller on host a: every a->b datagram the schedule
+     sends runs on whatever semantics the controller currently holds
+     (its output still mixes with the randomly-drawn b->a traffic, link
+     faults, exhaustion hogs and mid-run workload shifts), so a
+     migration can land at any point of the chaos.  The draws for the
+     overridden semantics still happen, keeping the rng stream aligned
+     with [adapt = false] runs.  Evidence is noted at submit time from
+     the driver, which runs between engine slices — deterministic for
+     every domain count. *)
+  let adapt_config =
+    {
+      Genie.Adapt.default_config with
+      epoch_datagrams = 8;
+      window_epochs = 2;
+      dwell_epochs = 2;
+    }
+  in
+  let adapt_ctl =
+    if not cfg.adapt then None
+    else
+      Some
+        (Genie.Adapt.create ~config:adapt_config ~host:host_a
+           ~scheme:Genie.Stage_cost.Early_demux ~sem:Sem.copy ())
+  in
+  let adapt_sem drawn =
+    match adapt_ctl with
+    | Some ctl -> Genie.Adapt.semantics ctl
+    | None -> drawn
+  in
+  let adapt_note ~len =
+    match adapt_ctl with
+    | Some ctl -> Genie.Adapt.note_datagram ctl ~len
+    | None -> ()
+  in
+  (* Mid-run workload shifts: the transfer-size population jumps from
+     mixed to large-only to small-only at the third marks, forcing the
+     controller to re-migrate while everything else keeps firing. *)
+  let cur_sizes = ref sizes in
+  let shift_workload i =
+    if cfg.adapt then
+      if i = cfg.steps / 3 then begin
+        cur_sizes := List.filter (fun s -> s >= 2178) sizes;
+        note "workload shift: large datagrams only"
+      end
+      else if i = 2 * cfg.steps / 3 then begin
+        cur_sizes := List.filter (fun s -> s <= 1000) sizes;
+        note "workload shift: small datagrams only"
+      end
+  in
 
   (* --- delivery audits ---------------------------------------------- *)
 
@@ -606,9 +663,10 @@ let run ?trace cfg =
     let a_to_b = R.int rng ~bound:2 = 0 in
     let send, recv = if a_to_b then (side_a, side_b) else (side_b, side_a) in
     let vc, _mode = pick rng vcs in
-    let send_sem = pick rng Sem.all in
+    let drawn_sem = pick rng Sem.all in
+    let send_sem = if a_to_b then adapt_sem drawn_sem else drawn_sem in
     let recv_sem = pick rng Sem.all in
-    let len = pick rng sizes in
+    let len = pick rng !cur_sizes in
     incr started;
     let id = !started in
     let ao, reused, buf = send_buffer ~id send send_sem len in
@@ -629,6 +687,7 @@ let run ?trace cfg =
      with
     | Ok _ ->
         Hashtbl.replace sent_meta id len;
+        if a_to_b then adapt_note ~len;
         note "transfer#%d %s->%s vc=%d out=%s in=%s len=%d%s%s" id (sname send)
           (sname recv) vc (Sem.name send_sem)
           (if handle = None then "(none)" else Sem.name recv_sem)
@@ -697,9 +756,10 @@ let run ?trace cfg =
     for _ = 1 to k do
       incr started;
       let id = !started in
-      let send_sem = pick rng Sem.all in
+      let drawn_sem = pick rng Sem.all in
+      let send_sem = if a_to_b then adapt_sem drawn_sem else drawn_sem in
       let recv_sem = pick rng Sem.all in
-      let len = pick rng sizes in
+      let len = pick rng !cur_sizes in
       msgs := (id, send_sem, recv_sem, len) :: !msgs
     done;
     let msgs = Array.of_list (List.rev !msgs) in
@@ -770,6 +830,7 @@ let run ?trace cfg =
         match outcome with
         | Genie.Endpoint.Out_accepted _ ->
             Hashtbl.replace sent_meta id len;
+            if a_to_b then adapt_note ~len;
             (match ao with
             | Some ao -> Hashtbl.replace out_waiting id ao
             | None -> ());
@@ -1170,6 +1231,7 @@ let run ?trace cfg =
   (try
      for i = 1 to cfg.steps do
        steps_run := i;
+       shift_workload i;
        let actions =
          [
            (6, fun () ->
@@ -1300,6 +1362,27 @@ let run ?trace cfg =
        audit_violation ~invariant:"transfer-accounting" ~host:"world"
          ~subject:"endpoints" "%d endpoint inputs still pending after drain"
          pending;
+     (* Oscillation audit: hysteresis bounds how often the controller
+        may migrate, chaos or not. *)
+     (match adapt_ctl with
+     | Some ctl ->
+         let cap =
+           Genie.Adapt.migration_cap adapt_config
+             ~epochs:(Genie.Adapt.epochs ctl)
+         in
+         if Genie.Adapt.migrations ctl > cap then
+           audit_violation ~invariant:"adapt-oscillation" ~host:"a"
+             ~subject:"controller"
+             "%d migrations exceed the dwell-derived cap of %d over %d epochs"
+             (Genie.Adapt.migrations ctl)
+             cap
+             (Genie.Adapt.epochs ctl);
+         note "adaptation: %d epochs, %d migrations (cap %d), final %s"
+           (Genie.Adapt.epochs ctl)
+           (Genie.Adapt.migrations ctl)
+           cap
+           (Sem.name (Genie.Adapt.semantics ctl))
+     | None -> ());
      ignore (check () : bool)
    with Exit -> ());
   let trace_tail =

@@ -74,6 +74,20 @@ type config = {
           [None], [free] = [false]), and live/high-water accounting must
           track the model.  Violations report under the [flow-table]
           invariant. *)
+  adapt : bool;
+      (** put a {!Genie.Adapt} controller on host a: every a->b transfer
+          the schedule sends runs on the controller's current choice,
+          with evidence noted per accepted datagram, while the
+          transfer-size population shifts mid-run (mixed, then
+          large-only, then small-only at the third marks of the
+          schedule) — so semantics migrations land at arbitrary points
+          under exhaustion, link faults and batching.  The existing
+          byte-integrity and transfer-accounting audits prove migration
+          loses nothing; an [adapt-oscillation] audit additionally
+          bounds observed migrations by the dwell-derived
+          {!Genie.Adapt.migration_cap}, and the controller's
+          [adapt_epochs] / [adapt_migrations] counters join the audited
+          event set and the replay digest. *)
   domains : int;
       (** engine shards (OCaml domains) the world runs on; 1 is the
           historical sequential engine.  The simulation outcome — and
@@ -84,7 +98,7 @@ type config = {
 val default_config : config
 (** seed 1, 2000 steps, checking every step, 128 pool frames, 32 MB,
     6 transfers in flight, 48 trace events, exhaustion, link faults,
-    batching, storage and fabric churn all on. *)
+    batching, storage, fabric churn and adaptation all on. *)
 
 type stop_reason =
   | Completed

@@ -156,8 +156,7 @@ let push_completion t c =
      keep spilling until a reap empties both. *)
   if Queue.is_empty t.cq_overflow && Ring.try_push t.cq c then ()
   else begin
-    if Simcore.Tracer.on t.host.Host.scope then
-      Simcore.Tracer.add_counter t.host.Host.scope "ring_cq_overflows";
+    Simcore.Tracer.add_counter t.host.Host.scope "ring_cq_overflows";
     Queue.add c t.cq_overflow
   end
 
@@ -195,16 +194,15 @@ let submit_one t = function
 let submit_batch t subs =
   let n = Array.length subs in
   let scope = t.host.Host.scope in
+  Simcore.Tracer.add_counter scope ~n "ring_submitted";
   let span =
-    if Simcore.Tracer.on scope then begin
-      Simcore.Tracer.add_counter scope ~n "ring_submitted";
+    if Simcore.Tracer.on scope then
       Simcore.Tracer.span_begin scope "ring.submit"
         ~args:
           [
             ("vc", Simcore.Tracer.Int t.vc);
             ("batch", Simcore.Tracer.Int n);
           ]
-    end
     else 0
   in
   let outputs =
@@ -238,12 +236,11 @@ let reap_completions t =
   let spilled = Queue.length t.cq_overflow in
   Queue.iter (fun c -> acc := c :: !acc) t.cq_overflow;
   Queue.clear t.cq_overflow;
-  if Simcore.Tracer.on scope then begin
+  if Simcore.Tracer.on scope then
     Simcore.Tracer.complete scope
       ~start:(Simcore.Engine.now t.host.Host.engine)
       ~dur:Simcore.Sim_time.zero
       ~args:[ ("batch", Simcore.Tracer.Int (n + spilled)) ]
       "ring.reap";
-    Simcore.Tracer.add_counter scope ~n:(n + spilled) "ring_reaped"
-  end;
+  Simcore.Tracer.add_counter scope ~n:(n + spilled) "ring_reaped";
   List.rev !acc

@@ -22,22 +22,20 @@ type t = {
    see its events. *)
 let reclaim_retry t ~target ~why =
   let evicted = Vm.Vm_sys.run_pageout t.vm ~target in
-  if Simcore.Tracer.on t.scope then begin
+  if Simcore.Tracer.on t.scope then
     Simcore.Tracer.instant t.scope "mem.reclaim_retry"
       ~args:
         [
           ("why", Simcore.Tracer.Str why);
           ("evicted", Simcore.Tracer.Int evicted);
         ];
-    Simcore.Tracer.add_counter t.scope "reclaims"
-  end;
+  Simcore.Tracer.add_counter t.scope "reclaims";
   evicted > 0
 
 let pool_put t frame =
   Ledger.release t.ledger frame;
   Queue.add frame t.pool;
-  if Simcore.Tracer.on t.scope then
-    Simcore.Tracer.add_counter t.scope "pool_recycles"
+  Simcore.Tracer.add_counter t.scope "pool_recycles"
 
 let pool_level t = Queue.length t.pool
 
@@ -54,10 +52,9 @@ let pool_take_opt t =
     let borrow () =
       match Memory.Phys_mem.alloc t.vm.Vm.Vm_sys.phys with
       | frame ->
-        if Simcore.Tracer.on t.scope then begin
+        if Simcore.Tracer.on t.scope then
           Simcore.Tracer.instant t.scope "pool.borrow";
-          Simcore.Tracer.add_counter t.scope "pool_borrows"
-        end;
+        Simcore.Tracer.add_counter t.scope "pool_borrows";
         Ledger.hold t.ledger frame;
         Some frame
       | exception Memory.Phys_mem.Out_of_frames -> None

@@ -81,24 +81,38 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
     Vm.Vm_error.semantics "input with %s semantics requires an application buffer"
       (Semantics.name sem)
   | (App_buffer _, false) | (Sys_alloc _, true) -> ());
-  (* Backpressure admission: system-allocated prepare (emulated or weak)
-     maps and populates the target region right now, which demands frames.
-     Under exhaustion, try a pageout reclaim, then reject with `Again
-     rather than letting [Out_of_frames] escape.  (Conservative: a cached
-     region would make the allocation unnecessary, but admission must not
-     dequeue it speculatively.)  App-buffer inputs allocate nothing at
+  (* Backpressure admission: prepare-stage work that demands frames right
+     now — a system-allocated prepare (emulated or weak) maps and
+     populates the target region, and a weak-integrity app-buffer
+     prepare references the buffer in place, write-faulting in any page
+     that is swapped out or never materialized.  Under exhaustion, try a
+     pageout reclaim, then reject with `Again rather than letting
+     [Out_of_frames] escape mid-operation.  (Conservative: cached
+     regions and already-resident pages would make some of the frames
+     unnecessary, but admission must not dequeue or resolve them
+     speculatively.)  Strong app-buffer inputs allocate nothing at
      prepare and are always admitted. *)
-  (if
-     Semantics.system_allocated sem
-     && (sem.Semantics.emulated || sem.Semantics.integrity = Semantics.Weak)
-   then
-     let span_len =
-       match mode with
-       | Net.Adapter.Early_demux -> spec_len spec
-       | Net.Adapter.Pooled | Net.Adapter.Outboard ->
-         Proto.Dgram_header.length + spec_len spec
+  let prepare_demands_frames =
+    if Semantics.system_allocated sem then
+      sem.Semantics.emulated || sem.Semantics.integrity = Semantics.Weak
+    else sem.Semantics.integrity = Semantics.Weak
+  in
+  (if prepare_demands_frames then
+     let npages =
+       match spec with
+       | App_buffer b ->
+         (* the exact page span the in-place reference walks *)
+         let psize = Host.page_size host in
+         ((b.Buf.addr mod psize) + b.Buf.len + psize - 1) / psize
+       | Sys_alloc _ ->
+         let span_len =
+           match mode with
+           | Net.Adapter.Early_demux -> spec_len spec
+           | Net.Adapter.Pooled | Net.Adapter.Outboard ->
+             Proto.Dgram_header.length + spec_len spec
+         in
+         pages_of host span_len
      in
-     let npages = pages_of host span_len in
      let phys = host.Host.vm.Vm.Vm_sys.phys in
      let admitted =
        Memory.Phys_mem.free_frames phys >= npages
@@ -106,7 +120,7 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
            && Memory.Phys_mem.free_frames phys >= npages)
      in
      if not admitted then begin
-       if Simcore.Tracer.on host.Host.scope then begin
+       if Simcore.Tracer.on host.Host.scope then
          Simcore.Tracer.instant host.Host.scope "degrade.again"
            ~args:
              [
@@ -114,8 +128,7 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
                ("vc", Simcore.Tracer.Int vc);
                ("pages", Simcore.Tracer.Int npages);
              ];
-         Simcore.Tracer.add_counter host.Host.scope "backpressure_rejects"
-       end;
+       Simcore.Tracer.add_counter host.Host.scope "backpressure_rejects";
        raise_notrace Backpressure
      end);
   let p =
@@ -206,11 +219,10 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
         (* No overlay frame for the header descriptor: degrade this input
            to the pooled fallback path by not posting at all (the same
            path an unannounced buffer takes). *)
-        if Simcore.Tracer.on host.Host.scope then begin
+        if Simcore.Tracer.on host.Host.scope then
           Simcore.Tracer.instant host.Host.scope "degrade.nopool_hdr"
             ~args:[ ("vc", Simcore.Tracer.Int vc) ];
-          Simcore.Tracer.add_counter host.Host.scope "demux_degrades"
-        end;
+        Simcore.Tracer.add_counter host.Host.scope "demux_degrades";
         None
       | Some hdr_frame ->
         p.hdr_frame <- Some hdr_frame;
@@ -248,13 +260,11 @@ let prepare (host : Host.t) ~mode ~sem ~spec ~vc ~token ~on_complete =
                      tell `Again): hand the device an empty descriptor;
                      the payload overruns it and the input completes as a
                      typed failure. *)
-                  if Simcore.Tracer.on host.Host.scope then begin
+                  if Simcore.Tracer.on host.Host.scope then
                     Simcore.Tracer.instant host.Host.scope
                       "degrade.ready_nomem"
                       ~args:[ ("pages", Simcore.Tracer.Int npages) ];
-                    Simcore.Tracer.add_counter host.Host.scope
-                      "ready_degrades"
-                  end;
+                  Simcore.Tracer.add_counter host.Host.scope "ready_degrades";
                   Memory.Io_desc.of_segs [] )
         in
         Some { Net.Adapter.vc; token; hdr_desc; payload_desc; ready })
@@ -523,13 +533,14 @@ let dispose_direct (host : Host.t) p ~payload_len ~seq ~ok =
 let refill_pool (host : Host.t) n =
   let phys = host.Host.vm.Vm.Vm_sys.phys in
   let avail = min n (Memory.Phys_mem.free_frames phys) in
-  if avail < n && Simcore.Tracer.on host.Host.scope then begin
-    Simcore.Tracer.instant host.Host.scope "pool.refill_short"
-      ~args:
-        [
-          ("wanted", Simcore.Tracer.Int n);
-          ("got", Simcore.Tracer.Int avail);
-        ];
+  if avail < n then begin
+    if Simcore.Tracer.on host.Host.scope then
+      Simcore.Tracer.instant host.Host.scope "pool.refill_short"
+        ~args:
+          [
+            ("wanted", Simcore.Tracer.Int n);
+            ("got", Simcore.Tracer.Int avail);
+          ];
     Simcore.Tracer.add_counter host.Host.scope "pool_refill_shorts"
   end;
   List.iter (fun f -> Host.pool_put host f) (Memory.Phys_mem.alloc_many phys avail)
@@ -768,11 +779,10 @@ let dispose_outboard (host : Host.t) p ~id ~hdr_len ~payload_len ~seq ~ok =
         (* No system buffer obtainable: the staged data is discarded and
            the input completes as a typed failure below (target_desc stays
            [None]). *)
-        if Simcore.Tracer.on host.Host.scope then begin
+        if Simcore.Tracer.on host.Host.scope then
           Simcore.Tracer.instant host.Host.scope "degrade.ready_nomem"
             ~args:[ ("pages", Simcore.Tracer.Int (pages_of host (max payload_len 1))) ];
-          Simcore.Tracer.add_counter host.Host.scope "ready_degrades"
-        end
+        Simcore.Tracer.add_counter host.Host.scope "ready_degrades"
     end;
     let target_desc =
       match p.handle with

@@ -22,19 +22,21 @@ let charge t op ~unit =
   | Some r -> Op_recorder.record r op ~bytes ~us:(Simcore.Sim_time.to_us cost)
   | None -> ());
   match t.trace with
-  | Some s when T.on s ->
-    T.complete s
-      ~start:(Simcore.Sim_time.diff finish cost)
-      ~dur:cost
-      ~args:[ ("bytes", T.Int bytes) ]
-      (C.op_name op);
-    (match op with
-    | C.Copyin | C.Copyout ->
-      T.add_counter s "copies";
-      T.add_counter s ~n:bytes "copied_bytes"
-    | C.Wire -> T.add_counter s ~n:(bytes / page_size t) "wires"
-    | _ -> ())
-  | _ -> ()
+  | None -> ()
+  | Some s ->
+    if T.on s then
+      T.complete s
+        ~start:(Simcore.Sim_time.diff finish cost)
+        ~dur:cost
+        ~args:[ ("bytes", T.Int bytes) ]
+        (C.op_name op);
+    if T.counting s then
+      match op with
+      | C.Copyin | C.Copyout ->
+        T.add_counter s "copies";
+        T.add_counter s ~n:bytes "copied_bytes"
+      | C.Wire -> T.add_counter s ~n:(bytes / page_size t) "wires"
+      | _ -> ()
 
 (* One CPU-queue update and one trace event for [n] identical charges.
    Exactness: [Cpu.charge] adds integer nanosecond costs, so charging
@@ -58,19 +60,21 @@ let charge_n t op ~unit ~n =
       done
     | None -> ());
     match t.trace with
-    | Some s when T.on s ->
-      T.complete s
-        ~start:(Simcore.Sim_time.diff finish total)
-        ~dur:total
-        ~args:[ ("bytes", T.Int bytes); ("n", T.Int n) ]
-        (C.op_name op);
-      (match op with
-      | C.Copyin | C.Copyout ->
-        T.add_counter s ~n "copies";
-        T.add_counter s ~n:(n * bytes) "copied_bytes"
-      | C.Wire -> T.add_counter s ~n:(n * (bytes / page_size t)) "wires"
-      | _ -> ())
-    | _ -> ()
+    | None -> ()
+    | Some s ->
+      if T.on s then
+        T.complete s
+          ~start:(Simcore.Sim_time.diff finish total)
+          ~dur:total
+          ~args:[ ("bytes", T.Int bytes); ("n", T.Int n) ]
+          (C.op_name op);
+      if T.counting s then (
+        match op with
+        | C.Copyin | C.Copyout ->
+          T.add_counter s ~n "copies";
+          T.add_counter s ~n:(n * bytes) "copied_bytes"
+        | C.Wire -> T.add_counter s ~n:(n * (bytes / page_size t)) "wires"
+        | _ -> ())
   end
 
 let completion_time t = Simcore.Cpu.busy_until t.cpu

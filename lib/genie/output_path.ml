@@ -29,15 +29,14 @@ let pressure_semantics (host : Host.t) sem =
     && th.Thresholds.pool_fallback_frames > 0
     && Host.pool_level host < th.Thresholds.pool_fallback_frames
   then begin
-    if Simcore.Tracer.on host.Host.scope then begin
+    if Simcore.Tracer.on host.Host.scope then
       Simcore.Tracer.instant host.Host.scope "degrade.fallback"
         ~args:
           [
             ("from", Simcore.Tracer.Str (Semantics.name sem));
             ("to", Simcore.Tracer.Str (Semantics.name Semantics.copy));
           ];
-      Simcore.Tracer.add_counter host.Host.scope "sem_fallbacks"
-    end;
+    Simcore.Tracer.add_counter host.Host.scope "sem_fallbacks";
     Semantics.copy
   end
   else sem
@@ -124,7 +123,7 @@ let output_admitted (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
           && Memory.Phys_mem.free_frames phys >= npages)
     in
     if not admitted then begin
-      if Simcore.Tracer.on host.Host.scope then begin
+      if Simcore.Tracer.on host.Host.scope then
         Simcore.Tracer.instant host.Host.scope "degrade.again"
           ~args:
             [
@@ -132,8 +131,7 @@ let output_admitted (host : Host.t) ~vc ~sem ~buf ~seq ~on_complete =
               ("vc", Simcore.Tracer.Int vc);
               ("pages", Simcore.Tracer.Int npages);
             ];
-        Simcore.Tracer.add_counter host.Host.scope "backpressure_rejects"
-      end;
+      Simcore.Tracer.add_counter host.Host.scope "backpressure_rejects";
       raise_notrace Backpressure
     end
   end;

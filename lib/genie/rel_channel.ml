@@ -60,11 +60,10 @@ let send t ~buf ~on_complete =
   let ack_handle = ref None in
   let ack_bufs = Array.init 2 (fun _ -> ack_scratch host) in
   let trace name counter =
-    if Simcore.Tracer.on host.Host.scope then begin
+    if Simcore.Tracer.on host.Host.scope then
       Simcore.Tracer.instant host.Host.scope name
         ~args:[ ("vc", Simcore.Tracer.Int (Endpoint.vc t.data)) ];
-      Simcore.Tracer.add_counter host.Host.scope counter
-    end
+    Simcore.Tracer.add_counter host.Host.scope counter
   in
   let rec fill_window () =
     let blocked = ref false in
@@ -101,8 +100,7 @@ let send t ~buf ~on_complete =
               (* Timeout: go back to the window base and resend. *)
               incr consec_timeouts;
               retransmissions := !retransmissions + (!next - !base);
-              if Simcore.Tracer.on host.Host.scope then
-                Simcore.Tracer.add_counter host.Host.scope "rel_retransmits";
+              Simcore.Tracer.add_counter host.Host.scope "rel_retransmits";
               next := !base;
               fill_window ();
               arm_timer ()
@@ -202,11 +200,10 @@ let recv t ?deadline_us ~buf ~on_complete () =
           (match !data_handle with
           | Some h -> ignore (Endpoint.cancel h)
           | None -> ());
-          if Simcore.Tracer.on host.Host.scope then begin
+          if Simcore.Tracer.on host.Host.scope then
             Simcore.Tracer.instant host.Host.scope "rel.deadline_cancel"
               ~args:[ ("vc", Simcore.Tracer.Int (Endpoint.vc t.data)) ];
-            Simcore.Tracer.add_counter host.Host.scope "rel_deadline_cancels"
-          end;
+          Simcore.Tracer.add_counter host.Host.scope "rel_deadline_cancels";
           finish ~ok:false
         end));
   post_expected ()

@@ -11,6 +11,13 @@ let traced t f =
   | Some s when Simcore.Tracer.on s -> f s
   | _ -> ()
 
+(* Counters also accumulate in count-only mode ([add_counter]
+   self-guards), so they stay out of the [traced] event closures. *)
+let count t name =
+  match t.trace with
+  | Some s -> Simcore.Tracer.add_counter s name
+  | None -> ()
+
 exception Out_of_frames
 
 let create spec =
@@ -54,7 +61,7 @@ let take_free t =
     let frame = t.frames.(id) in
     assert (frame.Frame.state = Frame.Free);
     frame.Frame.state <- Frame.Allocated;
-    traced t (fun s -> Simcore.Tracer.add_counter s "frame_allocs");
+    count t "frame_allocs";
     frame
 
 let alloc t =
@@ -76,7 +83,7 @@ let release t (frame : Frame.t) =
   frame.Frame.pageable <- false;
   frame.Frame.wired <- 0;
   Queue.add frame.Frame.id t.free;
-  traced t (fun s -> Simcore.Tracer.add_counter s "frame_frees")
+  count t "frame_frees"
 
 let alloc_many t n =
   let rec take acc k =
@@ -105,8 +112,8 @@ let deallocate t (frame : Frame.t) =
     if Frame.io_referenced frame && not !skip_deferred_dealloc then begin
       frame.Frame.state <- Frame.Zombie;
       t.zombies <- t.zombies + 1;
+      count t "deferred_deallocs";
       traced t (fun s ->
-          Simcore.Tracer.add_counter s "deferred_deallocs";
           Simcore.Tracer.instant s "frame.deferred_dealloc"
             ~args:[ ("frame", Simcore.Tracer.Int frame.Frame.id) ])
     end

@@ -181,6 +181,13 @@ let traced t f =
   match t.trace with
   | Some s when Simcore.Tracer.on s -> f s
   | _ -> ()
+
+(* Counters are also accumulated in count-only mode ([add_counter]
+   self-guards), so keep them out of the [traced] event closures. *)
+let count t ?n name =
+  match t.trace with
+  | Some s -> Simcore.Tracer.add_counter s ?n name
+  | None -> ()
 let tx_window_open t ~vc ~n =
   if n > 0 then
     match Hashtbl.find_opt t.tx_windows vc with
@@ -209,9 +216,8 @@ let note_tx_window t ~vc =
     w.win_left <- w.win_left - 1;
     if w.win_left <= 0 then begin
       Hashtbl.remove t.tx_windows vc;
-      traced t (fun s ->
-          Simcore.Tracer.span_end s ~id:w.win_span "tx.window";
-          Simcore.Tracer.add_counter s "tx_windows")
+      traced t (fun s -> Simcore.Tracer.span_end s ~id:w.win_span "tx.window");
+      count t "tx_windows"
     end
 
 let staging_pool_stats t =
@@ -343,7 +349,7 @@ let decide_fault t ~vc =
 let maybe_corrupt t fl ~first_burst (chunk : bytes) ~len =
   match fl.fl_fault with
   | Some Corrupt when first_burst && len > 0 ->
-    traced t (fun s -> Simcore.Tracer.add_counter s "pdu_corrupts");
+    count t "pdu_corrupts";
     Bytes.set chunk 0 (Char.chr (Char.code (Bytes.get chunk 0) lxor 0xFF))
   | _ -> ()
 
@@ -496,8 +502,8 @@ and rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
         List.iter t.pool_return (List.rev s.frames);
         s.frames <- [];
         t.dropped <- t.dropped + 1;
+        count t "rx_drop_nopool";
         traced t (fun sc ->
-            Simcore.Tracer.add_counter sc "rx_drop_nopool";
             Simcore.Tracer.instant sc "rx.drop_nopool"
               ~args:[ ("vc", Simcore.Tracer.Int vc) ])
       end
@@ -522,8 +528,8 @@ and rx_burst t ~vc ~chunk ~chunk_len ~pdu_off ~hdr_len ~total_len ~is_last
         Outboard_stored { id; hdr_len; payload_len = total_len - hdr_len }
     in
     f.partial <- Rx_idle;
+    count t "rx_pdus";
     traced t (fun s ->
-        Simcore.Tracer.add_counter s "rx_pdus";
         Simcore.Tracer.instant s "rx.pdu"
           ~args:
             [
@@ -609,11 +615,12 @@ and send_burst t job ~i ~cells_done =
       (* The cells serialize and the receiver discards them: no rx_burst,
          but buffering is still consumed and freed, so the credits come
          back on the usual schedule. *)
-      if off = 0 then
+      if off = 0 then begin
+        count t "pdu_drops";
         traced t (fun s ->
-            Simcore.Tracer.add_counter s "pdu_drops";
             Simcore.Tracer.instant s "fault.drop"
-              ~args:[ ("vc", Simcore.Tracer.Int fl.fl_vc) ]);
+              ~args:[ ("vc", Simcore.Tracer.Int fl.fl_vc) ])
+      end;
       Simcore.Engine.at t.engine ~time:arrival (fun () ->
           Memory.Buf_pool.give t.tx_pool chunk);
       Simcore.Engine.at t.engine
@@ -622,8 +629,7 @@ and send_burst t job ~i ~cells_done =
     | _ ->
       if off = 0 then (
         match fl.fl_fault with
-        | Some (Delay_us _) ->
-          traced t (fun s -> Simcore.Tracer.add_counter s "pdu_delays")
+        | Some (Delay_us _) -> count t "pdu_delays"
         | _ -> ());
       Simcore.Engine.at peer.engine ~time:arrival (fun () ->
           rx_burst peer ~vc:fl.fl_vc ~chunk ~chunk_len:len ~pdu_off:off
@@ -648,8 +654,8 @@ and send_burst t job ~i ~cells_done =
                identical copies back to back. *)
             fl.fl_fault <- None;
             fl.fl_crc <- Crc32.init;
+            count t "pdu_dups";
             traced t (fun s ->
-                Simcore.Tracer.add_counter s "pdu_dups";
                 Simcore.Tracer.instant s "fault.duplicate"
                   ~args:[ ("vc", Simcore.Tracer.Int fl.fl_vc) ]);
             send_burst t job ~i:0 ~cells_done:0
@@ -667,8 +673,8 @@ and send_burst t job ~i ~cells_done =
        the transmitter to other VCs: a stalled VC must not head-of-line
        block the adapter. *)
     t.stalls <- t.stalls + 1;
+    count t "tx_stalls";
     traced t (fun s ->
-        Simcore.Tracer.add_counter s "tx_stalls";
         Simcore.Tracer.instant s "tx.credit_stall"
           ~args:
             [

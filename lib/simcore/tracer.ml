@@ -29,6 +29,10 @@ type event = {
 
 type t = {
   mutable enabled : bool;
+  mutable count_only : bool;
+      (** counters accumulate but no events are recorded: O(1) memory,
+          so long adaptive runs can sample counters without retaining an
+          event history *)
   mutable events : event list;  (** newest first *)
   mutable next_seq : int;
   mutable next_span : int;
@@ -39,6 +43,7 @@ type t = {
 let create ?(enabled = false) () =
   {
     enabled;
+    count_only = false;
     events = [];
     next_seq = 0;
     next_span = 1;
@@ -49,6 +54,9 @@ let create ?(enabled = false) () =
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let enabled t = t.enabled
+let enable_counters t = t.count_only <- true
+let disable_counters t = t.count_only <- false
+let counters_enabled t = t.enabled || t.count_only
 let set_clock t clock = t.clock <- clock
 
 let push t ~time ~host ~sub ~name ~kind ~args =
@@ -61,6 +69,7 @@ type scope = { t : t; host : string; sub : subsystem }
 let scope t ~host ~sub = { t; host; sub }
 let tracer s = s.t
 let on s = s.t.enabled
+let counting s = s.t.enabled || s.t.count_only
 
 let instant s ?(args = []) name =
   if s.t.enabled then
@@ -87,20 +96,22 @@ let complete s ?(args = []) ~start ~dur name =
     push s.t ~time:start ~host:s.host ~sub:s.sub ~name ~kind:(Complete dur)
       ~args
 
+let cell t ~host name =
+  match Hashtbl.find_opt t.counters (host, name) with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Hashtbl.add t.counters (host, name) c;
+    c
+
 let add_counter s ?(n = 1) name =
-  if s.t.enabled then begin
-    let cell =
-      match Hashtbl.find_opt s.t.counters (s.host, name) with
-      | Some c -> c
-      | None ->
-        let c = ref 0 in
-        Hashtbl.add s.t.counters (s.host, name) c;
-        c
-    in
+  if s.t.enabled || s.t.count_only then begin
+    let cell = cell s.t ~host:s.host name in
     cell := !cell + n;
-    push s.t ~time:(s.t.clock ()) ~host:s.host ~sub:s.sub ~name
-      ~kind:(Counter !cell)
-      ~args:[ ("delta", Int n) ]
+    if s.t.enabled then
+      push s.t ~time:(s.t.clock ()) ~host:s.host ~sub:s.sub ~name
+        ~kind:(Counter !cell)
+        ~args:[ ("delta", Int n) ]
   end
 
 let typed_events t = List.rev t.events
@@ -113,6 +124,32 @@ let counter t ~host name =
 let counters t =
   Hashtbl.fold (fun (host, name) c acc -> (host, name, !c) :: acc) t.counters []
   |> List.sort compare
+
+(* A probe pins the [int ref] cells of a fixed (host, name) set once, so
+   per-epoch consumers (the adaptive controller, the fuzzer's event
+   table) read or delta N counters in O(N) dereferences instead of
+   rescanning the whole counter table. *)
+type probe = { names : string array; cells : int ref array; last : int array }
+
+let probe t ~host names =
+  let names = Array.of_list names in
+  {
+    names;
+    cells = Array.map (fun name -> cell t ~host name) names;
+    last = Array.make (Array.length names) 0;
+  }
+
+let probe_names p = Array.to_list p.names
+let probe_read p i = !(p.cells.(i))
+
+let probe_delta p =
+  Array.mapi
+    (fun i c ->
+      let v = !c in
+      let d = v - p.last.(i) in
+      p.last.(i) <- v;
+      d)
+    p.cells
 
 let clear t =
   t.events <- [];

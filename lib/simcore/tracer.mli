@@ -44,6 +44,18 @@ val enable : t -> unit
 val disable : t -> unit
 val enabled : t -> bool
 
+val enable_counters : t -> unit
+(** Count-only mode: named counters accumulate but no events are
+    recorded, so memory stays O(distinct counters) however long the run
+    — what the adaptive controller turns on to sample evidence during
+    million-flow runs.  Full {!enable} supersedes it (events and
+    counters both). *)
+
+val disable_counters : t -> unit
+
+val counters_enabled : t -> bool
+(** True when counters accumulate: fully enabled or count-only mode. *)
+
 val set_clock : t -> (unit -> Sim_time.t) -> unit
 (** Install the sim clock used to stamp events emitted through scopes
     (typically [fun () -> Engine.now engine]).  Defaults to a constant
@@ -63,6 +75,11 @@ val on : scope -> bool
 (** [on s] is true while the underlying tracer is enabled.  Guard
     argument construction with it in hot paths. *)
 
+val counting : scope -> bool
+(** [counting s] is true while counters accumulate (fully enabled or
+    count-only).  Guard counter bumps whose delta needs computing with
+    it; {!add_counter} itself already self-guards. *)
+
 val instant : scope -> ?args:(string * arg) list -> string -> unit
 
 val span_begin : scope -> ?args:(string * arg) list -> string -> int
@@ -81,8 +98,28 @@ val complete :
   unit
 
 val add_counter : scope -> ?n:int -> string -> unit
-(** Bump the per-(host, name) counter by [n] (default 1) and record a
-    [Counter] event with the updated value. *)
+(** Bump the per-(host, name) counter by [n] (default 1); while fully
+    enabled also record a [Counter] event with the updated value.  While
+    neither enabled nor counting, a no-op. *)
+
+(** {1 Counter probes}
+
+    A probe pins the cells of a fixed (host, name) set at creation, so
+    per-epoch consumers read or delta N counters in O(N) dereferences
+    instead of rescanning the whole counter table.  Invalidated by
+    {!clear} (recreate the probe after clearing). *)
+
+type probe
+
+val probe : t -> host:string -> string list -> probe
+val probe_names : probe -> string list
+
+val probe_read : probe -> int -> int
+(** Current value of the [i]-th probed counter. *)
+
+val probe_delta : probe -> int array
+(** Per-counter increments since the previous [probe_delta] call (since
+    probe creation on the first call); advances the snapshot. *)
 
 (** {1 Reading back} *)
 

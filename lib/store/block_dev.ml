@@ -45,8 +45,8 @@ let peek_block t block = Hashtbl.find_opt t.media block
 
 let counter t ?(n = 1) name =
   match t.trace with
-  | Some s when Simcore.Tracer.on s -> Simcore.Tracer.add_counter s ~n name
-  | _ -> ()
+  | Some s -> Simcore.Tracer.add_counter s ~n name
+  | None -> ()
 
 let media_block t block =
   match Hashtbl.find_opt t.media block with

@@ -103,8 +103,7 @@ let is_dirty t ~fd ~page =
 
 let counter t ?(n = 1) name =
   match t.trace with
-  | Some s when Simcore.Tracer.on s && n > 0 ->
-    Simcore.Tracer.add_counter s ~n name
+  | Some s when n > 0 -> Simcore.Tracer.add_counter s ~n name
   | _ -> ()
 
 let open_file t =

@@ -55,6 +55,13 @@ let traced t f =
   match t.vm.Vm_sys.trace with
   | Some s when Simcore.Tracer.on s -> f s
   | _ -> ()
+
+(* Counters also accumulate in count-only mode ([add_counter]
+   self-guards), so they stay out of the [traced] event closures. *)
+let count t name =
+  match t.vm.Vm_sys.trace with
+  | Some s -> Simcore.Tracer.add_counter s name
+  | None -> ()
 let page_size t = Vm_sys.page_size t.vm
 let regions t = t.region_list
 
@@ -192,8 +199,8 @@ let cow_copy t (region : Region.t) idx owner =
   let dst = alloc_for_copy t src in
   Memory.Frame.copy_contents ~src ~dst;
   Vm_sys.insert_page t.vm region.Region.obj idx dst;
+  count t "cow_breaks";
   traced t (fun s ->
-      Simcore.Tracer.add_counter s "cow_breaks";
       Simcore.Tracer.instant s "cow.copy"
         ~args:
           [
@@ -203,8 +210,8 @@ let cow_copy t (region : Region.t) idx owner =
   dst
 
 let handle_read_fault t vpn =
+  count t "faults";
   traced t (fun s ->
-      Simcore.Tracer.add_counter s "faults";
       Simcore.Tracer.instant s "fault.read"
         ~args:
           [
@@ -230,8 +237,8 @@ let handle_read_fault t vpn =
     frame
 
 let handle_write_fault t vpn =
+  count t "faults";
   traced t (fun s ->
-      Simcore.Tracer.add_counter s "faults";
       Simcore.Tracer.instant s "fault.write"
         ~args:
           [
@@ -246,8 +253,8 @@ let handle_write_fault t vpn =
     | Some (Memory_object.Resident frame) when frame == pte.Page_table.frame ->
       (* Page present in the top object: this is the TCOW case. *)
       if frame.Memory.Frame.output_refs > 0 then begin
+        count t "cow_breaks";
         traced t (fun s ->
-            Simcore.Tracer.add_counter s "cow_breaks";
             Simcore.Tracer.instant s "tcow.break"
               ~args:
                 [

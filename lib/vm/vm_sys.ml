@@ -102,15 +102,16 @@ let take_reserve t =
   | frame :: rest ->
     t.reserve <- rest;
     (match t.trace with
-    | Some s when Simcore.Tracer.on s ->
-      Simcore.Tracer.instant s "mem.emergency"
-        ~args:
-          [
-            ("frame", Simcore.Tracer.Int frame.Memory.Frame.id);
-            ("left", Simcore.Tracer.Int (List.length rest));
-          ];
-      Simcore.Tracer.add_counter s "emergency_allocs"
-    | _ -> ());
+    | None -> ()
+    | Some s ->
+      if Simcore.Tracer.on s then
+        Simcore.Tracer.instant s "mem.emergency"
+          ~args:
+            [
+              ("frame", Simcore.Tracer.Int frame.Memory.Frame.id);
+              ("left", Simcore.Tracer.Int (List.length rest));
+            ];
+      Simcore.Tracer.add_counter s "emergency_allocs");
     frame
 
 let alloc_pressured t =
@@ -154,11 +155,12 @@ let evict_frame t (frame : Memory.Frame.t) =
     Hashtbl.remove t.frame_owner frame.Memory.Frame.id;
     Memory.Phys_mem.deallocate t.phys frame;
     (match t.trace with
-    | Some s when Simcore.Tracer.on s ->
-      Simcore.Tracer.instant s "pageout.evict"
-        ~args:[ ("frame", Simcore.Tracer.Int frame.Memory.Frame.id) ];
-      Simcore.Tracer.add_counter s "pageouts"
-    | _ -> ());
+    | None -> ()
+    | Some s ->
+      if Simcore.Tracer.on s then
+        Simcore.Tracer.instant s "pageout.evict"
+          ~args:[ ("frame", Simcore.Tracer.Int frame.Memory.Frame.id) ];
+      Simcore.Tracer.add_counter s "pageouts");
     true
 
 let create spec =

@@ -1,109 +1,13 @@
-module C = Machine.Cost_model
+(* The breakdown model itself lives in [Genie.Stage_cost] so the online
+   adaptive controller can score candidates with the same calibrated
+   tables; this module re-exports it under the historical name. *)
 
-type scheme = Early_demux | Pooled_aligned | Pooled_unaligned
+type scheme = Genie.Stage_cost.scheme =
+  | Early_demux
+  | Pooled_aligned
+  | Pooled_unaligned
 
-let scheme_name = function
-  | Early_demux -> "early demultiplexing"
-  | Pooled_aligned -> "application-aligned pooled"
-  | Pooled_unaligned -> "unaligned pooled"
-
-let op_us costs op ~bytes =
-  Simcore.Sim_time.to_us (C.cost costs op ~bytes)
-
-let pages_bytes costs len =
-  let psize = (C.spec costs).Machine.Machine_spec.page_size in
-  (len + psize - 1) / psize * psize
-
-let base_us costs params ~len =
-  let wire =
-    Simcore.Sim_time.to_us
-      (Net.Net_params.wire_time params
-         ~payload_len:(len + Proto.Dgram_header.length))
-  in
-  op_us costs C.Syscall_entry ~bytes:0
-  +. Simcore.Sim_time.to_us params.Net.Net_params.tx_setup
-  +. wire
-  +. Simcore.Sim_time.to_us params.Net.Net_params.prop_delay
-  +. Simcore.Sim_time.to_us params.Net.Net_params.rx_fixed
-  +. op_us costs C.Interrupt_dispatch ~bytes:0
-
-(* Sender prepare-time operations, Table 2. *)
-let sender_prepare costs sem ~len =
-  let pb = pages_bytes costs len in
-  let u op bytes = op_us costs op ~bytes in
-  match Genie.Semantics.name sem with
-  | "copy" -> u C.Sysbuf_allocate 0 +. u C.Copyin len
-  | "emulated copy" -> u C.Reference pb +. u C.Read_only pb
-  | "share" -> u C.Reference pb +. u C.Wire pb
-  | "emulated share" -> u C.Reference pb
-  | "move" ->
-    u C.Reference pb +. u C.Wire pb +. u C.Region_mark_out 0 +. u C.Invalidate pb
-  | "emulated move" ->
-    u C.Reference pb +. u C.Region_mark_out 0 +. u C.Invalidate pb
-  | "weak move" -> u C.Reference pb +. u C.Wire pb +. u C.Region_mark_out 0
-  | "emulated weak move" -> u C.Reference pb +. u C.Region_mark_out 0
-  | _ -> assert false
-
-(* Receiver dispose-time operations with early demultiplexing, Table 3. *)
-let receiver_dispose_early costs sem ~len =
-  let pb = pages_bytes costs len in
-  let u op bytes = op_us costs op ~bytes in
-  match Genie.Semantics.name sem with
-  | "copy" -> u C.Copyout len +. u C.Sysbuf_deallocate 0
-  | "emulated copy" -> u C.Swap_pages pb
-  | "share" -> u C.Unwire pb +. u C.Unreference pb
-  | "emulated share" -> u C.Unreference pb
-  | "move" ->
-    u C.Region_create pb +. u C.Zero_fill 0 +. u C.Region_fill pb
-    +. u C.Region_map pb +. u C.Region_mark_in 0
-  | "emulated move" -> u C.Region_check_unref_reinstate_mark_in pb
-  | "weak move" ->
-    u C.Region_check 0 +. u C.Unwire pb +. u C.Unreference pb
-    +. u C.Region_mark_in 0
-  | "emulated weak move" -> u C.Region_check_unref_mark_in pb
-  | _ -> assert false
-
-(* Receiver ready + dispose operations with pooled buffering, Table 4. *)
-let receiver_pooled costs sem ~len ~aligned =
-  let pb = pages_bytes costs len in
-  let u op bytes = op_us costs op ~bytes in
-  let overlay = u C.Overlay_allocate 0 +. u C.Overlay 0 in
-  let dealloc = u C.Overlay_deallocate pb in
-  let pass = if aligned then u C.Swap_pages pb else u C.Copyout len in
-  match Genie.Semantics.name sem with
-  | "copy" -> overlay +. u C.Copyout len +. dealloc
-  | "emulated copy" -> overlay +. pass +. dealloc
-  | "share" -> overlay +. u C.Unwire pb +. u C.Unreference pb +. pass +. dealloc
-  | "emulated share" -> overlay +. u C.Unreference pb +. pass +. dealloc
-  | "move" ->
-    overlay +. u C.Region_create pb +. u C.Zero_fill 0
-    +. u C.Region_fill_overlay_refill pb +. u C.Region_map pb
-    +. u C.Region_mark_in 0 +. dealloc
-  | "emulated move" | "emulated weak move" ->
-    overlay +. u C.Region_check 0 +. u C.Unreference pb +. u C.Swap_pages pb
-    +. u C.Region_mark_in 0 +. dealloc
-  | "weak move" ->
-    overlay +. u C.Region_check 0 +. u C.Unwire pb +. u C.Unreference pb
-    +. u C.Swap_pages pb +. u C.Region_mark_in 0 +. dealloc
-  | _ -> assert false
-
-let receiver_stage costs scheme sem ~len =
-  match scheme with
-  | Early_demux -> receiver_dispose_early costs sem ~len
-  | Pooled_aligned -> receiver_pooled costs sem ~len ~aligned:true
-  | Pooled_unaligned ->
-    (* System-allocated semantics are unaffected by application buffer
-       alignment; application-allocated ones must copy. *)
-    if Genie.Semantics.system_allocated sem then
-      receiver_pooled costs sem ~len ~aligned:true
-    else receiver_pooled costs sem ~len ~aligned:false
-
-let latency_us costs params ~scheme ~sem ~len =
-  base_us costs params ~len
-  +. sender_prepare costs sem ~len
-  +. receiver_stage costs scheme sem ~len
-
-let mixed_latency_us costs params ~scheme ~send_sem ~recv_sem ~len =
-  base_us costs params ~len
-  +. sender_prepare costs send_sem ~len
-  +. receiver_stage costs scheme recv_sem ~len
+let scheme_name = Genie.Stage_cost.scheme_name
+let base_us = Genie.Stage_cost.base_us
+let latency_us = Genie.Stage_cost.latency_us
+let mixed_latency_us = Genie.Stage_cost.mixed_latency_us

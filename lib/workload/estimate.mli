@@ -5,9 +5,16 @@
     (Table 2) plus, at the receiver, the {e dispose}-time operations
     (Table 3, early demultiplexing) or the {e ready}+{e dispose}-time
     operations (Table 4, pooled buffering).  All other stages overlap
-    with network and remote-side latencies. *)
+    with network and remote-side latencies.
 
-type scheme = Early_demux | Pooled_aligned | Pooled_unaligned
+    The model itself lives in {!Genie.Stage_cost} (the online adaptive
+    controller scores candidates with the same calibrated tables); this
+    module re-exports it under the historical name. *)
+
+type scheme = Genie.Stage_cost.scheme =
+  | Early_demux
+  | Pooled_aligned
+  | Pooled_unaligned
 
 val scheme_name : scheme -> string
 

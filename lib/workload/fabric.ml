@@ -31,6 +31,7 @@ type config = {
   chunk_bytes : int;
   credit_cells : int;
   retry_us : float;
+  adaptive : bool;
   domains : int;
   seed : int;
   params : Net.Net_params.t;
@@ -50,6 +51,7 @@ let default =
     chunk_bytes = 16384;
     credit_cells = 512;
     retry_us = 50.;
+    adaptive = false;
     domains = 1;
     seed = 42;
     params = Net.Net_params.oc3;
@@ -69,6 +71,8 @@ type outcome = {
   sojourn_us : Stats.Streaming_summary.t;
   active_high_water : int;
   table_capacity : int;
+  adapt_migrations : int;
+  adapt_epochs : int;
   digest : string;
 }
 
@@ -88,6 +92,11 @@ type circuit = {
   mutable fl_chunks : int;
   mutable fl_sent : int;
   mutable fl_sem : Genie.Semantics.t;
+  ctl : Genie.Adapt.t option;
+      (* client-shard controller, one per circuit slot: each flow riding
+         the circuit starts on the controller's current choice and its
+         chunks feed the evidence window — per-flow adaptation in
+         O(active) memory. *)
   mutable rx_expected : int;  (* 0 = no flow open server-side *)
   mutable rx_got : int;
   mutable rx_start : float;
@@ -213,6 +222,22 @@ let run cfg =
       Genie.Buf.fill_pattern cbuf ~seed:((i * 8191) + ci);
       let rbuf = make_buf b ~len:cfg.chunk_bytes in
       let in_sem = app_sems.(Simcore.Rng.int rng ~bound:(Array.length app_sems)) in
+      let ctl =
+        if cfg.adaptive then
+          Some
+            (Genie.Adapt.create
+               ~config:
+                 {
+                   Genie.Adapt.default_config with
+                   epoch_datagrams = 8;
+                   window_epochs = 2;
+                   dwell_epochs = 2;
+                   candidates = Array.to_list app_sems;
+                 }
+               ~host:a ~scheme:Genie.Stage_cost.Early_demux
+               ~sem:Genie.Semantics.copy ())
+        else None
+      in
       {
         ci;
         ea;
@@ -224,6 +249,7 @@ let run cfg =
         fl_chunks = 0;
         fl_sent = 0;
         fl_sem = Genie.Semantics.copy;
+        ctl;
         rx_expected = 0;
         rx_got = 0;
         rx_start = 0.;
@@ -298,6 +324,13 @@ let run cfg =
       Genie.Endpoint.output c.ea ~sem:c.fl_sem ~buf:c.cbuf
         ~on_complete:(fun () ->
           c.fl_sent <- c.fl_sent + 1;
+          (match c.ctl with
+          | Some ctl ->
+            Genie.Adapt.note_datagram ctl ~len:cfg.chunk_bytes;
+            (* Semantics are per datagram: a migration mid-flow simply
+               takes effect from the next chunk. *)
+            c.fl_sem <- Genie.Adapt.semantics ctl
+          | None -> ());
           if c.fl_sent < c.fl_chunks then send_chunk p c)
         ()
     with
@@ -312,7 +345,14 @@ let run cfg =
     c.fl_handle <- Genie.Flow_table.alloc p.table c.ci;
     c.fl_chunks <- chunks;
     c.fl_sent <- 0;
-    c.fl_sem <- app_sems.(Simcore.Rng.int p.rng ~bound:(Array.length app_sems));
+    (* The draw always happens so the port's Rng stream alignment is
+       identical with adaptation on or off; with a controller the flow
+       starts on its current learned choice instead. *)
+    let drawn = app_sems.(Simcore.Rng.int p.rng ~bound:(Array.length app_sems)) in
+    c.fl_sem <-
+      (match c.ctl with
+      | Some ctl -> Genie.Adapt.semantics ctl
+      | None -> drawn);
     let start = Genie.Host.now_us p.a in
     (* Flow-open metadata reaches the server one propagation delay ahead
        of the first chunk (which also pays serialization). *)
@@ -368,11 +408,24 @@ let run cfg =
   and crc_failures = ref 0
   and rx_bytes = ref 0
   and hw = ref 0
-  and capacity = ref 0 in
+  and capacity = ref 0
+  and migrations = ref 0
+  and adapt_epochs = ref 0 in
   let sojourn = ref (Stats.Streaming_summary.create ()) in
   let acc = Buffer.create 256 in
   Array.iteri
     (fun i p ->
+      let p_migr = ref 0 and p_epochs = ref 0 in
+      Array.iter
+        (fun c ->
+          match c.ctl with
+          | Some ctl ->
+            p_migr := !p_migr + Genie.Adapt.migrations ctl;
+            p_epochs := !p_epochs + Genie.Adapt.epochs ctl
+          | None -> ())
+        p.circuits;
+      migrations := !migrations + !p_migr;
+      adapt_epochs := !adapt_epochs + !p_epochs;
       offered := !offered + p.offered;
       accepted := !accepted + p.accepted;
       rejected := !rejected + p.rejected;
@@ -389,7 +442,13 @@ let run cfg =
            p.crc_failures
            (Genie.Flow_table.high_water p.table)
            p.host_sum
-           (Stats.Streaming_summary.digest p.sojourn)))
+           (Stats.Streaming_summary.digest p.sojourn));
+      (* Appended only when adaptation is on: the digest of a
+         non-adaptive run is byte-identical to what it was before the
+         controller existed. *)
+      if cfg.adaptive then
+        Buffer.add_string acc
+          (Printf.sprintf "am=%d;ae=%d|" !p_migr !p_epochs))
     ports;
   let duration_us = Simcore.Sim_time.to_us (Simcore.Engine.now engine) in
   Buffer.add_string acc
@@ -409,5 +468,7 @@ let run cfg =
     sojourn_us = !sojourn;
     active_high_water = !hw;
     table_capacity = !capacity;
+    adapt_migrations = !migrations;
+    adapt_epochs = !adapt_epochs;
     digest = Digest.to_hex (Digest.string (Buffer.contents acc));
   }

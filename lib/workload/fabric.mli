@@ -47,6 +47,14 @@ type config = {
   chunk_bytes : int;  (** flows stream as datagrams of this size *)
   credit_cells : int;  (** per-VC credit window on the client adapter *)
   retry_us : float;  (** backoff before retrying an [`Again] output *)
+  adaptive : bool;
+      (** give every circuit slot a {!Genie.Adapt} controller on its
+          client host: each flow riding the slot starts on the learned
+          choice, its chunks feed the evidence window, and migrations
+          take effect from the next chunk — per-flow adaptation that
+          stays O(active flows) because controllers live in the circuit
+          pool.  When [false] the engine behaves (and digests)
+          byte-identically to a build without the controller. *)
   domains : int;  (** engine shards; must not change the digest *)
   seed : int;
   params : Net.Net_params.t;
@@ -73,6 +81,10 @@ type outcome = {
       (** peak simultaneous live flows, summed over ports *)
   table_capacity : int;
       (** flow-table slots actually allocated (the memory bound), summed *)
+  adapt_migrations : int;
+      (** semantics migrations performed by circuit controllers (0 when
+          [adaptive] is off) *)
+  adapt_epochs : int;  (** evidence epochs closed across all controllers *)
   digest : string;
       (** deterministic digest of per-port accounting, sojourn
           populations and final simulated time *)

@@ -1,0 +1,118 @@
+(* Unit tests for the online semantics controller: epoch cadence,
+   window fill, the dwell rule, convergence to the cheapest scored
+   candidate, the migration cap, and determinism of the decision
+   process.  End-to-end convergence on full workloads is covered by
+   `genie_cli adapt` and the adaptive bench section; these tests pin
+   the controller mechanics in isolation. *)
+
+module Ad = Genie.Adapt
+module Sem = Genie.Semantics
+
+let light = Workload.Experiments.light_spec Machine.Machine_spec.micron_p166
+
+let controller ?(config = Ad.default_config) ?(sem = Sem.copy) () =
+  let w = Genie.World.create ~spec_a:light ~spec_b:light () in
+  Ad.create ~config ~host:w.Genie.World.a ~scheme:Genie.Stage_cost.Early_demux
+    ~sem ()
+
+let feed ctl ~len n =
+  for _ = 1 to n do
+    Ad.note_datagram ctl ~len
+  done
+
+let small_config =
+  { Ad.default_config with epoch_datagrams = 4; window_epochs = 2;
+    dwell_epochs = 2 }
+
+let test_epoch_cadence () =
+  let ctl = controller ~config:small_config () in
+  feed ctl ~len:1024 3;
+  Alcotest.(check int) "no epoch before epoch_datagrams" 0 (Ad.epochs ctl);
+  feed ctl ~len:1024 1;
+  Alcotest.(check int) "epoch closes on the boundary" 1 (Ad.epochs ctl);
+  feed ctl ~len:1024 9;
+  Alcotest.(check int) "cadence holds" 3 (Ad.epochs ctl)
+
+let test_score_requires_full_window () =
+  let ctl = controller ~config:small_config () in
+  feed ctl ~len:1024 4;
+  Alcotest.(check bool) "one epoch is not a window" true
+    (Ad.score ctl Sem.copy = None);
+  feed ctl ~len:1024 4;
+  Alcotest.(check bool) "full window prices candidates" true
+    (Ad.score ctl Sem.copy <> None)
+
+let test_dwell_blocks_early_migration () =
+  (* Large datagrams make the starting copy semantics expensive, but
+     the dwell rule must still hold the flow for dwell_epochs. *)
+  let config = { small_config with dwell_epochs = 3 } in
+  let ctl = controller ~config () in
+  feed ctl ~len:61440 (2 * config.Ad.epoch_datagrams);
+  Alcotest.(check int) "no migration inside the dwell period" 0
+    (Ad.migrations ctl);
+  feed ctl ~len:61440 (8 * config.Ad.epoch_datagrams);
+  Alcotest.(check bool) "migrates once the dwell expires" true
+    (Ad.migrations ctl > 0);
+  Alcotest.(check bool) "first migration respects the dwell" true
+    (Ad.last_migration_epoch ctl >= config.Ad.dwell_epochs)
+
+let test_converges_to_cheapest_candidate () =
+  let ctl = controller ~config:small_config ~sem:Sem.copy () in
+  feed ctl ~len:61440 (26 * small_config.Ad.epoch_datagrams);
+  let final = Ad.semantics ctl in
+  Alcotest.(check bool) "left the deliberately wrong start" false
+    (Sem.equal final Sem.copy);
+  let score s =
+    match Ad.score ctl s with
+    | Some v -> v
+    | None -> Alcotest.fail "window must be full by now"
+  in
+  List.iter
+    (fun cand ->
+      Alcotest.(check bool)
+        (Printf.sprintf "final '%s' scores no worse than '%s'"
+           (Sem.name final) (Sem.name cand))
+        true
+        (score final <= score cand +. 1e-9))
+    small_config.Ad.candidates;
+  let cap = Ad.migration_cap small_config ~epochs:(Ad.epochs ctl) in
+  Alcotest.(check bool) "migrations bounded by the dwell cap" true
+    (Ad.migrations ctl <= cap);
+  Alcotest.(check bool) "settles in the first half of the run" true
+    (Ad.last_migration_epoch ctl <= Ad.epochs ctl / 2)
+
+let test_migration_cap_arithmetic () =
+  Alcotest.(check int) "cap = epochs / dwell + 1" 9
+    (Ad.migration_cap { small_config with Ad.dwell_epochs = 3 } ~epochs:26);
+  Alcotest.(check int) "cap with zero epochs" 1
+    (Ad.migration_cap small_config ~epochs:0)
+
+let test_decisions_deterministic () =
+  let run () =
+    let ctl = controller ~config:small_config ~sem:Sem.emulated_copy () in
+    let trail = ref [] in
+    List.iter
+      (fun len ->
+        feed ctl ~len small_config.Ad.epoch_datagrams;
+        trail := Sem.name (Ad.semantics ctl) :: !trail)
+      [ 192; 192; 61440; 61440; 61440; 61440; 192; 192; 192; 192 ];
+    (!trail, Ad.migrations ctl, Ad.epochs ctl)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical evidence, identical decisions" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "epochs close every epoch_datagrams notes" `Quick
+      test_epoch_cadence;
+    Alcotest.test_case "scores appear once the window fills" `Quick
+      test_score_requires_full_window;
+    Alcotest.test_case "dwell rule blocks early migration" `Quick
+      test_dwell_blocks_early_migration;
+    Alcotest.test_case "converges to the cheapest scored candidate" `Quick
+      test_converges_to_cheapest_candidate;
+    Alcotest.test_case "migration cap arithmetic" `Quick
+      test_migration_cap_arithmetic;
+    Alcotest.test_case "decisions are deterministic" `Quick
+      test_decisions_deterministic;
+  ]

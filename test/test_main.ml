@@ -26,6 +26,7 @@ let () =
       ("endpoint", Test_endpoint.suite);
       ("ring", Test_ring.suite);
       ("properties", Test_properties.suite);
+      ("adapt", Test_adapt.suite);
       ("parallel", Test_parallel.suite);
       ("check", Test_check.suite);
       ("bench", Test_bench.suite);

@@ -88,6 +88,92 @@ let semantics_name_roundtrip =
       | Some sem' -> Sem.equal sem sem'
       | None -> false)
 
+(* The complement of the round-trip law: of_name accepts exactly the
+   eight corner names modulo its documented leniency (surrounding
+   whitespace and ASCII case), and rejects everything else.  Candidates
+   mix random junk with near-misses of real names: case changes and
+   padding must canonicalize; hyphenation, prefixes and truncations
+   must be rejected. *)
+let semantics_unknown_name_rejected =
+  let corner_names = List.map Sem.name Sem.all in
+  let near_miss =
+    QCheck.Gen.(
+      oneofl corner_names >>= fun base ->
+      oneofl
+        [
+          String.capitalize_ascii base;
+          String.uppercase_ascii base;
+          base ^ " ";
+          " " ^ base;
+          base ^ "x";
+          String.sub base 0 (String.length base - 1);
+          String.concat "-" (String.split_on_char ' ' base);
+        ])
+  in
+  let candidate =
+    QCheck.make
+      ~print:(Printf.sprintf "%S")
+      QCheck.Gen.(oneof [ near_miss; string_size (int_range 0 24) ])
+  in
+  QCheck.Test.make
+    ~name:"of_name accepts exactly the corner names modulo case and trim"
+    ~count:300 candidate (fun s ->
+      let canon = String.lowercase_ascii (String.trim s) in
+      match Sem.of_name s with
+      | Some sem -> Sem.name sem = canon
+      | None -> not (List.mem canon corner_names))
+
+let page_sizes = [ 4096; 8192; 16384 ]
+
+let thresholds_reverse_above_half_page =
+  QCheck.Test.make
+    ~name:"reverse-copyout threshold strictly above half a page" ~count:1
+    QCheck.unit (fun () ->
+      List.for_all
+        (fun p ->
+          let t = Genie.Thresholds.for_page_size p in
+          t.Genie.Thresholds.reverse_copyout > p / 2)
+        page_sizes)
+
+let thresholds_scale_monotonically =
+  QCheck.Test.make
+    ~name:"thresholds scale monotonically with page size" ~count:1 QCheck.unit
+    (fun () ->
+      let ts = List.map Genie.Thresholds.for_page_size page_sizes in
+      let rec adjacent = function
+        | a :: (b :: _ as rest) -> (a, b) :: adjacent rest
+        | _ -> []
+      in
+      List.for_all
+        (fun (small, big) ->
+          let open Genie.Thresholds in
+          small.copy_out_emulated_copy < big.copy_out_emulated_copy
+          && small.copy_out_emulated_share < big.copy_out_emulated_share
+          && small.reverse_copyout < big.reverse_copyout
+          (* pool fallback is a frame count, not a byte length: it must
+             not scale with the page size. *)
+          && small.pool_fallback_frames = big.pool_fallback_frames)
+        (adjacent ts)
+      && Genie.Thresholds.for_page_size 4096 = Genie.Thresholds.default)
+
+let outcome_retryable_only_again =
+  QCheck.Test.make ~name:"outcome retryable iff transient `Again" ~count:100
+    QCheck.(int_bound 1000)
+    (fun r ->
+      Genie.Outcome.retryable `Again
+      && (not (Genie.Outcome.retryable (`Gave_up r)))
+      && not (Genie.Outcome.retryable `Crc_dropped))
+
+let outcome_to_string_total =
+  QCheck.Test.make
+    ~name:"outcome to_string covers every variant and keeps the payload"
+    ~count:100
+    QCheck.(int_bound 1000)
+    (fun r ->
+      Genie.Outcome.to_string `Again = "again"
+      && Genie.Outcome.to_string `Crc_dropped = "crc_dropped"
+      && Genie.Outcome.to_string (`Gave_up r) = Printf.sprintf "gave_up(%d)" r)
+
 let flip_bit data bit =
   let i = bit / 8 and k = bit mod 8 in
   Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl k)))
@@ -203,6 +289,11 @@ let suite =
       aal5_wire_bytes_monotone;
       semantics_dimensions_complete;
       semantics_name_roundtrip;
+      semantics_unknown_name_rejected;
+      thresholds_reverse_above_half_page;
+      thresholds_scale_monotonically;
+      outcome_retryable_only_again;
+      outcome_to_string_total;
       checksum_detects_bit_flips;
       aal5_crc_detects_bit_flips;
       buf_pattern_roundtrip;

@@ -293,6 +293,51 @@ let test_chrome_export_round_trip () =
       (List.length (T.typed_events trace))
       (List.length events - n "M")
 
+(* {1 Counter probes} *)
+
+(* The O(1) probe handle: reads and deltas track add_counter bumps in
+   count-only mode (no events retained), deltas advance their own
+   snapshot, and clear invalidates the probe's view. *)
+let test_probe_reads_and_deltas () =
+  let t = T.create () in
+  T.enable_counters t;
+  let s = T.scope t ~host:"a" ~sub:T.Genie in
+  let p = T.probe t ~host:"a" [ "copies"; "cow_breaks" ] in
+  Alcotest.(check (list string))
+    "probe keeps its name order" [ "copies"; "cow_breaks" ] (T.probe_names p);
+  Alcotest.(check int) "unbumped counter reads zero" 0 (T.probe_read p 0);
+  T.add_counter s ~n:3 "copies";
+  T.add_counter s "cow_breaks";
+  Alcotest.(check int) "probe_read sees bumps" 3 (T.probe_read p 0);
+  Alcotest.(check (array int)) "first delta counts from creation"
+    [| 3; 1 |] (T.probe_delta p);
+  Alcotest.(check (array int)) "delta advances its snapshot" [| 0; 0 |]
+    (T.probe_delta p);
+  T.add_counter s ~n:2 "copies";
+  Alcotest.(check (array int)) "next delta sees only new bumps" [| 2; 0 |]
+    (T.probe_delta p);
+  Alcotest.(check int) "probe_read is cumulative" 5 (T.probe_read p 0);
+  (* A probe for a different host is pinned to different cells. *)
+  let pb = T.probe t ~host:"b" [ "copies" ] in
+  Alcotest.(check int) "per-host isolation" 0 (T.probe_read pb 0);
+  Alcotest.(check (list string)) "count-only mode records no events" []
+    (List.map (fun ev -> ev.T.name) (T.typed_events t))
+
+let test_probe_after_clear () =
+  let t = T.create () in
+  T.enable_counters t;
+  let s = T.scope t ~host:"a" ~sub:T.Genie in
+  let p = T.probe t ~host:"a" [ "copies" ] in
+  T.add_counter s ~n:4 "copies";
+  Alcotest.(check int) "before clear" 4 (T.probe_read p 0);
+  T.clear t;
+  T.add_counter s ~n:1 "copies";
+  Alcotest.(check int) "table restarts from the clear" 1
+    (T.counter t ~host:"a" "copies");
+  let p' = T.probe t ~host:"a" [ "copies" ] in
+  Alcotest.(check int) "a fresh probe tracks the new cells" 1
+    (T.probe_read p' 0)
+
 (* {1 Tail and render} *)
 
 let test_render () =
@@ -337,6 +382,10 @@ let suite =
       test_span_nesting_under_fuzzer;
     Alcotest.test_case "chrome export round-trips through Stats.Json" `Quick
       test_chrome_export_round_trip;
+    Alcotest.test_case "probe reads and deltas track counter bumps" `Quick
+      test_probe_reads_and_deltas;
+    Alcotest.test_case "clear invalidates probes; fresh probe recovers" `Quick
+      test_probe_after_clear;
     Alcotest.test_case "render formats scope, kind and args" `Quick test_render;
     Alcotest.test_case "tail returns recent events oldest first" `Quick
       test_tail;
